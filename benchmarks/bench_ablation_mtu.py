@@ -1,0 +1,81 @@
+"""E9 ablation — why the testbed insisted on 64 KByte MTUs.
+
+Section 2: "Since the Fore ATM adapter supports large MTU sizes, IP
+packets of 64 KByte size can be transferred throughout the network."
+This sweep shows what happens without that: per-packet host stack cost
+dominates and throughput collapses.  Window size is swept as well (the
+long-fat-network effect over the 100 km WAN).
+"""
+
+import pytest
+
+from repro.netsim import BulkTransfer, ClassicalIP, build_testbed
+from repro.netsim.ip import DEFAULT_ATM_MTU, ETHERNET_MTU, TESTBED_MTU
+from repro.netsim.tcp import tcp_steady_throughput
+from repro.util.units import KBYTE, MBYTE
+
+MTUS = (ETHERNET_MTU, 4352, DEFAULT_ATM_MTU, 32 * KBYTE, TESTBED_MTU)
+
+
+def test_e9_mtu_sweep(report, benchmark):
+    tb = benchmark.pedantic(build_testbed, rounds=1, iterations=1)
+    lines = [f"{'MTU (bytes)':>12} {'local Cray (Mbit/s)':>20} {'WAN T3E-SP2 (Mbit/s)':>21}"]
+    rates = []
+    for mtu in MTUS:
+        ip = ClassicalIP(mtu)
+        local = tcp_steady_throughput(tb.net, "t3e-600", "t3e-1200", ip)
+        wan = tcp_steady_throughput(tb.net, "t3e-600", "sp2", ip)
+        rates.append(local)
+        lines.append(f"{mtu:>12} {local / 1e6:>20.1f} {wan / 1e6:>21.1f}")
+    report.add("E9: TCP throughput vs MTU (host stack cost dominates)", "\n".join(lines))
+
+    assert rates == sorted(rates)  # monotone in MTU
+    assert rates[-1] > 20 * rates[0]  # 64K vs 1500: order-of-magnitude+
+
+
+def test_e9_window_sweep(report, benchmark):
+    benchmark.pedantic(lambda: None, rounds=1, iterations=1)
+    """Over the 100 km WAN the bandwidth-delay product demands large
+    windows: small windows throttle even a fat pipe."""
+    lines = [f"{'window':>10} {'WAN throughput (Mbit/s)':>24}"]
+    results = []
+    for window in (64 * KBYTE, 256 * KBYTE, 1 * MBYTE, 8 * MBYTE):
+        tb = build_testbed()
+        bt = BulkTransfer(
+            tb.net, "t3e-600", "sp2", 20 * MBYTE,
+            ip=ClassicalIP(TESTBED_MTU), window_bytes=window,
+        )
+        rate = bt.run()
+        results.append(rate)
+        lines.append(f"{window // KBYTE:>8}KB {rate / 1e6:>24.1f}")
+    report.add("E9b: TCP throughput vs window over the WAN", "\n".join(lines))
+
+    assert results[0] < results[-1]
+    assert results[-1] > 260e6
+
+
+def test_e9_protocol_ceiling(report, benchmark):
+    benchmark.pedantic(
+        ClassicalIP(TESTBED_MTU).goodput_fraction, rounds=1, iterations=1
+    )
+    """Even with infinite host speed, classical IP over ATM caps goodput
+    at the cell tax times the SDH payload rate."""
+    lines = [f"{'MTU':>10} {'goodput fraction':>17}"]
+    for mtu in MTUS:
+        lines.append(f"{mtu:>10} {ClassicalIP(mtu).goodput_fraction():>17.4f}")
+    report.add("E9c: classical-IP-over-ATM protocol efficiency", "\n".join(lines))
+    assert ClassicalIP(TESTBED_MTU).goodput_fraction() > ClassicalIP(
+        ETHERNET_MTU
+    ).goodput_fraction()
+
+
+def test_benchmark_mtu_sweep(benchmark):
+    def sweep():
+        tb = build_testbed()
+        return [
+            tcp_steady_throughput(tb.net, "t3e-600", "sp2", ClassicalIP(m))
+            for m in MTUS
+        ]
+
+    rates = benchmark(sweep)
+    assert len(rates) == len(MTUS)

@@ -1,0 +1,123 @@
+"""E6 — the Section-3 application project list: communication profiles.
+
+Regenerates, per project, the communication requirement the paper
+states, from the running stand-in:
+
+* groundwater: full 3-D flow field per timestep, up to 30 MByte/s;
+* climate: 2-D surface fields, ~1 MByte short bursts;
+* MEG/pmusic: low volume, latency-sensitive;
+* video: 270 Mbit/s uncompressed D1.
+"""
+
+import numpy as np
+import pytest
+
+from repro.apps.groundwater import required_bandwidth, run_coupled
+from repro.apps.climate import run_coupled_climate
+from repro.apps.meg import (
+    HeterogeneousCostModel,
+    SensorArray,
+    run_pmusic,
+)
+from repro.apps.meg.forward import synthetic_recording
+from repro.apps.cispar import run_fsi
+from repro.apps.video import D1_RATE, stream_video
+from repro.netsim import build_testbed
+from repro.util.units import MBYTE
+
+
+def test_e6_communication_profiles(report, benchmark):
+    benchmark.pedantic(run_fsi, rounds=1, iterations=1)
+    # groundwater at the production grid
+    gw_bw = required_bandwidth((64, 128, 128), dt_wall=1.0)
+
+    # climate at the production grid: SST + flux per step
+    clim_burst = 2 * 180 * 360 * 8
+
+    # MEG: actual coupled run's traffic
+    arr = SensorArray(n_sensors=32)
+    t = np.linspace(0, 1, 100)
+    data = synthetic_recording(
+        arr,
+        [(np.array([0.0, 0.02, 0.06]), np.array([8e-9, 0, 0]),
+          np.sin(2 * np.pi * 9 * t))],
+        n_samples=100,
+    )
+    meg = run_pmusic(data, arr, rank_signal=1, n_sources=1, ranks=3)
+
+    # FSI per-iteration volume
+    fsi = run_fsi()
+
+    rows = [
+        f"{'project':<22} {'paper':>26} {'simulated':>22}",
+        f"{'groundwater':<22} {'up to 30 MByte/s':>26} "
+        f"{gw_bw / MBYTE:>17.1f} MB/s",
+        f"{'climate':<22} {'~1 MByte bursts':>26} "
+        f"{clim_burst / MBYTE:>17.2f} MByte",
+        f"{'MEG (pmusic)':<22} {'low volume, latency-bound':>26} "
+        f"{meg.message_bytes / 1024:>16.1f} KByte",
+        f"{'MetaCISPAR (FSI)':<22} {'depends on application':>26} "
+        f"{fsi.bytes_exchanged / 1024:>16.1f} KByte",
+        f"{'D1 video':<22} {'270 Mbit/s':>26} "
+        f"{D1_RATE / 1e6:>13.0f} Mbit/s",
+    ]
+    report.add("E6: application communication profiles", "\n".join(rows))
+
+    assert 20 * MBYTE < gw_bw <= 30 * MBYTE
+    assert 0.8 * MBYTE < clim_burst < 1.2 * MBYTE
+    assert meg.message_bytes < MBYTE / 4
+
+
+def test_e6_meg_superlinear(report, benchmark):
+    model0 = HeterogeneousCostModel()
+    benchmark.pedantic(model0.superlinear, rounds=1, iterations=1)
+    model = HeterogeneousCostModel()
+    s_mpp, s_vec, s_het = model.superlinear()
+    report.add(
+        "E6b: pmusic heterogeneous speedup",
+        f"T3E(64) alone: {s_mpp:.1f}x   T90 alone: {s_vec:.1f}x   "
+        f"combined: {s_het:.1f}x  (superlinear: "
+        f"{s_het:.1f} > {s_mpp:.1f} + {s_vec:.1f})",
+    )
+    assert s_het > s_mpp + s_vec
+
+
+def test_e6_video_over_testbed(report, benchmark):
+    benchmark.pedantic(build_testbed, rounds=1, iterations=1)
+    tb = build_testbed()
+    ok = stream_video(tb.net, "onyx2-gmd", "onyx2-juelich", duration=1.0)
+    tb2 = build_testbed()
+    bad = stream_video(tb2.net, "onyx2-gmd", "frontend", duration=1.0)
+    report.add(
+        "E6c: D1 video over the testbed",
+        (
+            f"622 path: {ok.frames_received}/{ok.frames_sent} frames, "
+            f"jitter {ok.jitter * 1e6:.1f} µs -> broadcast quality: "
+            f"{ok.broadcast_quality}\n"
+            f"155 path: {bad.frames_received}/{bad.frames_sent} frames "
+            f"({bad.loss_fraction:.0%} lost) -> 270 Mbit/s does not fit "
+            f"155 Mbit/s (the B-WiN limit motivating the testbed)"
+        ),
+    )
+    assert ok.broadcast_quality
+    assert bad.frames_lost > 0
+
+
+def test_benchmark_groundwater_step(benchmark):
+    """Wall-clock of one coupled TRACE/PARTRACE step at test scale."""
+
+    def run():
+        return run_coupled(shape=(6, 10, 20), steps=1, n_particles=100, dt=1.0)
+
+    rep = benchmark(run)
+    assert rep.steps == 1
+
+
+def test_benchmark_climate_step(benchmark):
+    def run():
+        return run_coupled_climate(
+            ocean_shape=(20, 40), atmosphere_shape=(10, 20), steps=1
+        )
+
+    rep = benchmark(run)
+    assert rep.steps == 1

@@ -1,0 +1,90 @@
+"""E2 — Figure 1 and the Section-2 network measurements.
+
+Reproduced series (paper value → simulated testbed):
+
+* HiPPI low-level peak with >= 1 MByte blocks: 800 Mbit/s;
+* TCP/IP in the local Jülich Cray complex @ 64 KByte MTU: > 430 Mbit/s;
+* Cray T3E ↔ IBM SP2 across the WAN: > 260 Mbit/s, bottlenecked by the
+  SP nodes' microchannel I/O;
+* the OC-48 backbone is never the bottleneck.
+"""
+
+import pytest
+
+from repro.netsim import BulkTransfer, ClassicalIP, build_testbed
+from repro.netsim.hippi import raw_block_throughput
+from repro.netsim.ip import TESTBED_MTU
+from repro.netsim.tcp import characterize_path, tcp_steady_throughput
+from repro.util.units import KBYTE, MBYTE
+
+IP64K = ClassicalIP(TESTBED_MTU)
+
+
+def measure_all():
+    tb = build_testbed()
+    local = BulkTransfer(
+        tb.net, "t3e-600", "t3e-1200", 40 * MBYTE, ip=IP64K
+    ).run()
+    tb2 = build_testbed()
+    wan = BulkTransfer(tb2.net, "t3e-600", "sp2", 40 * MBYTE, ip=IP64K).run()
+    char = characterize_path(tb2.net, "t3e-600", "sp2", IP64K)
+    hippi = raw_block_throughput(1 * MBYTE)
+    return {
+        "hippi_peak": hippi,
+        "local_cray": local,
+        "wan_t3e_sp2": wan,
+        "wan_bottleneck": char.bottleneck_stage,
+    }
+
+
+@pytest.fixture(scope="module")
+def measured():
+    return measure_all()
+
+
+def test_fig1_report(report, measured, benchmark):
+    benchmark.pedantic(raw_block_throughput, args=(1 * MBYTE,), rounds=1, iterations=1)
+    rows = [
+        f"{'measurement':<38} {'paper':>12} {'simulated':>12}",
+        f"{'HiPPI peak (1 MByte blocks)':<38} {'800 Mbit/s':>12} "
+        f"{measured['hippi_peak'] / 1e6:>8.1f} Mb/s",
+        f"{'local Cray TCP/IP @64K MTU':<38} {'>430 Mbit/s':>12} "
+        f"{measured['local_cray'] / 1e6:>8.1f} Mb/s",
+        f"{'T3E <-> SP2 across WAN':<38} {'>260 Mbit/s':>12} "
+        f"{measured['wan_t3e_sp2'] / 1e6:>8.1f} Mb/s",
+        f"{'WAN bottleneck':<38} {'SP2 microchannel I/O':>12} "
+        f"{measured['wan_bottleneck']:>12}",
+    ]
+    report.add("E2: Figure 1 / Section-2 network measurements", "\n".join(rows))
+
+    assert 790e6 < measured["hippi_peak"] <= 800e6
+    assert 430e6 < measured["local_cray"] < 480e6
+    assert 260e6 < measured["wan_t3e_sp2"] < 300e6
+    assert measured["wan_bottleneck"] == "sp2.iobus"
+
+
+def test_oc48_not_bottleneck(benchmark):
+    benchmark.pedantic(build_testbed, rounds=1, iterations=1)
+    tb = build_testbed()
+    char = characterize_path(tb.net, "t3e-600", "sp2", IP64K)
+    wan_wire = [v for k, v in char.stages.items() if k.startswith("wan-")][0]
+    assert wan_wire < 0.5 * char.per_packet_time
+
+
+def test_benchmark_wan_transfer(benchmark):
+    """Wall-clock of simulating a 10 MByte WAN transfer (DES speed)."""
+
+    def run():
+        tb = build_testbed()
+        return BulkTransfer(tb.net, "t3e-600", "sp2", 10 * MBYTE, ip=IP64K).run()
+
+    rate = benchmark(run)
+    assert rate > 250e6
+
+
+def test_benchmark_path_characterization(benchmark):
+    tb = build_testbed()
+    result = benchmark(
+        tcp_steady_throughput, tb.net, "t3e-600", "sp2", IP64K
+    )
+    assert result > 0

@@ -1,0 +1,72 @@
+"""E3 — Figure 2: the realtime fMRI delay budget and throughput.
+
+Paper values for a 64×64×16 image at 256 PEs:
+
+* scan → RT-server ≈ 1.5 s;
+* transfers + control messages = 1.1 s;
+* T3E processing = 1.01 s (Table 1);
+* client → screen = 0.6 s;
+* total < 5 s;
+* throughput (sequential FIRE) = 2.7 s/image ⇒ a 3 s scanner repetition
+  time is safe.
+"""
+
+import pytest
+
+from repro.fire import FirePipeline, PipelineConfig
+
+
+@pytest.fixture(scope="module")
+def run_256():
+    return FirePipeline(PipelineConfig(pes=256, n_images=12)).run()
+
+
+def test_fig2_delay_budget(report, run_256, benchmark):
+    benchmark.pedantic(run_256.breakdown, rounds=1, iterations=1)
+    bd = run_256.breakdown()
+    rows = [
+        f"{'stage':<28} {'paper':>9} {'simulated':>10}",
+        f"{'scan -> RT-server':<28} {'1.5 s':>9} {bd['scan_to_server']:>8.2f} s",
+        f"{'transfers + control':<28} {'1.1 s':>9} "
+        f"{bd['transfers_and_control']:>8.2f} s",
+        f"{'T3E processing (256 PE)':<28} {'1.01 s':>9} "
+        f"{bd['t3e_processing']:>8.2f} s",
+        f"{'display on 2-D GUI':<28} {'0.6 s':>9} {bd['display']:>8.2f} s",
+        f"{'TOTAL':<28} {'< 5 s':>9} {bd['total']:>8.2f} s",
+        "",
+        f"{'throughput period':<28} {'2.7 s':>9} "
+        f"{run_256.processing_period:>8.2f} s",
+        f"{'safe scanner repetition':<28} {'3 s ok':>9} "
+        f"{run_256.safe_repetition_time:>8.2f} s",
+    ]
+    report.add("E3: Figure 2 delay budget (fMRI pipeline)", "\n".join(rows))
+
+    assert bd["total"] < 5.0
+    assert run_256.mean_total_delay < 5.0
+    assert run_256.processing_period == pytest.approx(2.7, abs=0.1)
+    assert run_256.safe_repetition_time < 3.0
+
+
+def test_fig2_delay_vs_pes(report, benchmark):
+    benchmark.pedantic(
+        lambda: FirePipeline(PipelineConfig(pes=64, n_images=8)).run(),
+        rounds=1, iterations=1,
+    )
+    lines = [f"{'PEs':>5} {'total delay (s)':>16} {'period (s)':>11}"]
+    for pes in (16, 64, 128, 256):
+        rep = FirePipeline(PipelineConfig(pes=pes, n_images=8)).run()
+        lines.append(
+            f"{pes:>5} {rep.breakdown()['total']:>16.2f} "
+            f"{rep.processing_period:>11.2f}"
+        )
+    report.add("E3b: delay budget vs T3E partition size", "\n".join(lines))
+
+
+def test_benchmark_pipeline_des(benchmark):
+    """Wall-clock of simulating a 50-image session."""
+
+    def run():
+        return FirePipeline(PipelineConfig(pes=256, n_images=50)).run()
+
+    rep = benchmark(run)
+    assert len(rep.records) == 50

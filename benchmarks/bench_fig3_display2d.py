@@ -1,0 +1,115 @@
+"""E4 — Figure 3: the FIRE 2-D GUI display.
+
+Figure 3 is a screenshot; the reproducible content is (a) the display
+itself — anatomy with the clip-level correlation overlay and ROI time
+courses — generated programmatically here, and (b) the timing constraint
+the text attaches to it: the client-side display step fits the 0.6 s
+budget, and the workstation-only FIRE completes its basic processing
+within the 2 s acquisition time.
+"""
+
+import time
+
+import numpy as np
+import pytest
+
+from repro.fire import HeadPhantom, ModuleFlags, RTClient, RTServer, ScannerConfig, SimulatedScanner
+from repro.viz import overlay_slice, roi_timecourse, slice_mosaic
+
+
+@pytest.fixture(scope="module")
+def processed_session():
+    ph = HeadPhantom()
+    sc = SimulatedScanner(ph, ScannerConfig(n_frames=24, noise_sigma=3.0))
+    client = RTClient(RTServer(sc), flags=ModuleFlags(motion=False, rvo=False))
+    frames = client.run()
+    return ph, sc, client, frames
+
+
+def test_fig3_content(report, processed_session, benchmark):
+    benchmark.pedantic(
+        lambda: slice_mosaic(
+            processed_session[0].anatomy(),
+            processed_session[3][-1].correlation,
+        ),
+        rounds=1, iterations=1,
+    )
+    ph, sc, client, frames = processed_session
+    corr = frames[-1].correlation
+    anat = ph.anatomy()
+    mosaic = slice_mosaic(anat, corr, clip_level=0.5)
+    act = ph.activation_mask()
+    ts = np.stack(client.processed)
+    tc = roi_timecourse(ts, ph.sites[0].mask(ph.shape))
+
+    n_colored = int(
+        np.count_nonzero(mosaic[..., 0] - mosaic[..., 2] > 0.05)
+    )
+    rows = [
+        f"{'canvas':<34} {mosaic.shape[1]}x{mosaic.shape[0]} RGB mosaic",
+        f"{'overlaid (|r| >= clip) pixels':<34} {n_colored}",
+        f"{'activated voxels (truth)':<34} {int(act.sum())}",
+        f"{'ROI time course range (%)':<34} "
+        f"{(tc.max() - tc.min()) / tc.mean() * 100:.2f}",
+    ]
+    report.add("E4: Figure 3 2-D display content", "\n".join(rows))
+
+    assert n_colored > 0
+    assert corr[act].mean() > 0.4
+
+
+def test_fig3_display_budget(report, processed_session, benchmark):
+    benchmark.pedantic(lambda: None, rounds=1, iterations=1)
+    """One full GUI update (overlay + mosaic + ROI curve) against the
+    0.6 s display budget — on 2026 hardware this is trivially met; the
+    point is that the display path is measured end to end."""
+    ph, sc, client, frames = processed_session
+    anat = ph.anatomy()
+    corr = frames[-1].correlation
+    ts = np.stack(client.processed)
+    roi = ph.sites[0].mask(ph.shape)
+
+    t0 = time.perf_counter()
+    slice_mosaic(anat, corr, clip_level=0.5)
+    roi_timecourse(ts, roi)
+    elapsed = time.perf_counter() - t0
+    report.add(
+        "E4b: display update wall time",
+        f"full GUI update: {elapsed * 1e3:.1f} ms (budget: 600 ms)",
+    )
+    assert elapsed < 0.6
+
+
+def test_workstation_basic_processing_within_tr(processed_session, benchmark):
+    benchmark.pedantic(lambda: None, rounds=1, iterations=1)
+    """Paper: the workstation RT-client performs the basic steps 'within
+    the acquisition time of 2 seconds'."""
+    ph, sc, client, _ = processed_session
+    img = RTServer(sc).get_image(5)
+    fresh = RTClient(RTServer(sc), flags=ModuleFlags(motion=False, rvo=False))
+    t0 = time.perf_counter()
+    fresh.process_frame(img)
+    overlay_slice(img.volume[8], np.zeros((64, 64)))
+    assert time.perf_counter() - t0 < 2.0
+
+
+def test_benchmark_overlay(benchmark, processed_session):
+    ph, _, _, frames = processed_session
+    anat = ph.anatomy()
+    corr = frames[-1].correlation
+    img = benchmark(slice_mosaic, anat, corr, 0.5)
+    assert img.shape[2] == 3
+
+
+def test_benchmark_frame_processing(benchmark, processed_session):
+    """Per-frame realtime chain (median + incremental correlation)."""
+    _, sc, _, _ = processed_session
+    server = RTServer(sc)
+    img = server.get_image(0)
+
+    def step():
+        client = RTClient(server, flags=ModuleFlags(motion=False, rvo=False))
+        return client.process_frame(img)
+
+    result = benchmark(step)
+    assert result.index == 0

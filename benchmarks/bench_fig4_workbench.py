@@ -1,0 +1,120 @@
+"""E5 — Figure 4 and the Responsive Workbench bandwidth analysis.
+
+Figure 4's content: the 64×64×16 functional map merged into the
+256×256×128 anatomy and volume-rendered with activated regions lit.
+The text's quantitative claim: a workbench frame is 2 planes × stereo ×
+1024×768 × 24 bit, so classical IP over 622 Mbit/s ATM carries *less
+than 8 frames per second*.
+"""
+
+import numpy as np
+import pytest
+
+from repro.fire import HeadPhantom
+from repro.netsim import build_testbed
+from repro.netsim.sdh import STM1, STM4, STM16
+from repro.viz import (
+    WorkbenchSpec,
+    merge_functional,
+    render_frame,
+    render_stereo_pair,
+    workbench_fps,
+)
+from repro.viz.workbench import required_rate_for_fps, workbench_fps_over_path
+
+
+def test_fig4_rendering(report, benchmark):
+    ph = HeadPhantom()
+    hr = ph.highres_anatomy((32, 64, 64))  # scaled-down grid, same path
+    corr = np.zeros(ph.shape)
+    corr[ph.activation_mask()] = 0.9
+    anat, func = merge_functional(hr, corr, clip_level=0.5)
+    frame = benchmark.pedantic(
+        render_frame, args=(anat, func),
+        kwargs={"azimuth_deg": 30.0, "output_shape": (192, 256)},
+        rounds=1, iterations=1,
+    )
+    lit = int(np.count_nonzero(frame[..., 0] - frame[..., 2] > 0.2))
+    report.add(
+        "E5: Figure 4 3-D rendering",
+        f"rendered {frame.shape[1]}x{frame.shape[0]} view, "
+        f"{lit} activated ('light area') pixels",
+    )
+    assert lit > 0
+
+
+def test_fig4_workbench_fps(report, benchmark):
+    benchmark.pedantic(workbench_fps, rounds=1, iterations=1)
+    spec = WorkbenchSpec()
+    rows = [
+        f"frame set: {spec.images_per_frame} x {spec.width}x{spec.height}x24bit"
+        f" = {spec.frame_bytes / 2**20:.1f} MByte",
+        f"{'link':<22} {'fps (classical IP)':>18}",
+    ]
+    for name, level in (("OC-3 155", STM1), ("OC-12 622", STM4), ("OC-48 2.4G", STM16)):
+        fps = workbench_fps(spec, level.payload_rate)
+        rows.append(f"{name:<22} {fps:>18.2f}")
+    tb = build_testbed()
+    path_fps = workbench_fps_over_path(tb.net, "onyx2-gmd", "onyx2-juelich")
+    rows.append(f"{'testbed Onyx2->Onyx2':<22} {path_fps:>18.2f}")
+    rows.append(
+        f"paper: 'less than 8 frames/second ... over a 622 Mbit/s ATM "
+        f"network using classical IP'"
+    )
+    report.add("E5b: Responsive Workbench frame rates", "\n".join(rows))
+
+    fps_622 = workbench_fps(spec, STM4.payload_rate)
+    assert fps_622 < 8.0
+    assert fps_622 > 6.5
+    assert path_fps < 8.0
+    # Interactive VR (~25 fps per the era's bar) needs multi-gigabit:
+    assert required_rate_for_fps(25.0, spec) > 1.8e9
+
+
+def test_fig4_remote_display_pipeline(report, benchmark):
+    """E5c: the planned AVOCADO remote display — render at the GMD, ship
+    to the Jülich workbench; the network is the binding stage."""
+    from repro.viz.remote_display import (
+        GRAPHICS_WORKSTATION,
+        MERGED_VOLUME,
+        ONYX2_PIPE,
+        remote_display_fps,
+    )
+
+    tb = build_testbed()
+    rep = benchmark.pedantic(
+        remote_display_fps, args=(tb.net,), rounds=1, iterations=1
+    )
+    rows = [
+        f"Onyx2 render (4 views, 256x256x128): {rep.render_fps:.1f} fps",
+        f"622 classical-IP transfer:            {rep.network_fps:.1f} fps",
+        f"achieved remote frame rate:           {rep.achieved_fps:.1f} fps "
+        f"({'network' if rep.network_bound else 'render'}-bound)",
+        f"AVS workstation prototype (1 view):   "
+        f"{GRAPHICS_WORKSTATION.fps(MERGED_VOLUME):.2f} fps "
+        f"('too slow for interactive manipulations')",
+    ]
+    report.add("E5c: AVOCADO remote display pipeline", "\n".join(rows))
+    assert rep.network_bound
+    assert rep.achieved_fps < 8.0
+    assert not GRAPHICS_WORKSTATION.interactive(MERGED_VOLUME)
+
+
+def test_benchmark_render_frame(benchmark):
+    ph = HeadPhantom()
+    hr = ph.highres_anatomy((32, 64, 64))
+    corr = np.zeros(ph.shape)
+    corr[ph.activation_mask()] = 0.9
+    anat, func = merge_functional(hr, corr)
+    img = benchmark(render_frame, anat, func, 45.0)
+    assert img.shape[2] == 3
+
+
+def test_benchmark_stereo_pair(benchmark):
+    ph = HeadPhantom()
+    hr = ph.highres_anatomy((24, 48, 48))
+    corr = np.zeros(ph.shape)
+    corr[ph.activation_mask()] = 0.9
+    anat, func = merge_functional(hr, corr)
+    left, right = benchmark(render_stereo_pair, anat, func)
+    assert left.shape == right.shape

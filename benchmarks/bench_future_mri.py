@@ -1,0 +1,97 @@
+"""E11 — the paper's closing projection: advanced MR imaging data rates.
+
+"advanced MR imaging techniques which are under development [9] will
+produce data rates that are an order of magnitude beyond what is
+feasible today.  Analysing this data in realtime will be a challenging
+task for a supercomputer again."
+
+Swept here: for data-rate multiples of the 64×64×16 @ 3 s baseline, the
+smallest T3E partition that keeps the pipeline realtime — sequential
+(as published) and pipelined.  At ~8× the sequential pipeline exceeds
+the full 512-PE machine; at 16× even pipelining does.
+"""
+
+import pytest
+
+from repro.fire.session import required_pes_for_realtime
+from repro.machines.t3e_model import REF_VOXELS
+
+
+def test_e11_future_data_rates(report, benchmark):
+    benchmark.pedantic(
+        required_pes_for_realtime, args=(REF_VOXELS, 3.0), rounds=1, iterations=1
+    )
+    lines = [
+        f"{'data rate':>10} {'voxels':>10} {'seq. PEs':>9} {'pipelined PEs':>14}"
+    ]
+    for scale in (1, 2, 4, 8, 16):
+        voxels = scale * REF_VOXELS
+        seq = required_pes_for_realtime(voxels, 3.0)
+        pipe = required_pes_for_realtime(voxels, 3.0, pipelined=True)
+        lines.append(
+            f"{scale:>9}x {voxels:>10} "
+            f"{seq if seq is not None else '> 512':>9} "
+            f"{pipe if pipe is not None else '> 512':>14}"
+        )
+    report.add(
+        "E11: future MR data rates vs required T3E partition", "\n".join(lines)
+    )
+
+    assert required_pes_for_realtime(REF_VOXELS, 3.0) == 256
+    assert required_pes_for_realtime(8 * REF_VOXELS, 3.0) is None
+    assert required_pes_for_realtime(16 * REF_VOXELS, 3.0, pipelined=True) is None
+
+
+def test_e11c_multiecho_data_rates(report, benchmark):
+    """E11c: reference [9]'s single-shot multi-echo imaging multiplies
+    the data rate per shot — the concrete source of the 'order of
+    magnitude' the conclusion predicts."""
+    from repro.fire.multiecho import (
+        MultiEchoProtocol,
+        cnr_improvement,
+        multiecho_data_rate,
+    )
+
+    proto = MultiEchoProtocol()
+    benchmark.pedantic(cnr_improvement, args=(proto,), rounds=1, iterations=1)
+    single = MultiEchoProtocol(echo_times=(0.040,))
+    lines = [
+        f"{'configuration':<34} {'data rate':>12} {'vs baseline':>12}"
+    ]
+    base = multiecho_data_rate((16, 64, 64), 2.0, single)
+    for label, shape, p in (
+        ("64x64x16 single echo", (16, 64, 64), single),
+        ("64x64x16 4 echoes", (16, 64, 64), proto),
+        ("128x128x32 4 echoes", (32, 128, 128), proto),
+    ):
+        rate = multiecho_data_rate(shape, 2.0, p)
+        lines.append(
+            f"{label:<34} {rate / 1e6:>9.2f} MB/s {rate / base:>11.1f}x"
+        )
+    lines.append(
+        f"combined-echo CNR gain over best single echo: "
+        f"{cnr_improvement(proto):.2f}x (why the technique is worth it)"
+    )
+    report.add("E11c: multi-echo imaging data rates", "\n".join(lines))
+    assert multiecho_data_rate((32, 128, 128), 2.0, proto) > 10 * base
+    assert cnr_improvement(proto) > 1.1
+
+
+def test_e11_shorter_tr_also_challenges(report, benchmark):
+    """The same pressure arrives via faster repetition times (the
+    single-shot multi-echo direction of reference [9])."""
+    benchmark.pedantic(
+        required_pes_for_realtime, args=(REF_VOXELS, 1.0),
+        kwargs={"pipelined": True}, rounds=1, iterations=1,
+    )
+    lines = [f"{'TR (s)':>7} {'pipelined PEs needed':>21}"]
+    for tr in (3.0, 2.0, 1.5, 1.0):
+        req = required_pes_for_realtime(REF_VOXELS, tr, pipelined=True)
+        lines.append(f"{tr:>7.1f} {req if req is not None else '> 512':>21}")
+    report.add("E11b: required partition vs repetition time", "\n".join(lines))
+    reqs = [
+        required_pes_for_realtime(REF_VOXELS, tr, pipelined=True)
+        for tr in (3.0, 2.0, 1.5)
+    ]
+    assert all(r is not None for r in reqs)
+    assert reqs == sorted(reqs)

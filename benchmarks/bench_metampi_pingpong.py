@@ -1,0 +1,102 @@
+"""MetaMPI performance figures — the companion-paper measurements.
+
+The paper defers the MPI library's numbers to reference [1]
+("Performance issues of distributed MPI applications in a German gigabit
+testbed", Euro PVM/MPI 1999).  This bench produces that paper's classic
+tables on the simulated testbed: ping-pong latency and bandwidth for
+intra-machine vs cross-WAN rank pairs over a message-size sweep, plus
+collective scaling.
+"""
+
+import numpy as np
+import pytest
+
+from repro.machines import CRAY_T3E_600, IBM_SP2
+from repro.metampi import MetaMPI, SUM
+
+SIZES = (0, 1024, 16 * 1024, 256 * 1024, 4 * 1024 * 1024)
+
+
+def pingpong(size_bytes: int, cross_wan: bool, repeats: int = 4) -> tuple[float, float]:
+    """(one-way latency s, bandwidth byte/s) for one rank pair."""
+    payload = np.zeros(max(size_bytes // 8, 1))
+
+    def main(comm):
+        partner = 1 if comm.rank == 0 else 0
+        if comm.rank not in (0, 1):
+            return None
+        t0 = comm.wtime()
+        for _ in range(repeats):
+            if comm.rank == 0:
+                comm.Send(payload, partner, tag=1)
+                buf = np.empty_like(payload)
+                comm.Recv(buf, source=partner, tag=2)
+            else:
+                buf = np.empty_like(payload)
+                comm.Recv(buf, source=partner, tag=1)
+                comm.Send(payload, partner, tag=2)
+        return (comm.wtime() - t0) / (2 * repeats)
+
+    mc = MetaMPI(wallclock_timeout=60)
+    mc.add_machine(CRAY_T3E_600, ranks=1)
+    if cross_wan:
+        mc.add_machine(IBM_SP2, ranks=1)
+    else:
+        mc.add_machine(CRAY_T3E_600, ranks=1)
+    results = mc.run(main)
+    one_way = results[0].value
+    bw = payload.nbytes / one_way if one_way > 0 else float("inf")
+    return one_way, bw
+
+
+def test_pingpong_table(report, benchmark):
+    benchmark.pedantic(pingpong, args=(1024, True), rounds=1, iterations=1)
+    lines = [
+        f"{'size':>10} | {'intra-T3E lat':>13} {'intra bw':>12} | "
+        f"{'WAN lat':>13} {'WAN bw':>12}"
+    ]
+    for size in SIZES:
+        li, bi = pingpong(size, cross_wan=False)
+        lw, bw = pingpong(size, cross_wan=True)
+        lines.append(
+            f"{size:>10} | {li * 1e6:>10.1f} µs {bi / 1e6:>8.1f} MB/s | "
+            f"{lw * 1e6:>10.1f} µs {bw / 1e6:>8.1f} MB/s"
+        )
+    report.add(
+        "MetaMPI ping-pong (reference [1] companion measurements)",
+        "\n".join(lines),
+    )
+    # shape checks: WAN latency orders of magnitude above the torus;
+    # intra bandwidth far above the WAN's ~33 MB/s ceiling.
+    l_intra, b_intra = pingpong(4 * 1024 * 1024, cross_wan=False)
+    l_wan, b_wan = pingpong(4 * 1024 * 1024, cross_wan=True)
+    assert b_intra > 3 * b_wan
+    l0_intra, _ = pingpong(0, cross_wan=False)
+    l0_wan, _ = pingpong(0, cross_wan=True)
+    assert l0_wan > 100 * l0_intra
+
+
+def test_collective_scaling(report, benchmark):
+    def barrier_time(ranks_per_machine: int) -> float:
+        def main(comm):
+            for _ in range(3):
+                comm.barrier()
+            return comm.wtime()
+
+        mc = MetaMPI(wallclock_timeout=60)
+        mc.add_machine(CRAY_T3E_600, ranks=ranks_per_machine)
+        mc.add_machine(IBM_SP2, ranks=ranks_per_machine)
+        results = mc.run(main)
+        return max(r.value for r in results) / 3
+
+    benchmark.pedantic(barrier_time, args=(2,), rounds=1, iterations=1)
+    lines = [f"{'ranks/machine':>14} {'barrier (µs virtual)':>21}"]
+    for n in (1, 2, 4, 8):
+        lines.append(f"{n:>14} {barrier_time(n) * 1e6:>21.1f}")
+    report.add("MetaMPI barrier scaling (T3E + SP2)", "\n".join(lines))
+
+
+def test_benchmark_pingpong_wallclock(benchmark):
+    """Wall-clock cost of one simulated WAN ping-pong."""
+    result = benchmark(pingpong, 16 * 1024, True, 2)
+    assert result[0] > 0

@@ -1,0 +1,115 @@
+"""E1 + E7 — Table 1: FIRE module times on the Cray T3E, 1–256 PEs.
+
+Regenerates the paper's table from the calibrated performance model and
+checks the reproduction bands; E7 sweeps a larger image to confirm
+"larger images take more time, but achieve better speedups".
+The pytest-benchmark timing covers the *actual* per-image processing of
+the module chain on this machine (the real numerics, not the model).
+"""
+
+import numpy as np
+import pytest
+
+from repro.fire import HeadPhantom, ScannerConfig, SimulatedScanner
+from repro.fire.modules import (
+    correlation_map,
+    detrend_timeseries,
+    median_filter3d,
+    rvo_raster,
+)
+from repro.fire.hrf import HrfModel, reference_vector
+from repro.machines.t3e_model import (
+    REF_VOXELS,
+    TABLE1,
+    TABLE1_PES,
+    default_model,
+)
+
+
+def format_comparison(model) -> str:
+    lines = [
+        f"{'PEs':>5} | {'paper total':>11} {'model total':>11} {'err%':>6} | "
+        f"{'paper speedup':>13} {'model speedup':>13}"
+    ]
+    for row in TABLE1:
+        total = model.total_time(row.pes)
+        speedup = model.speedup(row.pes)
+        err = (total - row.total) / row.total * 100
+        lines.append(
+            f"{row.pes:>5} | {row.total:>11.2f} {total:>11.2f} {err:>+6.1f} | "
+            f"{row.speedup:>13.1f} {speedup:>13.1f}"
+        )
+    return "\n".join(lines)
+
+
+def test_table1_reproduction(report, benchmark):
+    model = default_model()
+    benchmark.pedantic(model.table, rounds=1, iterations=1)
+    report.add(
+        "E1: Table 1 (T3E processing times, 64x64x16 image)",
+        format_comparison(model),
+    )
+    for row in TABLE1:
+        assert model.total_time(row.pes) == pytest.approx(row.total, rel=0.05)
+        assert model.speedup(row.pes) == pytest.approx(row.speedup, rel=0.05)
+
+
+def test_e7_larger_images_better_speedups(report, benchmark):
+    model = default_model()
+    benchmark.pedantic(model.speedup, args=(256, 128 * 128 * 32), rounds=1, iterations=1)
+    big = 128 * 128 * 32  # 8x the voxels
+    lines = [f"{'PEs':>5} | {'64x64x16 speedup':>17} | {'128x128x32 speedup':>18}"]
+    for p in TABLE1_PES:
+        lines.append(
+            f"{p:>5} | {model.speedup(p):>17.1f} | {model.speedup(p, big):>18.1f}"
+        )
+    report.add("E7: larger images achieve better speedups", "\n".join(lines))
+    assert model.speedup(256, big) > 1.5 * model.speedup(256)
+    assert model.total_time(256, big) > model.total_time(256)
+
+
+def test_rvo_dominates(report, benchmark):
+    """Paper: 'The most time consuming module is the RVO.'"""
+    model = default_model()
+    benchmark.pedantic(model.rvo.time, args=(256,), rounds=1, iterations=1)
+    for p in TABLE1_PES:
+        assert model.rvo.time(p) > model.motion.time(p)
+        assert model.rvo.time(p) > model.filter.time(p)
+
+
+@pytest.fixture(scope="module")
+def image_session():
+    ph = HeadPhantom()
+    sc = SimulatedScanner(ph, ScannerConfig(n_frames=24))
+    ts = sc.timeseries()
+    return ph, sc, ts
+
+
+def test_benchmark_median_filter(benchmark, image_session):
+    """Wall-clock of the real median filter on one 64x64x16 image."""
+    _, sc, ts = image_session
+    result = benchmark(median_filter3d, ts[0])
+    assert result.shape == ts[0].shape
+
+
+def test_benchmark_correlation(benchmark, image_session):
+    _, sc, ts = image_session
+    ref = reference_vector(sc.stimulus[:24], HrfModel(), sc.config.tr)
+    result = benchmark(correlation_map, ts, ref)
+    assert result.shape == ts[0].shape
+
+
+def test_benchmark_rvo_raster(benchmark, image_session):
+    """The dominant module, on the real data (brain-masked)."""
+    ph, sc, ts = image_session
+    dts = detrend_timeseries(ts)
+    mask = ph.brain_mask()
+
+    result = benchmark.pedantic(
+        rvo_raster,
+        args=(dts, sc.stimulus[:24]),
+        kwargs={"tr": sc.config.tr, "mask": mask},
+        rounds=3,
+        iterations=1,
+    )
+    assert result.work_units > 0

@@ -1,0 +1,44 @@
+"""Benchmark-suite plumbing.
+
+Each benchmark registers a paper-vs-measured report via the ``report``
+fixture; all reports are printed in the terminal summary (so they appear
+in ``pytest benchmarks/ --benchmark-only`` output regardless of capture)
+and written to ``benchmarks/results/``.
+"""
+
+from __future__ import annotations
+
+import os
+
+import pytest
+
+_REPORTS: list[tuple[str, str]] = []
+_RESULTS_DIR = os.path.join(os.path.dirname(__file__), "results")
+
+
+class Reporter:
+    """Collects experiment tables for the end-of-run summary."""
+
+    def add(self, title: str, body: str) -> None:
+        _REPORTS.append((title, body))
+        os.makedirs(_RESULTS_DIR, exist_ok=True)
+        fname = title.split(":")[0].strip().lower().replace(" ", "_") + ".txt"
+        with open(os.path.join(_RESULTS_DIR, fname), "w", encoding="utf-8") as fh:
+            fh.write(f"{title}\n{body}\n")
+
+
+@pytest.fixture(scope="session")
+def report() -> Reporter:
+    return Reporter()
+
+
+def pytest_terminal_summary(terminalreporter):
+    if not _REPORTS:
+        return
+    tr = terminalreporter
+    tr.section("paper reproduction reports")
+    for title, body in _REPORTS:
+        tr.write_line("")
+        tr.write_line(f"== {title} ==")
+        for line in body.splitlines():
+            tr.write_line(line)

@@ -1,0 +1,36 @@
+#!/usr/bin/env python
+"""Distributed climate coupling: ocean (T3E) + atmosphere (SP2) + coupler.
+
+The MOM-2-like slab ocean and the IFS-like energy-balance atmosphere run
+on different machines and different grids; the CSM-style flux coupler
+regrids the 2-D surface fields crossing the testbed every timestep — the
+paper's "up to 1 MByte in short bursts".
+
+Run:  python examples/climate_coupling.py
+"""
+
+from repro.apps.climate import run_coupled_climate
+from repro.util.units import MBYTE
+
+
+def main() -> None:
+    print("running 30 coupled days (ocean 60x120, atmosphere 30x60)...")
+    report = run_coupled_climate(
+        ocean_shape=(60, 120), atmosphere_shape=(30, 60), steps=30,
+        wallclock_timeout=300,
+    )
+    print(f"  mean SST: {report.mean_sst_start:6.2f} °C -> "
+          f"{report.mean_sst_end:6.2f} °C (drift {report.sst_drift:.2f} K)")
+    print(f"  mean air temperature: {report.mean_airt_end:6.2f} °C")
+    print(f"  coupler traffic: {report.total_bytes / MBYTE:.2f} MByte total, "
+          f"{report.burst_bytes / 1024:.0f} KByte per exchange")
+    print(f"  metacomputer virtual time: {report.elapsed_virtual * 1e3:.1f} ms")
+
+    print("\nburst size at the production grid (360x180 ocean):")
+    sst = 360 * 180 * 8
+    print(f"  SST + net flux per step = {2 * sst / MBYTE:.2f} MByte "
+          f"(paper: 'up to 1 MByte in short bursts')")
+
+
+if __name__ == "__main__":
+    main()

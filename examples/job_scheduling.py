@@ -1,0 +1,76 @@
+#!/usr/bin/env python
+"""Operating the metacomputer: co-allocation + job execution.
+
+The paper closes with "the problem of simultaneous resource allocation
+in a distributed environment will become more apparent when the
+application is used for clinical research" and points to UNICORE/Globus
+for the infrastructure layer.  This example runs that workflow: three
+jobs — two fMRI sessions needing the scanner and a climate run — are
+co-allocated and executed on the metacomputer in their granted slots.
+
+Run:  python examples/job_scheduling.py
+"""
+
+from repro.core import JobDescription, JobScheduler
+from repro.metampi import SUM
+
+
+def fmri_job(comm):
+    """Stand-in fMRI workload: a reduction per 'image'."""
+    total = 0
+    for _ in range(5):
+        comm.advance(0.01)
+        total = comm.allreduce(1, op=SUM)
+    return total
+
+
+def climate_job(comm):
+    comm.advance(0.05)
+    return comm.allreduce(comm.rank, op=SUM)
+
+
+def main() -> None:
+    sched = JobScheduler(extra_capacities={"scanner": 1, "workbench": 1})
+
+    sched.submit(
+        JobDescription(
+            "fmri-morning", fmri_job,
+            ranks={"Cray T3E-600": 256, "SGI Onyx 2 (GMD)": 12},
+            duration=3600,
+            extra_resources={"scanner": 1, "workbench": 1},
+        )
+    )
+    sched.submit(
+        JobDescription(
+            "fmri-afternoon", fmri_job,
+            ranks={"Cray T3E-600": 256, "SGI Onyx 2 (GMD)": 12},
+            duration=3600,
+            extra_resources={"scanner": 1, "workbench": 1},
+        )
+    )
+    sched.submit(
+        JobDescription(
+            "climate-coupled", climate_job,
+            ranks={"Cray T3E-600": 128, "IBM SP2": 16},
+            duration=7200,
+        )
+    )
+
+    print("schedule before execution:")
+    print(sched.schedule_report())
+    print()
+    print("note: the two fMRI sessions serialize on the single scanner,")
+    print("while the climate job backfills alongside the first session")
+    print("(256 + 128 <= 512 T3E PEs).")
+
+    sched.run_all()
+    print("\nschedule after execution:")
+    print(sched.schedule_report())
+    for rec in sched.jobs:
+        values = sorted({r.value for r in rec.results})
+        print(f"  {rec.job.name}: results {values}, "
+              f"virtual runtime {rec.elapsed_virtual * 1e3:.1f} ms")
+
+
+if __name__ == "__main__":
+    main()

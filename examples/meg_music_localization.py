@@ -1,0 +1,55 @@
+#!/usr/bin/env python
+"""pmusic: dipole localization from MEG data on the metacomputer.
+
+Two current dipoles in a spherical head model generate synthetic
+magnetoencephalography data; MUSIC localizes them, distributed over the
+simulated Cray T90 (eigendecomposition) and Cray T3E (grid scan) — the
+heterogeneous split behind the paper's "superlinear speedup" claim.
+
+Run:  python examples/meg_music_localization.py
+"""
+
+import numpy as np
+
+from repro.apps.meg import (
+    HeterogeneousCostModel,
+    SensorArray,
+    music_localize,
+    run_pmusic,
+)
+from repro.apps.meg.forward import synthetic_recording
+from repro.apps.meg.music import default_grid
+
+
+def main() -> None:
+    array = SensorArray(n_sensors=64)
+    t = np.linspace(0, 1, 200)
+    truths = [
+        (np.array([0.03, 0.02, 0.06]), np.array([0, 8e-9, 0]),
+         np.sin(2 * np.pi * 10 * t)),
+        (np.array([-0.04, 0.00, 0.05]), np.array([6e-9, 0, 0]),
+         np.sin(2 * np.pi * 17 * t)),
+    ]
+    print(f"synthesizing {array.n_sensors}-channel MEG data, 2 dipoles...")
+    data = synthetic_recording(array, truths, n_samples=200)
+
+    print("distributed MUSIC scan (T90 does the SVD, T3E ranks scan)...")
+    report = run_pmusic(data, array, rank_signal=2, n_sources=2, ranks=5)
+    for i, (pos, *_), in enumerate(truths):
+        err = np.linalg.norm(report.estimated_positions - pos, axis=1).min()
+        print(f"  dipole {i}: truth {np.round(pos * 100, 1)} cm, "
+              f"localization error {err * 1000:.1f} mm")
+    print(f"  coupling traffic: {report.message_bytes / 1024:.1f} KByte over "
+          f"{report.n_messages} messages (low volume, latency-sensitive)")
+    print(f"  virtual elapsed: {report.elapsed_virtual * 1e3:.2f} ms")
+
+    print("\nwhy the heterogeneous split (paper: 'superlinear speedup'):")
+    model = HeterogeneousCostModel()
+    s_mpp, s_vec, s_het = model.superlinear()
+    print(f"  T3E (64 PE) alone: {s_mpp:5.1f}x   T90 alone: {s_vec:5.1f}x   "
+          f"T3E+T90 combined: {s_het:5.1f}x")
+    print(f"  combined > sum of parts: {s_het:.1f} > {s_mpp + s_vec:.1f}")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,70 @@
+#!/usr/bin/env python
+"""Characterize the Gigabit Testbed West network (paper Section 2).
+
+Measures the simulated testbed exactly the way the project's networking
+team measured the real one: HiPPI block transfers, TCP/IP throughput
+with different MTUs, WAN paths, and the D1 video and Workbench streaming
+cases from the application list.
+
+Run:  python examples/network_characterization.py
+"""
+
+from repro.apps.video import stream_video
+from repro.netsim import BulkTransfer, ClassicalIP, PingFlow, build_testbed
+from repro.netsim.hippi import raw_block_throughput
+from repro.netsim.ip import DEFAULT_ATM_MTU, ETHERNET_MTU, TESTBED_MTU
+from repro.netsim.tcp import characterize_path, tcp_steady_throughput
+from repro.util.units import KBYTE, MBYTE, pretty_rate
+from repro.viz import workbench_fps
+from repro.viz.workbench import WorkbenchSpec
+
+
+def main() -> None:
+    print("-- HiPPI low-level protocol (block size sweep) --")
+    for kb in (4, 64, 256, 1024):
+        rate = raw_block_throughput(kb * KBYTE)
+        print(f"  {kb:5d} KByte blocks: {pretty_rate(rate)}")
+    print("  (paper: 'peak performance of 800 Mbit/s ... large transfer "
+          "blocks (1 MByte or more)')")
+
+    print("\n-- TCP/IP throughput vs MTU --")
+    tb = build_testbed()
+    for mtu in (ETHERNET_MTU, DEFAULT_ATM_MTU, TESTBED_MTU):
+        local = tcp_steady_throughput(tb.net, "t3e-600", "t3e-1200", ClassicalIP(mtu))
+        wan = tcp_steady_throughput(tb.net, "t3e-600", "sp2", ClassicalIP(mtu))
+        print(f"  MTU {mtu:>6}: local Cray {pretty_rate(local):>14}, "
+              f"T3E->SP2 {pretty_rate(wan):>14}")
+
+    print("\n-- WAN path anatomy (T3E -> SP2, 64 KByte MTU) --")
+    char = characterize_path(tb.net, "t3e-600", "sp2", ClassicalIP(TESTBED_MTU))
+    for stage, seconds in sorted(char.stages.items(), key=lambda kv: -kv[1]):
+        print(f"  {stage:<34} {seconds * 1e6:9.1f} µs/packet")
+    print(f"  bottleneck: {char.bottleneck_stage} "
+          f"(paper: the SP nodes' microchannel I/O)")
+
+    print("\n-- latency --")
+    tb2 = build_testbed()
+    rtt = PingFlow(tb2.net, "frontend", "onyx2-gmd", count=5).run()
+    print(f"  Jülich frontend <-> GMD Onyx2 RTT: {rtt * 1e3:.2f} ms "
+          f"(~100 km of fibre)")
+
+    print("\n-- measured bulk transfer (DES) --")
+    tb3 = build_testbed()
+    rate = BulkTransfer(
+        tb3.net, "t3e-600", "sp2", 30 * MBYTE, ip=ClassicalIP(TESTBED_MTU)
+    ).run()
+    print(f"  30 MByte T3E->SP2: {pretty_rate(rate)} (paper: >260 Mbit/s)")
+
+    print("\n-- streaming applications --")
+    tb4 = build_testbed()
+    video = stream_video(tb4.net, "onyx2-gmd", "onyx2-juelich", duration=1.0)
+    print(f"  uncompressed D1 over the 622 path: "
+          f"{video.frames_received}/{video.frames_sent} frames, "
+          f"jitter {video.jitter * 1e6:.1f} µs")
+    print(f"  Responsive Workbench ({WorkbenchSpec().frame_bytes / 2**20:.0f} "
+          f"MByte/frame): {workbench_fps():.2f} frames/s over 622 classical IP "
+          f"(paper: <8)")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,52 @@
+#!/usr/bin/env python
+"""Quickstart: the Gigabit Testbed West in five minutes.
+
+Builds the Figure-1 testbed, checks the paper's headline network numbers,
+regenerates Table 1 from the calibrated T3E model, and runs the realtime
+fMRI pipeline to reproduce the Figure-2 delay budget.
+
+Run:  python examples/quickstart.py
+"""
+
+from repro.core import Metacomputer
+from repro.fire import FirePipeline, PipelineConfig
+from repro.machines.t3e_model import default_model
+from repro.netsim import BulkTransfer, ClassicalIP, build_testbed
+from repro.netsim.ip import TESTBED_MTU
+from repro.util.units import MBYTE, pretty_rate
+
+
+def main() -> None:
+    print("=" * 64)
+    print("Gigabit Testbed West — quickstart")
+    print("=" * 64)
+
+    # 1. The metacomputer inventory (paper Section 1).
+    meta = Metacomputer()
+    print(meta.summary())
+
+    # 2. Network measurements (paper Section 2).
+    print("\n-- network (Section 2) --")
+    ip = ClassicalIP(TESTBED_MTU)
+    tb = build_testbed()
+    local = BulkTransfer(tb.net, "t3e-600", "t3e-1200", 20 * MBYTE, ip=ip).run()
+    tb = build_testbed()
+    wan = BulkTransfer(tb.net, "t3e-600", "sp2", 20 * MBYTE, ip=ip).run()
+    print(f"local Cray complex TCP/IP @64K MTU: {pretty_rate(local)} (paper: >430 Mbit/s)")
+    print(f"T3E <-> SP2 across the 100 km WAN:  {pretty_rate(wan)} (paper: >260 Mbit/s)")
+
+    # 3. Table 1 (paper Section 4).
+    print("\n-- Table 1: FIRE on the T3E --")
+    print(default_model().format_table())
+
+    # 4. The Figure-2 pipeline.
+    print("\n-- realtime fMRI delay budget (256 PEs) --")
+    report = FirePipeline(PipelineConfig(pes=256, n_images=10)).run()
+    for stage, seconds in report.breakdown().items():
+        print(f"  {stage:<24} {seconds:6.2f} s")
+    print(f"  throughput period        {report.processing_period:6.2f} s "
+          f"(paper: 2.7 s; scanner at 3 s repetition is safe)")
+
+
+if __name__ == "__main__":
+    main()

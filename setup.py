@@ -1,0 +1,6 @@
+"""Setup shim: allows legacy editable installs (`pip install -e .`) on
+environments whose setuptools cannot build PEP-660 editable wheels."""
+
+from setuptools import setup
+
+setup()

@@ -1,0 +1,23 @@
+"""repro — reproduction of *Distributed Applications in a German Gigabit WAN*.
+
+T. Eickermann, W. Frings, S. Posse, G. Goebbels, R. Völpel, Proc. 8th IEEE
+HPDC, Redondo Beach, 1999 (Gigabit Testbed West).
+
+The package provides, from scratch:
+
+* :mod:`repro.sim` — a discrete-event simulation kernel,
+* :mod:`repro.netsim` — the SDH/ATM/HiPPI Gigabit Testbed West network,
+* :mod:`repro.machines` — performance models for the testbed machines,
+* :mod:`repro.metampi` — a metacomputing-aware MPI library (MPI-1 subset
+  plus the MPI-2 features the paper uses),
+* :mod:`repro.trace` — a VAMPIR-like tracing and analysis tool,
+* :mod:`repro.fire` — the FIRE realtime-fMRI analysis pipeline,
+* :mod:`repro.viz` — 2-D/3-D visualization and the Responsive Workbench,
+* :mod:`repro.apps` — the other testbed application projects,
+* :mod:`repro.core` — metacomputer orchestration (resources, RPC,
+  co-allocation).
+"""
+
+from repro._version import __version__
+
+__all__ = ["__version__"]

@@ -1,0 +1,18 @@
+"""The testbed's application projects (paper Section 3).
+
+Each subpackage is a working stand-in with the same coupling structure
+and communication character the paper attributes to the project:
+
+* :mod:`repro.apps.groundwater` — TRACE/PARTRACE: 3-D ground water flow
+  coupled to particle transport; the full 3-D flow field crosses the
+  testbed every timestep, "up to 30 MByte/s";
+* :mod:`repro.apps.climate` — ocean–ice (MOM-2) + atmosphere (IFS) via
+  the CSM flux coupler; 2-D surface fields every timestep, "up to
+  1 MByte in short bursts";
+* :mod:`repro.apps.meg` — pmusic: MUSIC dipole analysis of
+  magnetoencephalography data; "low volume, but sensitive to latency";
+* :mod:`repro.apps.cispar` — MetaCISPAR: the COCOLIB open coupling
+  interface for structural mechanics + fluid dynamics codes;
+* :mod:`repro.apps.video` — studio-quality digital video over ATM,
+  "e.g. 270 Mbit/s for an uncompressed D1 video stream".
+"""

@@ -1,0 +1,24 @@
+"""MetaCISPAR: the COCOLIB coupling interface.
+
+"An open interface (COCOLIB) that allows the coupling of industrial
+structural mechanics and fluid dynamics codes is ported to the
+metacomputing environment.  Communication: Depends on the coupled
+application."
+"""
+
+from repro.apps.cispar.cocolib import CouplingSurface, Cocolib
+from repro.apps.cispar.fsi import (
+    ChannelFlow,
+    ElasticBeam,
+    FsiReport,
+    run_fsi,
+)
+
+__all__ = [
+    "CouplingSurface",
+    "Cocolib",
+    "ElasticBeam",
+    "ChannelFlow",
+    "FsiReport",
+    "run_fsi",
+]

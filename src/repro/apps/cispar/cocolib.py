@@ -1,0 +1,94 @@
+"""COCOLIB stand-in: an open code-coupling interface.
+
+Codes register *coupling surfaces* (discretized interfaces with their
+own, generally non-matching meshes) and exchange named fields; the
+library interpolates between the meshes and tracks transfer volume.
+The API shape follows the coupling libraries of the era: register →
+put/get per coupling step.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional
+
+import numpy as np
+
+
+@dataclass
+class CouplingSurface:
+    """A 1-D parametric interface mesh owned by one code."""
+
+    name: str
+    coordinates: np.ndarray  #: (n,) monotone parametric coordinates in [0,1]
+
+    def __post_init__(self) -> None:
+        c = np.asarray(self.coordinates, dtype=float)
+        if c.ndim != 1 or len(c) < 2:
+            raise ValueError("surface needs >= 2 nodes")
+        if np.any(np.diff(c) <= 0):
+            raise ValueError("coordinates must be strictly increasing")
+        self.coordinates = c
+
+    @property
+    def n_nodes(self) -> int:
+        return len(self.coordinates)
+
+
+def interpolate_field(
+    src: CouplingSurface, dst: CouplingSurface, values: np.ndarray
+) -> np.ndarray:
+    """Linear interpolation of nodal ``values`` from src onto dst mesh."""
+    values = np.asarray(values, dtype=float)
+    if values.shape[0] != src.n_nodes:
+        raise ValueError("value count must match the source mesh")
+    return np.interp(dst.coordinates, src.coordinates, values)
+
+
+class Cocolib:
+    """The coupling hub: surface registry + field exchange with
+    interpolation and volume accounting."""
+
+    def __init__(self) -> None:
+        self._surfaces: dict[str, CouplingSurface] = {}
+        self._fields: dict[tuple[str, str], np.ndarray] = {}
+        self.bytes_exchanged = 0
+        self.exchanges = 0
+
+    # -- registry ----------------------------------------------------------
+    def register(self, surface: CouplingSurface) -> None:
+        """Register a coupling surface (names must be unique)."""
+        if surface.name in self._surfaces:
+            raise ValueError(f"surface {surface.name!r} already registered")
+        self._surfaces[surface.name] = surface
+
+    def surface(self, name: str) -> CouplingSurface:
+        try:
+            return self._surfaces[name]
+        except KeyError:
+            raise KeyError(f"unknown surface {name!r}") from None
+
+    # -- exchange ------------------------------------------------------------
+    def put(self, surface_name: str, field_name: str, values: np.ndarray) -> None:
+        """Deposit a nodal field on the owning code's mesh."""
+        surf = self.surface(surface_name)
+        values = np.asarray(values, dtype=float)
+        if values.shape[0] != surf.n_nodes:
+            raise ValueError("field length must match the surface mesh")
+        self._fields[(surface_name, field_name)] = values.copy()
+        self.bytes_exchanged += values.nbytes
+        self.exchanges += 1
+
+    def get(
+        self, from_surface: str, field_name: str, onto_surface: str
+    ) -> np.ndarray:
+        """Fetch a field, interpolated onto the requesting code's mesh."""
+        key = (from_surface, field_name)
+        if key not in self._fields:
+            raise KeyError(f"no field {field_name!r} on {from_surface!r}")
+        src = self.surface(from_surface)
+        dst = self.surface(onto_surface)
+        out = interpolate_field(src, dst, self._fields[key])
+        self.bytes_exchanged += out.nbytes
+        self.exchanges += 1
+        return out

@@ -1,0 +1,22 @@
+"""Distributed climate/weather coupling.
+
+"Coupling of an ocean-ice model (based on MOM-2) running on Cray T3E and
+an atmospheric model (IFS) running on IBM SP2 using the CSM flux
+coupler. ... Exchange of 2-D surface data every timestep, up to 1 MByte
+in short bursts."
+"""
+
+from repro.apps.climate.ocean import OceanModel
+from repro.apps.climate.atmosphere import AtmosphereModel, SurfaceFluxes
+from repro.apps.climate.coupler import FluxCoupler, regrid_bilinear
+from repro.apps.climate.coupled import ClimateReport, run_coupled_climate
+
+__all__ = [
+    "OceanModel",
+    "AtmosphereModel",
+    "SurfaceFluxes",
+    "FluxCoupler",
+    "regrid_bilinear",
+    "ClimateReport",
+    "run_coupled_climate",
+]

@@ -1,0 +1,116 @@
+"""Atmospheric component (IFS stand-in).
+
+A one-layer energy-balance atmosphere on its own (coarser) grid:
+air temperature relaxes toward radiative equilibrium plus the surface
+exchange, and the component computes the surface flux fields the flux
+coupler ships to the ocean each timestep.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+#: Bulk transfer coefficient × air density × heat capacity × wind (W/m²/K).
+SENSIBLE_COEFF = 15.0
+#: Stefan-Boltzmann.
+SIGMA = 5.67e-8
+#: Atmospheric column heat capacity (J / m² / K).
+ATMOS_HEAT_CAPACITY = 1.0e7
+
+
+@dataclass(frozen=True)
+class SurfaceFluxes:
+    """The 2-D flux bundle crossing the coupler each step (W/m²)."""
+
+    sensible: np.ndarray
+    radiative: np.ndarray
+
+    @property
+    def net(self) -> np.ndarray:
+        """Net downward heat flux into the ocean."""
+        return self.radiative - self.sensible
+
+    @property
+    def nbytes(self) -> int:
+        """Wire size of the bundle."""
+        return self.sensible.nbytes + self.radiative.nbytes
+
+
+#: Seconds in a model year.
+YEAR = 360 * 86400.0
+
+
+@dataclass
+class AtmosphereModel:
+    """Air temperature on an (nlat, nlon) grid (typically coarser than
+    the ocean's — the coupler regrids).
+
+    With ``seasonal=True`` the insolation migrates annually between the
+    hemispheres (a ±`seasonal_amplitude` fractional modulation,
+    antisymmetric about the equator).
+    """
+
+    shape: tuple[int, int] = (30, 60)
+    solar_constant: float = 340.0  #: global-mean insolation (W/m²)
+    albedo: float = 0.3
+    seasonal: bool = False
+    seasonal_amplitude: float = 0.3
+    seed: int = 9
+
+    def __post_init__(self) -> None:
+        nlat, _ = self.shape
+        lat = np.linspace(-80, 80, nlat)[:, None]
+        self._lat = lat
+        self._insolation = (
+            self.solar_constant * (1 - self.albedo) * np.cos(np.deg2rad(lat)) ** 0.5
+        ) + np.zeros(self.shape)
+        self.temperature = 15.0 * np.cos(np.deg2rad(lat)) ** 2 + np.zeros(self.shape)
+        self.time = 0.0
+
+    def insolation_now(self) -> np.ndarray:
+        """Current insolation field (seasonally modulated if enabled)."""
+        if not self.seasonal:
+            return self._insolation
+        phase = 2 * np.pi * self.time / YEAR
+        # Northern summer at phase 0: more sun where lat > 0.
+        modulation = 1.0 + self.seasonal_amplitude * np.sin(
+            np.deg2rad(self._lat)
+        ) * np.cos(phase)
+        return self._insolation * modulation
+
+    def fluxes(self, sst_on_atm_grid: np.ndarray) -> SurfaceFluxes:
+        """Surface fluxes from the current state and the (regridded) SST."""
+        sst = np.asarray(sst_on_atm_grid, dtype=float)
+        if sst.shape != self.shape:
+            raise ValueError("SST must arrive on the atmosphere grid")
+        sensible = SENSIBLE_COEFF * (sst - self.temperature)
+        t_kelvin = self.temperature + 273.15
+        radiative = self.insolation_now() - 0.6 * SIGMA * t_kelvin**4 * 0.25
+        return SurfaceFluxes(sensible=sensible, radiative=radiative)
+
+    def step(
+        self, sst_on_atm_grid: np.ndarray, dt: float = 86400.0
+    ) -> SurfaceFluxes:
+        """Advance the column energy balance; returns the fluxes used."""
+        fx = self.fluxes(sst_on_atm_grid)
+        t = self.temperature
+        # Column warms by the sensible heat it takes from the surface and
+        # cools radiatively toward equilibrium; light zonal smoothing
+        # stands in for advection.
+        t_kelvin = t + 273.15
+        cooling = 0.4 * SIGMA * t_kelvin**4 * 0.25
+        heating = fx.sensible + 0.3 * self.insolation_now()
+        t = t + (heating - cooling) * dt / ATMOS_HEAT_CAPACITY
+        t = 0.96 * t + 0.04 * (
+            np.roll(t, 1, axis=1) + np.roll(t, -1, axis=1)
+        ) / 2.0
+        self.temperature = t
+        self.time += dt
+        return fx
+
+    @property
+    def mean_temperature(self) -> float:
+        """Area-mean air temperature (diagnostic)."""
+        return float(self.temperature.mean())

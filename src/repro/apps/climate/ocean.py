@@ -1,0 +1,82 @@
+"""Ocean–ice component (MOM-2 stand-in).
+
+A slab mixed-layer ocean on a latitude–longitude grid: sea surface
+temperature driven by the coupler's net surface heat flux, lateral
+diffusion, a prescribed wind-driven gyre advection, and a simple
+freezing sea-ice cap (the "ocean-ice model" of the project).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+#: Seawater heat capacity per unit area of mixed layer (J / m² / K).
+MIXED_LAYER_HEAT_CAPACITY = 4.2e6 * 50.0  # 50 m slab
+FREEZING_POINT = -1.8  # °C
+
+
+@dataclass
+class OceanModel:
+    """SST on an (nlat, nlon) grid; step() consumes net heat flux W/m²."""
+
+    shape: tuple[int, int] = (60, 120)
+    diffusivity: float = 2.0e3  #: m²/s lateral
+    dx: float = 300e3  #: grid spacing (m), idealized
+    seed: int = 5
+
+    def __post_init__(self) -> None:
+        nlat, nlon = self.shape
+        lat = np.linspace(-80, 80, nlat)[:, None]
+        # Initial SST: warm equator, cold poles.
+        self.sst = 27.0 * np.cos(np.deg2rad(lat)) ** 2 - 2.0 + np.zeros(self.shape)
+        self.ice = self.sst < FREEZING_POINT
+        # Prescribed double-gyre stream function → advection velocities.
+        y = np.linspace(0, np.pi, nlat)[:, None]
+        x = np.linspace(0, 2 * np.pi, nlon)[None, :]
+        psi = np.sin(y) * np.cos(x)
+        self._u = np.gradient(psi, axis=0) * 2.0  # zonal (m/s scaled)
+        self._v = -np.gradient(psi, axis=1) * 2.0
+        self.time = 0.0
+
+    def step(self, net_heat_flux: np.ndarray, dt: float = 86400.0) -> None:
+        """Advance one coupling interval with the provided flux field."""
+        flux = np.asarray(net_heat_flux, dtype=float)
+        if flux.shape != self.shape:
+            raise ValueError(
+                f"flux shape {flux.shape} != ocean grid {self.shape}"
+            )
+        sst = self.sst
+        # Lateral diffusion (5-point Laplacian, zonally periodic).
+        lap = (
+            np.roll(sst, 1, axis=1)
+            + np.roll(sst, -1, axis=1)
+            - 2 * sst
+        )
+        lap[1:-1] += sst[2:] + sst[:-2] - 2 * sst[1:-1]
+        lap /= self.dx**2
+        # Upwind-ish advection by the prescribed gyre.
+        adv = (
+            -self._u * np.gradient(sst, axis=1) / self.dx
+            - self._v * np.gradient(sst, axis=0) / self.dx
+        )
+        dsst = (
+            flux / MIXED_LAYER_HEAT_CAPACITY
+            + self.diffusivity * lap
+            + adv
+        ) * dt
+        self.sst = sst + dsst
+        # Sea ice: cap at freezing; ice mask reported to the coupler.
+        self.ice = self.sst < FREEZING_POINT
+        self.sst = np.maximum(self.sst, FREEZING_POINT - 2.0)
+        self.time += dt
+
+    def surface_state(self) -> dict[str, np.ndarray]:
+        """Fields shipped to the coupler each timestep."""
+        return {"sst": self.sst.copy(), "ice": self.ice.astype(float)}
+
+    @property
+    def mean_sst(self) -> float:
+        """Area-mean SST (diagnostic)."""
+        return float(self.sst.mean())

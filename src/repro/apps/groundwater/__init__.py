@@ -1,0 +1,25 @@
+"""TRACE/PARTRACE: transport of solutants in ground water.
+
+"Coupling of two independent programs for ground water flow simulation
+(TRACE) and transport of particles in a given water flow (PARTRACE). ...
+Transfer of the 3-D water flow field from IBM SP2 (TRACE) to Cray T3E
+(PARTRACE) every timestep, up to 30 MByte/s."
+"""
+
+from repro.apps.groundwater.trace_flow import TraceSolver
+from repro.apps.groundwater.partrace import ParticleTracker
+from repro.apps.groundwater.coupled import (
+    CouplingReport,
+    field_bytes,
+    required_bandwidth,
+    run_coupled,
+)
+
+__all__ = [
+    "TraceSolver",
+    "ParticleTracker",
+    "CouplingReport",
+    "field_bytes",
+    "required_bandwidth",
+    "run_coupled",
+]

@@ -1,0 +1,132 @@
+"""TRACE stand-in: 3-D saturated ground water flow.
+
+Solves steady Darcy flow ``∇·(K ∇h) = -q`` for the hydraulic head ``h``
+on a structured grid with fixed-head inflow/outflow faces, using
+matrix-free conjugate gradients (the classic structure of such Fortran
+codes).  The Darcy velocity ``v = -K ∇h / φ`` is the field PARTRACE
+consumes.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+
+@dataclass
+class TraceSolver:
+    """Groundwater flow on an (nz, ny, nx) grid.
+
+    ``conductivity`` may be scalar or a full heterogeneous field;
+    flow is driven left→right (x axis) by fixed heads, plus optional
+    well sources ``q``.
+    """
+
+    shape: tuple[int, int, int] = (16, 32, 64)
+    conductivity: np.ndarray | float = 1e-4  #: m/s
+    porosity: float = 0.3
+    head_in: float = 10.0
+    head_out: float = 0.0
+    spacing: float = 1.0  #: grid spacing (m)
+
+    def __post_init__(self) -> None:
+        k = np.asarray(self.conductivity, dtype=float)
+        if k.ndim == 0:
+            k = np.full(self.shape, float(k))
+        if k.shape != self.shape:
+            raise ValueError("conductivity field shape mismatch")
+        if np.any(k <= 0):
+            raise ValueError("conductivity must be positive")
+        self.k = k
+        # Harmonic-mean face conductivities along each axis.
+        self._kf = [
+            2.0 / (1.0 / k_take(k, "lo", ax) + 1.0 / k_take(k, "hi", ax))
+            for ax in range(3)
+        ]
+
+    # -- operator ----------------------------------------------------------
+    def _apply(self, h: np.ndarray) -> np.ndarray:
+        """-∇·(K∇h) with fixed-head x faces folded into the RHS elsewhere."""
+        out = np.zeros_like(h)
+        inv_h2 = 1.0 / self.spacing**2
+        for ax in range(3):
+            kf = self._kf[ax]
+            diff = np.diff(h, axis=ax)
+            flux = kf * diff * inv_h2
+            grow = [slice(None)] * 3
+            shrink = [slice(None)] * 3
+            grow[ax] = slice(0, h.shape[ax] - 1)
+            shrink[ax] = slice(1, h.shape[ax])
+            out[tuple(grow)] -= flux
+            out[tuple(shrink)] += flux
+        return out
+
+    def _boundary_rhs(self) -> np.ndarray:
+        """Contribution of the fixed-head x faces (ghost cells)."""
+        rhs = np.zeros(self.shape)
+        inv_h2 = 1.0 / self.spacing**2
+        rhs[:, :, 0] += 2.0 * self.k[:, :, 0] * self.head_in * inv_h2
+        rhs[:, :, -1] += 2.0 * self.k[:, :, -1] * self.head_out * inv_h2
+        return rhs
+
+    def _apply_with_bc(self, h: np.ndarray) -> np.ndarray:
+        out = self._apply(h)
+        inv_h2 = 1.0 / self.spacing**2
+        out[:, :, 0] += 2.0 * self.k[:, :, 0] * h[:, :, 0] * inv_h2
+        out[:, :, -1] += 2.0 * self.k[:, :, -1] * h[:, :, -1] * inv_h2
+        return out
+
+    # -- solve --------------------------------------------------------------
+    def solve(
+        self,
+        sources: np.ndarray | None = None,
+        tolerance: float = 1e-8,
+        max_iterations: int = 2000,
+    ) -> np.ndarray:
+        """Head field by conjugate gradients; ``sources`` is q (1/s)."""
+        b = self._boundary_rhs()
+        if sources is not None:
+            b = b + np.asarray(sources, dtype=float)
+        x = np.full(self.shape, (self.head_in + self.head_out) / 2.0)
+        r = b - self._apply_with_bc(x)
+        p = r.copy()
+        rr = float(np.vdot(r, r))
+        b_norm = max(float(np.linalg.norm(b)), 1e-30)
+        for _ in range(max_iterations):
+            if np.sqrt(rr) / b_norm < tolerance:
+                break
+            ap = self._apply_with_bc(p)
+            alpha = rr / float(np.vdot(p, ap))
+            x += alpha * p
+            r -= alpha * ap
+            rr_new = float(np.vdot(r, r))
+            p = r + (rr_new / rr) * p
+            rr = rr_new
+        return x
+
+    def velocity(self, head: np.ndarray) -> tuple[np.ndarray, np.ndarray, np.ndarray]:
+        """Darcy seepage velocity (vz, vy, vx) at cell centers."""
+        grads = np.gradient(head, self.spacing)
+        return tuple(-self.k * g / self.porosity for g in grads)  # type: ignore[return-value]
+
+
+def k_take(k: np.ndarray, side: str, axis: int) -> np.ndarray:
+    """Neighbor slices used for harmonic face averaging."""
+    n = k.shape[axis]
+    sl = [slice(None)] * 3
+    sl[axis] = slice(0, n - 1) if side == "lo" else slice(1, n)
+    return k[tuple(sl)]
+
+
+def layered_conductivity(
+    shape: tuple[int, int, int], seed: int = 7, contrast: float = 10.0
+) -> np.ndarray:
+    """A layered heterogeneous aquifer (log-normal within layers)."""
+    rng = np.random.default_rng(seed)
+    nz = shape[0]
+    base = 1e-4 * contrast ** rng.uniform(-0.5, 0.5, size=nz)
+    field = np.repeat(base[:, None, None], shape[1], axis=1)
+    field = np.repeat(field, shape[2], axis=2)
+    field *= np.exp(rng.normal(0.0, 0.2, size=shape))
+    return field

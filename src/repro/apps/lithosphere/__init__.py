@@ -1,0 +1,16 @@
+"""Lithospheric fluids (paper Section 5).
+
+The second Bonn-link metacomputing project: fluid transport in the
+Earth's crust.  Physically it is thermally-driven porous-media flow —
+Darcy flow with temperature-dependent buoyancy and heat advection — so
+it reuses the groundwater substrate with an energy equation coupled on
+top (hydrothermal convection).
+"""
+
+from repro.apps.lithosphere.hydrothermal import (
+    HydrothermalCell,
+    HydrothermalReport,
+    run_hydrothermal,
+)
+
+__all__ = ["HydrothermalCell", "HydrothermalReport", "run_hydrothermal"]

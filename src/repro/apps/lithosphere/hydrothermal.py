@@ -1,0 +1,146 @@
+"""Hydrothermal convection in a 2-D crustal cross-section.
+
+A porous slab heated from below (the classic Horton–Rogers–Lapwood
+configuration): Darcy flow driven by thermal buoyancy via a stream
+function, temperature advected and diffused.  Above the critical
+Rayleigh number (4π² ≈ 39.5 for this configuration) convection cells
+form and heat transport rises above conduction (Nusselt number > 1) —
+both tested.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+
+@dataclass
+class HydrothermalCell:
+    """2-D (z up, x across) porous convection box in stream-function form.
+
+    All quantities are dimensionless; ``rayleigh`` controls the regime.
+    """
+
+    nz: int = 24
+    nx: int = 48
+    rayleigh: float = 300.0
+    seed: int = 21
+
+    def __post_init__(self) -> None:
+        if self.nz < 8 or self.nx < 8:
+            raise ValueError("grid too small")
+        rng = np.random.default_rng(self.seed)
+        z = np.linspace(0.0, 1.0, self.nz)[:, None]
+        # Conductive profile (hot bottom, T=1; cold top, T=0) + seed noise.
+        self.T = (1.0 - z) + 0.01 * rng.standard_normal((self.nz, self.nx))
+        self.T[0] = 1.0
+        self.T[-1] = 0.0
+        self.psi = np.zeros((self.nz, self.nx))
+        self.dz = 1.0 / (self.nz - 1)
+        self.dx = self.dz
+        self.time = 0.0
+
+    # -- flow solve -----------------------------------------------------------
+    def solve_streamfunction(self, iterations: int = 120) -> None:
+        """∇²ψ = -Ra ∂T/∂x (Darcy + Boussinesq), Jacobi/SOR iterations.
+
+        ψ = 0 on all boundaries (impermeable box).
+        """
+        rhs = np.zeros_like(self.T)
+        rhs[:, 1:-1] = -self.rayleigh * (
+            self.T[:, 2:] - self.T[:, :-2]
+        ) / (2 * self.dx)
+        psi = self.psi
+        h2 = self.dz**2
+        omega = 1.7
+        # Red-black SOR (over-relaxing a plain Jacobi sweep diverges).
+        zz, xx = np.meshgrid(
+            np.arange(self.nz), np.arange(self.nx), indexing="ij"
+        )
+        masks = [
+            ((zz + xx) % 2 == color)[1:-1, 1:-1] for color in (0, 1)
+        ]
+        for _ in range(iterations):
+            for mask in masks:
+                gs = 0.25 * (
+                    psi[2:, 1:-1] + psi[:-2, 1:-1]
+                    + psi[1:-1, 2:] + psi[1:-1, :-2]
+                    - h2 * rhs[1:-1, 1:-1]
+                )
+                interior = psi[1:-1, 1:-1]
+                interior[mask] += omega * (gs[mask] - interior[mask])
+        self.psi = psi
+
+    def velocity(self) -> tuple[np.ndarray, np.ndarray]:
+        """(w, u): Darcy velocities from the stream function."""
+        u = np.zeros_like(self.psi)
+        w = np.zeros_like(self.psi)
+        u[1:-1, :] = (self.psi[2:, :] - self.psi[:-2, :]) / (2 * self.dz)
+        w[:, 1:-1] = -(self.psi[:, 2:] - self.psi[:, :-2]) / (2 * self.dx)
+        return w, u
+
+    # -- energy equation ------------------------------------------------------
+    def step(self, dt: float = 2e-4) -> None:
+        """Advect + diffuse temperature one step; re-solve the flow."""
+        self.solve_streamfunction()
+        w, u = self.velocity()
+        T = self.T
+        lap = np.zeros_like(T)
+        lap[1:-1, 1:-1] = (
+            T[2:, 1:-1] + T[:-2, 1:-1] + T[1:-1, 2:] + T[1:-1, :-2]
+            - 4 * T[1:-1, 1:-1]
+        ) / self.dz**2
+        dTdz = np.zeros_like(T)
+        dTdx = np.zeros_like(T)
+        dTdz[1:-1, :] = (T[2:, :] - T[:-2, :]) / (2 * self.dz)
+        dTdx[:, 1:-1] = (T[:, 2:] - T[:, :-2]) / (2 * self.dx)
+        self.T = T + dt * (lap - w * dTdz - u * dTdx)
+        self.T[0] = 1.0
+        self.T[-1] = 0.0
+        # Insulated side walls.
+        self.T[:, 0] = self.T[:, 1]
+        self.T[:, -1] = self.T[:, -2]
+        self.time += dt
+
+    def run(self, steps: int, dt: float = 2e-4) -> None:
+        for _ in range(steps):
+            self.step(dt)
+
+    # -- diagnostics ---------------------------------------------------------
+    def nusselt(self) -> float:
+        """Heat transport through the bottom relative to pure conduction."""
+        grad = (self.T[0] - self.T[1]) / self.dz
+        return float(grad.mean())  # conductive solution gives exactly 1
+
+    def max_velocity(self) -> float:
+        w, u = self.velocity()
+        return float(np.sqrt(w**2 + u**2).max())
+
+
+@dataclass
+class HydrothermalReport:
+    """Outcome of a convection run."""
+
+    rayleigh: float
+    steps: int
+    nusselt: float
+    max_velocity: float
+    convecting: bool
+
+
+def run_hydrothermal(
+    rayleigh: float = 300.0, steps: int = 400, nz: int = 20, nx: int = 40
+) -> HydrothermalReport:
+    """Spin up a convection cell and report the transport diagnostics."""
+    cell = HydrothermalCell(nz=nz, nx=nx, rayleigh=rayleigh)
+    cell.run(steps)
+    nu = cell.nusselt()
+    vmax = cell.max_velocity()
+    return HydrothermalReport(
+        rayleigh=rayleigh,
+        steps=steps,
+        nusselt=nu,
+        max_velocity=vmax,
+        convecting=nu > 1.1 and vmax > 1.0,
+    )

@@ -1,0 +1,28 @@
+"""pmusic: analysis of magnetoencephalography data.
+
+"A parallel program (pmusic), that estimates the position and strength
+of current dipoles in a human brain from magnetoencephalography
+measurements using the MUSIC algorithm is distributed over a massively
+parallel and a vector supercomputer to achieve superlinear speedup. ...
+Communication: Low volume, but sensitive to latency."
+"""
+
+from repro.apps.meg.forward import SensorArray, dipole_field, gain_matrix
+from repro.apps.meg.music import MusicResult, music_localize, music_spectrum
+from repro.apps.meg.pmusic import (
+    HeterogeneousCostModel,
+    PmusicReport,
+    run_pmusic,
+)
+
+__all__ = [
+    "SensorArray",
+    "dipole_field",
+    "gain_matrix",
+    "MusicResult",
+    "music_spectrum",
+    "music_localize",
+    "PmusicReport",
+    "run_pmusic",
+    "HeterogeneousCostModel",
+]

@@ -1,0 +1,108 @@
+"""MEG forward model: magnetic field of current dipoles in a sphere.
+
+Uses the Sarvas (1987) closed-form solution for the magnetic field
+outside a spherically symmetric conductor — the standard MEG head model
+of the era and what a MUSIC scan evaluates at every grid point.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+MU0_OVER_4PI = 1e-7
+
+
+def dipole_field(
+    r_dipole: np.ndarray, q: np.ndarray, r_sensors: np.ndarray
+) -> np.ndarray:
+    """Sarvas formula: B at ``r_sensors`` for dipole ``q`` at ``r_dipole``.
+
+    All positions in meters relative to the sphere center; returns
+    (n_sensors, 3) field vectors in tesla.
+    """
+    r0 = np.asarray(r_dipole, dtype=float)
+    q = np.asarray(q, dtype=float)
+    r = np.atleast_2d(np.asarray(r_sensors, dtype=float))
+    a_vec = r - r0
+    a = np.linalg.norm(a_vec, axis=1)
+    r_norm = np.linalg.norm(r, axis=1)
+    if np.any(a < 1e-9) or np.any(r_norm < 1e-9):
+        raise ValueError("sensor coincides with dipole or origin")
+
+    f = a * (r_norm * a + r_norm**2 - (r * r0).sum(axis=1))
+    grad_f = (
+        (a**2 / r_norm + (a_vec * r).sum(axis=1) / a + 2 * a + 2 * r_norm)[:, None]
+        * r
+        - (a + 2 * r_norm + (a_vec * r).sum(axis=1) / a)[:, None] * r0[None, :]
+    )
+    q_cross_r0 = np.cross(q, r0)
+    b = MU0_OVER_4PI / f[:, None] ** 2 * (
+        f[:, None] * q_cross_r0[None, :]
+        - ((q_cross_r0 * r).sum(axis=1))[:, None] * grad_f
+    )
+    return b
+
+
+@dataclass(frozen=True)
+class SensorArray:
+    """A helmet of radial magnetometers on a spherical cap."""
+
+    n_sensors: int = 64
+    radius: float = 0.12  #: helmet radius (m)
+    seed: int = 17
+
+    def positions(self) -> np.ndarray:
+        """(n, 3) sensor positions on the upper hemisphere (Fibonacci cap)."""
+        k = np.arange(self.n_sensors)
+        golden = (1 + 5**0.5) / 2
+        # Upper cap: z from 0.35..0.98 of the radius.
+        z = 0.35 + 0.63 * (k + 0.5) / self.n_sensors
+        phi = 2 * np.pi * k / golden
+        rho = np.sqrt(1 - z**2)
+        return self.radius * np.column_stack(
+            [rho * np.cos(phi), rho * np.sin(phi), z]
+        )
+
+    def orientations(self) -> np.ndarray:
+        """Radial (outward) magnetometer orientations."""
+        pos = self.positions()
+        return pos / np.linalg.norm(pos, axis=1, keepdims=True)
+
+    def measure(self, r_dipole: np.ndarray, q: np.ndarray) -> np.ndarray:
+        """Radial field components (n_sensors,) for one dipole."""
+        b = dipole_field(r_dipole, q, self.positions())
+        return (b * self.orientations()).sum(axis=1)
+
+
+def gain_matrix(array: SensorArray, r_dipole: np.ndarray) -> np.ndarray:
+    """(n_sensors, 3) gain: columns are unit dipoles along x, y, z."""
+    cols = [
+        array.measure(r_dipole, unit)
+        for unit in np.eye(3)
+    ]
+    return np.column_stack(cols)
+
+
+def synthetic_recording(
+    array: SensorArray,
+    dipoles: list[tuple[np.ndarray, np.ndarray, np.ndarray]],
+    n_samples: int = 200,
+    noise: float = 2e-14,
+    seed: int = 23,
+) -> np.ndarray:
+    """(n_sensors, n_samples) data for dipoles = [(pos, moment, timecourse)].
+
+    The MEG stand-in for the Institute of Medicine's measurements.
+    """
+    rng = np.random.default_rng(seed)
+    pos0 = array.positions()
+    data = rng.normal(0.0, noise, size=(len(pos0), n_samples))
+    for r0, q, tc in dipoles:
+        tc = np.asarray(tc, dtype=float)
+        if len(tc) != n_samples:
+            raise ValueError("time course length mismatch")
+        topo = array.measure(np.asarray(r0), np.asarray(q))
+        data += topo[:, None] * tc[None, :]
+    return data

@@ -1,0 +1,18 @@
+"""Multiscale molecular dynamics (paper Section 5).
+
+One of the Bonn-link metacomputing projects: "multiscale molecular
+dynamics" — an atomistic MD region embedded in a continuum elastic
+medium, the two solved on different machines and coupled through a
+handshake region (the canonical multiscale decomposition of the era).
+"""
+
+from repro.apps.moldyn.lj import LennardJonesChain
+from repro.apps.moldyn.continuum import ElasticContinuum
+from repro.apps.moldyn.multiscale import MultiscaleReport, run_multiscale
+
+__all__ = [
+    "LennardJonesChain",
+    "ElasticContinuum",
+    "MultiscaleReport",
+    "run_multiscale",
+]

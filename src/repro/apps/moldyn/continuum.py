@@ -1,0 +1,62 @@
+"""The continuum side: a 1-D linear elastic bar (finite differences).
+
+Represents the far field around the atomistic region: displacement
+u(x, t) obeying the wave equation with damping, loaded at the interface
+node by the force handed over from the MD region.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+
+@dataclass
+class ElasticContinuum:
+    """A discretized elastic bar, fixed at the far end.
+
+    Node 0 is the interface to the MD region; node n-1 is clamped.
+    """
+
+    n_nodes: int = 100
+    stiffness: float = 60.0  #: matches the LJ chain's harmonic constant
+    mass: float = 1.0
+    damping: float = 0.02
+    dx: float = 2.0 ** (1.0 / 6.0)
+    dt: float = 0.002
+
+    def __post_init__(self) -> None:
+        if self.n_nodes < 3:
+            raise ValueError("need at least 3 nodes")
+        self.u = np.zeros(self.n_nodes)
+        self.v = np.zeros(self.n_nodes)
+        self.time = 0.0
+
+    def step(self, interface_force: float = 0.0) -> None:
+        """One explicit step with the MD force applied at node 0."""
+        k = self.stiffness / self.mass
+        lap = np.zeros_like(self.u)
+        lap[1:-1] = self.u[2:] - 2 * self.u[1:-1] + self.u[:-2]
+        lap[0] = self.u[1] - self.u[0]
+        accel = k * lap / self.dx**2 - self.damping * self.v
+        accel[0] += interface_force / self.mass
+        self.v += self.dt * accel
+        self.u += self.dt * self.v
+        self.u[-1] = 0.0  # clamped far end
+        self.v[-1] = 0.0
+        self.time += self.dt
+
+    def run(self, steps: int, interface_force: float = 0.0) -> None:
+        for _ in range(steps):
+            self.step(interface_force)
+
+    @property
+    def interface_displacement(self) -> float:
+        """Displacement the continuum imposes on the handshake atom."""
+        return float(self.u[0])
+
+    def strain_energy(self) -> float:
+        """Elastic energy stored in the bar."""
+        du = np.diff(self.u) / self.dx
+        return float(0.5 * self.stiffness * (du**2).sum() * self.dx)

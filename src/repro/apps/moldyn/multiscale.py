@@ -1,0 +1,106 @@
+"""The multiscale coupling: MD region ↔ elastic continuum over metampi.
+
+Alternating Schwarz-style handshake per coupling interval: the MD side
+sends the interface force it exerts, the continuum side answers with the
+interface displacement, which becomes the clamped boundary of the MD
+chain — force/displacement exchange being the standard multiscale
+coupling contract.  Communication is tiny and frequent (like the MEG
+project, latency-sensitive).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.apps.moldyn.continuum import ElasticContinuum
+from repro.apps.moldyn.lj import LennardJonesChain, R_EQ
+from repro.machines.registry import CRAY_T3E_600, CRAY_T90
+from repro.metampi.launcher import MetaMPI
+
+TAG_FORCE = 50
+TAG_DISP = 51
+
+
+@dataclass
+class MultiscaleReport:
+    """Diagnostics of a coupled multiscale run."""
+
+    coupling_steps: int
+    md_substeps: int
+    md_energy_start: float
+    md_energy_end: float
+    max_md_displacement: float
+    max_continuum_displacement: float
+    exchanges: int
+    bytes_per_exchange: int
+    elapsed_virtual: float
+
+    @property
+    def energy_drift(self) -> float:
+        """Relative energy drift of the MD region (bounded = healthy)."""
+        base = max(abs(self.md_energy_start), 1e-12)
+        return abs(self.md_energy_end - self.md_energy_start) / base
+
+
+def run_multiscale(
+    n_atoms: int = 64,
+    n_continuum: int = 80,
+    coupling_steps: int = 20,
+    md_substeps: int = 10,
+    pulse_amplitude: float = 0.15,
+    wallclock_timeout: float = 120.0,
+) -> MultiscaleReport:
+    """Run the coupled system: MD (T3E) + continuum (T90).
+
+    A displacement pulse is launched in the MD region; the continuum
+    absorbs the outgoing wave through the handshake (the whole point of
+    the multiscale setup: no reflections back into the atomistics).
+    """
+    interface_atom = n_atoms - 1
+
+    def program(comm):
+        if comm.rank == 0:  # MD region on the T3E
+            md = LennardJonesChain(n_atoms=n_atoms)
+            # Launch a compression pulse at the left end.
+            md.x[: n_atoms // 8] += pulse_amplitude * np.linspace(
+                1.0, 0.0, n_atoms // 8
+            )
+            e0 = md.total_energy
+            for _ in range(coupling_steps):
+                comm.send(md.boundary_force(interface_atom), 1, tag=TAG_FORCE)
+                disp = comm.recv(source=1, tag=TAG_DISP)
+                clamp = {interface_atom: interface_atom * R_EQ + disp}
+                md.run(md_substeps, clamp=clamp)
+            return {
+                "e0": e0,
+                "e1": md.total_energy,
+                "max_disp": float(np.abs(md.displacement_field()).max()),
+            }
+
+        # continuum on the T90
+        cont = ElasticContinuum(n_nodes=n_continuum)
+        for _ in range(coupling_steps):
+            force = comm.recv(source=0, tag=TAG_FORCE)
+            cont.run(md_substeps, interface_force=force)
+            comm.send(cont.interface_displacement, 0, tag=TAG_DISP)
+        return {"max_u": float(np.abs(cont.u).max())}
+
+    mc = MetaMPI(wallclock_timeout=wallclock_timeout)
+    mc.add_machine(CRAY_T3E_600, ranks=1)
+    mc.add_machine(CRAY_T90, ranks=1)
+    results = mc.run(program)
+    md_out = results[0].value
+    cont_out = results[1].value
+    return MultiscaleReport(
+        coupling_steps=coupling_steps,
+        md_substeps=md_substeps,
+        md_energy_start=md_out["e0"],
+        md_energy_end=md_out["e1"],
+        max_md_displacement=md_out["max_disp"],
+        max_continuum_displacement=cont_out["max_u"],
+        exchanges=2 * coupling_steps,
+        bytes_per_exchange=8,  # one float each way
+        elapsed_virtual=mc.elapsed,
+    )

@@ -1,0 +1,21 @@
+"""Distributed traffic simulation and visualization (paper Section 5).
+
+One of the projects on the new DLR/Cologne dark fibre: "distributed
+traffic simulation and visualization".  The era's standard model is the
+Nagel–Schreckenberg cellular automaton (developed at Cologne/Jülich!);
+here it runs domain-decomposed over metampi ranks with halo exchange,
+streaming occupancy frames to a visualization host.
+"""
+
+from repro.apps.traffic.nasch import NagelSchreckenberg, fundamental_diagram
+from repro.apps.traffic.distributed import (
+    DistributedTrafficReport,
+    run_distributed_traffic,
+)
+
+__all__ = [
+    "NagelSchreckenberg",
+    "fundamental_diagram",
+    "DistributedTrafficReport",
+    "run_distributed_traffic",
+]

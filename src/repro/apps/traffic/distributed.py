@@ -1,0 +1,189 @@
+"""The distributed traffic simulation with visualization streaming.
+
+The ring road is block-decomposed over metampi ranks; each step the
+ranks exchange a lookahead halo (the ``v_max + 1`` cells a car can scan)
+and ship cars that cross segment boundaries.  Rank 0 additionally
+gathers the occupancy bitmap every ``viz_every`` steps and streams it to
+the visualization side — the "simulation and visualization" split the
+Section-5 project put on the dark fibre.
+
+With ``p_dawdle = 0`` the model is deterministic and the distributed run
+is cell-exact against the serial one (tested).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.apps.traffic.nasch import EMPTY, NagelSchreckenberg
+from repro.fire.decomposition import slab_bounds
+from repro.machines.registry import CRAY_T3E_600, SGI_ONYX2_GMD
+from repro.metampi.launcher import MetaMPI
+
+TAG_HALO = 30
+TAG_CARS = 31
+TAG_VIZ = 32
+
+
+def _segment_step(
+    segment: np.ndarray,
+    halo: np.ndarray,
+    v_max: int,
+    p_dawdle: float,
+    rng: np.random.Generator,
+) -> tuple[np.ndarray, list[tuple[int, int]]]:
+    """One NaSch update of a segment given the right-neighbor halo.
+
+    Returns (new segment, cars crossing into the right neighbor as
+    (offset, velocity) pairs).
+    """
+    n = len(segment)
+    extended = np.concatenate([segment, halo])
+    occupied = np.flatnonzero(segment != EMPTY)
+    out: list[tuple[int, int]] = []
+    new = np.full(n, EMPTY, dtype=np.int64)
+    if len(occupied) == 0:
+        return new, out
+
+    v = segment[occupied].copy()
+    # Gap to the next car, scanning own cells then the halo.
+    ext_occ = np.flatnonzero(extended != EMPTY)
+    gaps = np.empty(len(occupied), dtype=np.int64)
+    for k, pos in enumerate(occupied):
+        nxt = ext_occ[np.searchsorted(ext_occ, pos + 1)] if np.any(
+            ext_occ > pos
+        ) else pos + v_max + 1
+        gaps[k] = nxt - pos - 1
+
+    v = np.minimum(v + 1, v_max)
+    v = np.minimum(v, gaps)
+    if p_dawdle > 0:
+        dawdle = rng.random(len(v)) < p_dawdle
+        v = np.where(dawdle, np.maximum(v - 1, 0), v)
+    new_pos = occupied + v
+    for pos, vel in zip(new_pos, v):
+        if pos < n:
+            new[pos] = vel
+        else:
+            out.append((int(pos - n), int(vel)))
+    return new, out
+
+
+@dataclass
+class DistributedTrafficReport:
+    """Outcome of a distributed run."""
+
+    steps: int
+    ranks: int
+    n_cells: int
+    n_cars_start: int
+    n_cars_end: int
+    flow: float
+    viz_frames: int
+    viz_bytes_per_frame: int
+    elapsed_virtual: float
+    final_road: np.ndarray
+
+    @property
+    def cars_conserved(self) -> bool:
+        return self.n_cars_start == self.n_cars_end
+
+
+def run_distributed_traffic(
+    n_cells: int = 400,
+    density: float = 0.25,
+    steps: int = 50,
+    ranks: int = 4,
+    v_max: int = 5,
+    p_dawdle: float = 0.25,
+    viz_every: int = 5,
+    seed: int = 1999,
+    wallclock_timeout: float = 120.0,
+) -> DistributedTrafficReport:
+    """Run the decomposed simulation on a simulated T3E, streaming
+    occupancy frames to an Onyx2 visualization rank."""
+    serial = NagelSchreckenberg(
+        n_cells=n_cells, density=density, v_max=v_max,
+        p_dawdle=p_dawdle, seed=seed,
+    )
+    initial = serial.road.copy()
+    n_cars_start = serial.n_cars
+    viz_rank = ranks  # last rank is the visualization host
+
+    def program(comm):
+        me = comm.rank
+        # Collectives run on the simulation ranks only; the viz host
+        # receives frames point-to-point.
+        sim = comm.split(0 if me < ranks else 1)
+        if me == viz_rank:  # the visualization side
+            frames = 0
+            nbytes = 0
+            while True:
+                frame = comm.recv(source=0, tag=TAG_VIZ)
+                if frame is None:
+                    break
+                frames += 1
+                nbytes = frame.nbytes
+            return {"frames": frames, "frame_bytes": nbytes}
+
+        lo, hi = slab_bounds(n_cells, ranks, me)
+        segment = initial[lo:hi].copy()
+        rng = np.random.default_rng(seed + 100 + me)
+        left = (me - 1) % ranks
+        right = (me + 1) % ranks
+        moved = 0
+        car_steps = 0
+        for step in range(steps):
+            # Lookahead halo travels right->left around the ring.
+            sim.send(segment[: v_max + 1].copy(), left, tag=TAG_HALO)
+            halo = sim.recv(source=right, tag=TAG_HALO)
+            new, crossing = _segment_step(segment, halo, v_max, p_dawdle, rng)
+            sim.send(crossing, right, tag=TAG_CARS)
+            for off, vel in sim.recv(source=left, tag=TAG_CARS):
+                new[off] = vel
+            cars = np.count_nonzero(segment != EMPTY)
+            moved += int(segment[segment != EMPTY].sum()) if cars else 0
+            car_steps += cars
+            segment = new
+            if viz_every and step % viz_every == 0:
+                full = sim.gather(segment != EMPTY, root=0)
+                if me == 0:
+                    comm.send(np.concatenate(full), viz_rank, tag=TAG_VIZ)
+        if viz_every and me == 0:
+            comm.send(None, viz_rank, tag=TAG_VIZ)
+        final = sim.gather(segment, root=0)
+        stats = sim.gather((moved, car_steps), root=0)
+        if me != 0:
+            return None
+        road = np.concatenate(final)
+        total_moved = sum(m for m, _ in stats)
+        total_steps = sum(c for _, c in stats)
+        return {
+            "road": road,
+            "velocity": total_moved / total_steps if total_steps else 0.0,
+        }
+
+    mc = MetaMPI(wallclock_timeout=wallclock_timeout)
+    mc.add_machine(CRAY_T3E_600, ranks=ranks)
+    mc.add_machine(SGI_ONYX2_GMD, ranks=1)  # the viz host
+    results = mc.run(program)
+    sim_out = results[0].value
+    viz_out = results[viz_rank].value
+    road = sim_out["road"]
+    n_cars_end = int(np.count_nonzero(road != EMPTY))
+    # Hold velocity in cars/cell/step units for the flow.
+    flow = sim_out["velocity"] * n_cars_end / n_cells
+    return DistributedTrafficReport(
+        steps=steps,
+        ranks=ranks,
+        n_cells=n_cells,
+        n_cars_start=n_cars_start,
+        n_cars_end=n_cars_end,
+        flow=flow,
+        viz_frames=viz_out["frames"],
+        viz_bytes_per_frame=viz_out["frame_bytes"],
+        elapsed_virtual=mc.elapsed,
+        final_road=road,
+    )

@@ -1,0 +1,116 @@
+"""The Nagel–Schreckenberg single-lane traffic cellular automaton.
+
+The canonical 1990s traffic model (Nagel & Schreckenberg 1992, developed
+in the Cologne/Jülich orbit that the Section-5 project grew out of):
+cells of 7.5 m, integer velocities 0..v_max, four rules per step —
+accelerate, brake to gap, random dawdle, move.  Reproduces the
+fundamental diagram with its free-flow branch and congested branch.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+EMPTY = -1
+
+
+@dataclass
+class NagelSchreckenberg:
+    """A ring road of ``n_cells`` cells with periodic boundaries."""
+
+    n_cells: int = 1000
+    density: float = 0.2
+    v_max: int = 5
+    p_dawdle: float = 0.25
+    seed: int = 1999
+
+    def __post_init__(self) -> None:
+        if not 0.0 < self.density < 1.0:
+            raise ValueError("density must be in (0, 1)")
+        if self.v_max < 1:
+            raise ValueError("v_max must be >= 1")
+        if not 0.0 <= self.p_dawdle < 1.0:
+            raise ValueError("p_dawdle must be in [0, 1)")
+        self._rng = np.random.default_rng(self.seed)
+        n_cars = max(1, int(round(self.n_cells * self.density)))
+        self.road = np.full(self.n_cells, EMPTY, dtype=np.int64)
+        pos = self._rng.choice(self.n_cells, size=n_cars, replace=False)
+        self.road[pos] = self._rng.integers(0, self.v_max + 1, size=n_cars)
+        self.time = 0
+        self._moved = 0
+        self._car_steps = 0
+
+    # -- state --------------------------------------------------------------
+    @property
+    def n_cars(self) -> int:
+        return int(np.count_nonzero(self.road != EMPTY))
+
+    def occupancy(self) -> np.ndarray:
+        """Boolean occupancy (the visualization frame)."""
+        return self.road != EMPTY
+
+    # -- dynamics -----------------------------------------------------------
+    def step(self) -> None:
+        """One update of the four NaSch rules (vectorized)."""
+        road = self.road
+        occupied = np.flatnonzero(road != EMPTY)
+        if len(occupied) == 0:
+            self.time += 1
+            return
+        v = road[occupied].copy()
+        # Gap to the car ahead (periodic).
+        nxt = np.roll(occupied, -1).copy()
+        nxt[-1] += self.n_cells
+        gap = nxt - occupied - 1
+        # 1. accelerate  2. brake  3. dawdle  4. move
+        v = np.minimum(v + 1, self.v_max)
+        v = np.minimum(v, gap)
+        dawdle = self._rng.random(len(v)) < self.p_dawdle
+        v = np.where(dawdle, np.maximum(v - 1, 0), v)
+        new_pos = (occupied + v) % self.n_cells
+        self.road.fill(EMPTY)
+        self.road[new_pos] = v
+        self.time += 1
+        self._moved += int(v.sum())
+        self._car_steps += len(v)
+
+    def run(self, steps: int) -> None:
+        """Advance several steps."""
+        for _ in range(steps):
+            self.step()
+
+    # -- observables ---------------------------------------------------------
+    @property
+    def mean_velocity(self) -> float:
+        """Average velocity per car-step since construction."""
+        return self._moved / self._car_steps if self._car_steps else 0.0
+
+    @property
+    def flow(self) -> float:
+        """Cars per cell per step (the fundamental-diagram ordinate)."""
+        return self.mean_velocity * self.n_cars / self.n_cells
+
+
+def fundamental_diagram(
+    densities: np.ndarray | None = None,
+    n_cells: int = 500,
+    steps: int = 200,
+    warmup: int = 100,
+    seed: int = 7,
+) -> tuple[np.ndarray, np.ndarray]:
+    """(density, flow) sweep — free flow rising, congestion falling."""
+    if densities is None:
+        densities = np.arange(0.05, 0.95, 0.05)
+    densities = np.asarray(densities, dtype=float)
+    flows = []
+    for i, rho in enumerate(densities):
+        sim = NagelSchreckenberg(
+            n_cells=n_cells, density=float(rho), seed=seed + i
+        )
+        sim.run(warmup)
+        sim._moved = sim._car_steps = 0
+        sim.run(steps)
+        flows.append(sim.flow)
+    return densities, np.array(flows)

@@ -1,0 +1,31 @@
+"""Distributed virtual TV production (paper Section 5).
+
+"distributed virtual TV-production (in cooperation between GMD, DLR,
+Academy of Media Arts in Cologne, and echtzeit GmbH).  The latter relies
+on the results of the multimedia project."  Camera feeds (uncompressed
+D1) from several sites are chroma-keyed over a rendered virtual set at a
+compositing site and the program stream goes back out — all as CBR VCs
+on the extended testbed.
+"""
+
+from repro.apps.tvproduction.compositing import (
+    chroma_key,
+    render_virtual_set,
+    composite_program,
+)
+from repro.apps.tvproduction.production import (
+    ProductionPlan,
+    ProductionReport,
+    plan_production,
+    run_production,
+)
+
+__all__ = [
+    "chroma_key",
+    "render_virtual_set",
+    "composite_program",
+    "ProductionPlan",
+    "ProductionReport",
+    "plan_production",
+    "run_production",
+]

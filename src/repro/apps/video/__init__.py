@@ -1,0 +1,11 @@
+"""Multimedia in a Gigabit WAN: studio-quality digital video over ATM.
+
+"Basic technology for transferring studio-quality digital video over ATM
+is examined.  Communication: E.g. 270 Mbit/s for an uncompressed D1
+video stream."
+"""
+
+from repro.apps.video.d1 import D1_RATE, D1Format
+from repro.apps.video.stream import StreamReport, stream_video
+
+__all__ = ["D1Format", "D1_RATE", "StreamReport", "stream_video"]

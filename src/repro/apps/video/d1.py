@@ -1,0 +1,42 @@
+"""Uncompressed D1 (CCIR 601 / SDI) studio video format.
+
+The serial digital interface carries 270 Mbit/s — the paper's number for
+an uncompressed D1 stream: 720×576 active picture, 4:2:2 chroma
+sampling, 10-bit samples, 25 frames/s, plus blanking; the transport
+simply must sustain the constant 270 Mbit/s.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.util.units import MBIT
+
+#: SDI line rate for 625/50 D1 video.
+D1_RATE = 270 * MBIT
+#: PAL frame rate.
+D1_FPS = 25.0
+
+
+@dataclass(frozen=True)
+class D1Format:
+    """Stream geometry for the CBR transport."""
+
+    rate: float = D1_RATE
+    fps: float = D1_FPS
+
+    @property
+    def frame_bytes(self) -> int:
+        """Bytes per frame interval at the constant stream rate."""
+        return int(self.rate / self.fps / 8)
+
+    @property
+    def frame_interval(self) -> float:
+        """Seconds between frames."""
+        return 1.0 / self.fps
+
+    def bytes_for(self, seconds: float) -> int:
+        """Stream volume over a duration."""
+        if seconds < 0:
+            raise ValueError("negative duration")
+        return int(self.rate * seconds / 8)

@@ -1,0 +1,35 @@
+"""Metacomputer orchestration.
+
+* :mod:`repro.core.metacomputer` — the testbed's resource registry and
+  session assembly (machines + network + MPI runtime in one call);
+* :mod:`repro.core.rpc` — the "remote procedure call like" delegation
+  layer the RT-client uses to push modules onto the T3E (paper §4);
+* :mod:`repro.core.allocation` — simultaneous (co-)allocation of
+  distributed resources, the problem the paper's conclusions flag for
+  clinical use ("the problem of simultaneous resource allocation in a
+  distributed environment will become more apparent").
+"""
+
+from repro.core.metacomputer import Metacomputer, Site
+from repro.core.rpc import RpcClient, RpcError, RpcServer, serve_rpc
+from repro.core.allocation import (
+    AllocationRequest,
+    CoAllocator,
+    Reservation,
+)
+from repro.core.jobs import JobDescription, JobRecord, JobScheduler
+
+__all__ = [
+    "Metacomputer",
+    "Site",
+    "RpcClient",
+    "RpcServer",
+    "RpcError",
+    "serve_rpc",
+    "AllocationRequest",
+    "CoAllocator",
+    "Reservation",
+    "JobDescription",
+    "JobRecord",
+    "JobScheduler",
+]

@@ -1,0 +1,115 @@
+"""RPC-style delegation over metampi (paper §4).
+
+"the RT-client was modified such that it can delegate parts of the work
+to the Cray T3E in Jülich in a 'remote procedure call' like manner."
+
+A server communicator registers named handlers and serves calls arriving
+over an intercommunicator (from Spawn or Accept/Connect); the client
+side gets a proxy whose method calls block for the result — including
+remote exceptions, which travel back as :class:`RpcError`.
+"""
+
+from __future__ import annotations
+
+import traceback
+from typing import Any, Callable, Optional
+
+from repro.metampi.comm import Comm
+
+#: Protocol tags (user-space, one request/response pair).
+CALL_TAG = 101
+RESULT_TAG = 102
+
+
+class RpcError(RuntimeError):
+    """A remote handler raised; carries the remote traceback text."""
+
+    def __init__(self, message: str, remote_traceback: str = ""):
+        super().__init__(message)
+        self.remote_traceback = remote_traceback
+
+
+class RpcServer:
+    """Registers handlers and serves calls until told to shut down."""
+
+    def __init__(self, comm: Comm, peer: int = 0):
+        self.comm = comm
+        self.peer = peer
+        self._handlers: dict[str, Callable] = {}
+        self.calls_served = 0
+
+    def register(self, name: str, fn: Callable) -> None:
+        """Expose ``fn`` as procedure ``name``."""
+        if name.startswith("__"):
+            raise ValueError("names starting with '__' are reserved")
+        self._handlers[name] = fn
+
+    def handler(self, name: str) -> Callable:
+        """Decorator form of :meth:`register`."""
+
+        def deco(fn: Callable) -> Callable:
+            self.register(name, fn)
+            return fn
+
+        return deco
+
+    def serve(self) -> int:
+        """Serve requests until a shutdown message; returns calls served."""
+        while True:
+            request = self.comm.recv(source=self.peer, tag=CALL_TAG)
+            if request.get("__shutdown__"):
+                return self.calls_served
+            name = request["name"]
+            try:
+                fn = self._handlers[name]
+                value = fn(*request.get("args", ()), **request.get("kwargs", {}))
+                reply = {"ok": True, "value": value}
+            except Exception as exc:  # noqa: BLE001 - shipped to the caller
+                reply = {
+                    "ok": False,
+                    "error": f"{type(exc).__name__}: {exc}",
+                    "traceback": traceback.format_exc(),
+                }
+            self.calls_served += 1
+            self.comm.send(reply, self.peer, tag=RESULT_TAG)
+
+
+class RpcClient:
+    """Proxy for calling a remote RpcServer."""
+
+    def __init__(self, comm: Comm, peer: int = 0):
+        self.comm = comm
+        self.peer = peer
+
+    def call(self, name: str, *args: Any, **kwargs: Any) -> Any:
+        """Synchronous remote call (the RT-client's delegation pattern)."""
+        self.comm.send(
+            {"name": name, "args": args, "kwargs": kwargs},
+            self.peer,
+            tag=CALL_TAG,
+        )
+        reply = self.comm.recv(source=self.peer, tag=RESULT_TAG)
+        if not reply["ok"]:
+            raise RpcError(reply["error"], reply.get("traceback", ""))
+        return reply["value"]
+
+    def shutdown(self) -> None:
+        """Stop the remote serve loop."""
+        self.comm.send({"__shutdown__": True}, self.peer, tag=CALL_TAG)
+
+    def __getattr__(self, name: str) -> Callable:
+        if name.startswith("_"):
+            raise AttributeError(name)
+
+        def proxy(*args: Any, **kwargs: Any) -> Any:
+            return self.call(name, *args, **kwargs)
+
+        return proxy
+
+
+def serve_rpc(comm: Comm, handlers: dict[str, Callable], peer: int = 0) -> int:
+    """Convenience: build a server from a handler dict and serve."""
+    server = RpcServer(comm, peer)
+    for name, fn in handlers.items():
+        server.register(name, fn)
+    return server.serve()

@@ -1,0 +1,49 @@
+"""FIRE — Functional Imaging in REaltime (paper Section 4).
+
+A from-scratch reimplementation of the IME's FIRE package and its
+T3E-delegated processing modules:
+
+* :mod:`repro.fire.hrf` — hemodynamic response models and reference
+  vectors (stimulus time course ⊛ HRF);
+* :mod:`repro.fire.phantom` — synthetic head with activation regions
+  (substitute for the Siemens Vision scanner + subject, DESIGN.md §4);
+* :mod:`repro.fire.scanner` — simulated EPI acquisition: BOLD dynamics,
+  baseline drift, noise, head motion, 1.5 s delivery delay;
+* :mod:`repro.fire.modules` — the processing chain: spatial filters,
+  3-D motion correction, detrending, correlation analysis, and reference
+  vector optimization (RVO), all vectorized and incremental where the
+  realtime setting demands it;
+* :mod:`repro.fire.decomposition` — the brain domain decomposition used
+  on the T3E;
+* :mod:`repro.fire.rt` — RT-server and RT-client with the delegation
+  ("remote procedure call like") protocol;
+* :mod:`repro.fire.pipeline` — the end-to-end Figure-2 timing pipeline
+  (sequential, as published, and pipelined, the paper's noted
+  improvement).
+"""
+
+from repro.fire.hrf import HrfModel, boxcar_stimulus, reference_vector
+from repro.fire.phantom import ActivationSite, HeadPhantom
+from repro.fire.scanner import ScannerConfig, SimulatedScanner
+from repro.fire.decomposition import gather_slabs, slab_bounds, scatter_slabs
+from repro.fire.pipeline import FirePipeline, PipelineConfig, PipelineReport
+from repro.fire.rt import RTClient, RTServer, ModuleFlags
+
+__all__ = [
+    "HrfModel",
+    "boxcar_stimulus",
+    "reference_vector",
+    "ActivationSite",
+    "HeadPhantom",
+    "ScannerConfig",
+    "SimulatedScanner",
+    "slab_bounds",
+    "scatter_slabs",
+    "gather_slabs",
+    "FirePipeline",
+    "PipelineConfig",
+    "PipelineReport",
+    "RTServer",
+    "RTClient",
+    "ModuleFlags",
+]

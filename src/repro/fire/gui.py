@@ -1,0 +1,144 @@
+"""The FIRE control panel as a state model (paper Figure 3, lower panel).
+
+"The RT-client is operated via a Motif-based graphical user interface
+... In the lower panel, the stimulation time course and the modeled
+hemodynamic response can be specified"; the clip level is adjustable,
+ROIs can be displayed, and "the use of each module is optional and can
+be controlled during runtime via the GUI".
+
+This is the widget-free model of that panel: validated parameter state,
+runtime module toggles, ROI management and an event log — everything a
+front end (or a test) drives.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional
+
+import numpy as np
+
+from repro.fire.hrf import HrfModel, boxcar_stimulus, reference_vector
+from repro.fire.rt import ModuleFlags
+
+
+@dataclass
+class RoiSpec:
+    """A region of interest shown in the time-course panel."""
+
+    name: str
+    mask: np.ndarray
+
+    def __post_init__(self) -> None:
+        if self.mask.dtype != bool:
+            raise ValueError("ROI mask must be boolean")
+        if not self.mask.any():
+            raise ValueError("ROI is empty")
+
+
+class ControlPanel:
+    """Runtime-adjustable FIRE parameters with validation and history."""
+
+    def __init__(
+        self,
+        n_frames: int = 60,
+        tr: float = 2.0,
+        shape: tuple[int, int, int] = (16, 64, 64),
+    ):
+        if n_frames < 2 or tr <= 0:
+            raise ValueError("bad acquisition parameters")
+        self.n_frames = n_frames
+        self.tr = tr
+        self.shape = shape
+        self.flags = ModuleFlags()
+        self.clip_level = 0.5
+        self.hrf = HrfModel()
+        self._stimulus = boxcar_stimulus(n_frames)
+        self.rois: dict[str, RoiSpec] = {}
+        self.events: list[str] = []
+
+    def _log(self, message: str) -> None:
+        self.events.append(message)
+
+    # -- clip level -------------------------------------------------------
+    def set_clip_level(self, level: float) -> None:
+        """The overlay threshold slider."""
+        if not 0.0 < level <= 1.0:
+            raise ValueError("clip level must be in (0, 1]")
+        self.clip_level = level
+        self._log(f"clip_level={level:.2f}")
+
+    # -- hemodynamic model -----------------------------------------------
+    def set_hemodynamics(self, delay: float, dispersion: float) -> None:
+        """Manual HRF adjustment (between measurements, per the paper —
+        the T3E's RVO automates this per voxel)."""
+        self.hrf = HrfModel(delay=delay, dispersion=dispersion)  # validates
+        self._log(f"hrf delay={delay:.2f} dispersion={dispersion:.2f}")
+
+    # -- stimulation time course -----------------------------------------
+    def set_stimulus_blocks(
+        self, period_on: int, period_off: int, start_off: int = 0
+    ) -> None:
+        """Edit the block design in the lower panel."""
+        if period_on < 1 or period_off < 0 or start_off < 0:
+            raise ValueError("bad block design")
+        self._stimulus = boxcar_stimulus(
+            self.n_frames, period_on, period_off, start_off
+        )
+        self._log(f"stimulus blocks on={period_on} off={period_off}")
+
+    def set_stimulus(self, course: np.ndarray) -> None:
+        """Load an arbitrary stimulation time course."""
+        course = np.asarray(course, dtype=float)
+        if course.shape != (self.n_frames,):
+            raise ValueError("stimulus length must equal n_frames")
+        if course.std() == 0:
+            raise ValueError("stimulus must vary")
+        self._stimulus = course
+        self._log("stimulus custom")
+
+    @property
+    def stimulus(self) -> np.ndarray:
+        return self._stimulus
+
+    def reference(self) -> np.ndarray:
+        """The reference vector the current panel settings produce."""
+        return reference_vector(self._stimulus, self.hrf, self.tr)
+
+    # -- module toggles ---------------------------------------------------
+    def toggle(self, module: str, on: bool) -> None:
+        """The per-module checkboxes."""
+        if not hasattr(self.flags, module):
+            raise KeyError(f"no module {module!r}")
+        setattr(self.flags, module, bool(on))
+        self._log(f"module {module}={'on' if on else 'off'}")
+
+    # -- ROIs ------------------------------------------------------------------
+    def add_roi(self, name: str, mask: np.ndarray) -> None:
+        """Register a region of interest for the time-course display."""
+        if name in self.rois:
+            raise ValueError(f"ROI {name!r} exists")
+        if mask.shape != self.shape:
+            raise ValueError("ROI mask shape must match the volume")
+        self.rois[name] = RoiSpec(name=name, mask=np.asarray(mask, dtype=bool))
+        self._log(f"roi+ {name}")
+
+    def remove_roi(self, name: str) -> None:
+        if name not in self.rois:
+            raise KeyError(name)
+        del self.rois[name]
+        self._log(f"roi- {name}")
+
+    # -- snapshot ---------------------------------------------------------
+    def snapshot(self) -> dict:
+        """Current panel state (what a session log would record)."""
+        return {
+            "clip_level": self.clip_level,
+            "hrf": (self.hrf.delay, self.hrf.dispersion),
+            "modules": {
+                k: getattr(self.flags, k)
+                for k in ("median", "motion", "detrend", "rvo", "smoothing")
+            },
+            "rois": sorted(self.rois),
+            "n_events": len(self.events),
+        }

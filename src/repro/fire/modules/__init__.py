@@ -1,0 +1,32 @@
+"""The FIRE processing modules delegated to the Cray T3E (paper §4):
+
+* spatial filters — median (pre) and averaging (post) filters;
+* 3-D movement correction — iterative linear rigid registration;
+* detrending — regression against detrending vectors;
+* correlation analysis — incremental voxelwise correlation with the
+  reference vector;
+* reference vector optimization (RVO) — per-voxel least-squares fit of
+  hemodynamic delay and dispersion over a parameter raster, plus the
+  paper's planned coarse-grid + refinement optimization.
+"""
+
+from repro.fire.modules.filters import median_filter3d, smoothing_filter3d
+from repro.fire.modules.motion import MotionEstimate, correct_motion, estimate_motion
+from repro.fire.modules.detrend import detrend_timeseries, detrending_basis
+from repro.fire.modules.correlate import CorrelationAnalyzer, correlation_map
+from repro.fire.modules.rvo import RvoResult, rvo_raster, rvo_refined
+
+__all__ = [
+    "median_filter3d",
+    "smoothing_filter3d",
+    "MotionEstimate",
+    "estimate_motion",
+    "correct_motion",
+    "detrending_basis",
+    "detrend_timeseries",
+    "CorrelationAnalyzer",
+    "correlation_map",
+    "RvoResult",
+    "rvo_raster",
+    "rvo_refined",
+]

@@ -1,0 +1,86 @@
+"""Correlation analysis.
+
+Paper (the basic RT-client step): "For each voxel, the correlation
+between the measured signal and a fixed reference vector is calculated."
+
+Two forms are provided: a batch :func:`correlation_map` over a complete
+time series, and the realtime :class:`CorrelationAnalyzer` that updates
+the map incrementally as each frame arrives — the form the RT-client
+actually needs to keep up with the scanner.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+
+def correlation_map(timeseries: np.ndarray, reference: np.ndarray) -> np.ndarray:
+    """Voxelwise Pearson correlation with the reference vector.
+
+    ``timeseries`` has time on axis 0 (shape ``(T, ...)``); the result has
+    the spatial shape.  Constant voxels get correlation 0.
+    """
+    ts = np.asarray(timeseries, dtype=float)
+    ref = np.asarray(reference, dtype=float)
+    if ts.shape[0] != ref.shape[0]:
+        raise ValueError(
+            f"time axis {ts.shape[0]} != reference length {ref.shape[0]}"
+        )
+    flat = ts.reshape(ts.shape[0], -1)
+    x = flat - flat.mean(axis=0, keepdims=True)
+    r = ref - ref.mean()
+    denom = np.linalg.norm(x, axis=0) * np.linalg.norm(r)
+    with np.errstate(invalid="ignore", divide="ignore"):
+        corr = np.where(denom > 1e-12, (r @ x) / denom, 0.0)
+    return corr.reshape(ts.shape[1:])
+
+
+class CorrelationAnalyzer:
+    """Incremental voxelwise correlation (O(voxels) per new frame).
+
+    Maintains the running sums ``Σx, Σx², Σrx`` plus ``Σr, Σr²`` so the
+    Pearson coefficient over the frames seen so far is available after
+    every update — no revisiting of past frames, as realtime requires.
+    """
+
+    def __init__(self, shape: tuple[int, ...], reference: np.ndarray):
+        self.shape = tuple(shape)
+        self.reference = np.asarray(reference, dtype=float)
+        self.n = 0
+        self._sx = np.zeros(self.shape)
+        self._sxx = np.zeros(self.shape)
+        self._srx = np.zeros(self.shape)
+        self._sr = 0.0
+        self._srr = 0.0
+
+    def update(self, frame: np.ndarray) -> None:
+        """Fold in the next acquisition (must arrive in frame order)."""
+        frame = np.asarray(frame, dtype=float)
+        if frame.shape != self.shape:
+            raise ValueError(f"frame shape {frame.shape} != {self.shape}")
+        if self.n >= len(self.reference):
+            raise ValueError("more frames than reference samples")
+        r = self.reference[self.n]
+        self.n += 1
+        self._sx += frame
+        self._sxx += frame * frame
+        self._srx += r * frame
+        self._sr += r
+        self._srr += r * r
+
+    def correlation(self) -> np.ndarray:
+        """Current correlation map (zeros until two frames are in)."""
+        if self.n < 2:
+            return np.zeros(self.shape)
+        n = self.n
+        cov = self._srx - self._sr * self._sx / n
+        var_x = self._sxx - self._sx**2 / n
+        var_r = self._srr - self._sr**2 / n
+        denom = np.sqrt(np.maximum(var_x, 0.0) * max(var_r, 0.0))
+        with np.errstate(invalid="ignore", divide="ignore"):
+            corr = np.where(denom > 1e-12, cov / denom, 0.0)
+        return np.clip(corr, -1.0, 1.0)
+
+    def reset(self) -> None:
+        """Start a new measurement (same geometry and reference)."""
+        self.__init__(self.shape, self.reference)

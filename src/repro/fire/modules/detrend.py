@@ -1,0 +1,59 @@
+"""Baseline detrending.
+
+Paper: "the measured signal often includes slow baseline drifts.  A
+compensation using a few detrending-vectors can compensate for that."
+
+The detrending vectors span the slow-drift subspace (constant, linear,
+low-order polynomial and/or slow cosines); each voxel's time series is
+orthogonalized against them by least squares, keeping its mean.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+
+def detrending_basis(
+    n_frames: int, order: int = 2, cosines: int = 1
+) -> np.ndarray:
+    """Detrending vectors: polynomials up to ``order`` plus slow cosines.
+
+    Returns shape ``(n_frames, n_vectors)``; the constant vector is always
+    included (column 0).
+    """
+    if n_frames < 2:
+        raise ValueError("need at least two frames to detrend")
+    if order < 0 or cosines < 0:
+        raise ValueError("order and cosines must be non-negative")
+    t = np.linspace(-1.0, 1.0, n_frames)
+    cols = [np.ones(n_frames)]
+    cols.extend(t**k for k in range(1, order + 1))
+    cols.extend(
+        np.cos(np.pi * (k + 1) * (t + 1) / 2.0) for k in range(cosines)
+    )
+    return np.column_stack(cols)
+
+
+def detrend_timeseries(
+    timeseries: np.ndarray, basis: np.ndarray | None = None
+) -> np.ndarray:
+    """Remove the drift subspace from every voxel time series.
+
+    ``timeseries`` has time on axis 0 (shape ``(T, ...)``); the voxel
+    means are preserved so the signal stays in image units.
+    """
+    ts = np.asarray(timeseries, dtype=float)
+    t_len = ts.shape[0]
+    if basis is None:
+        basis = detrending_basis(t_len)
+    if basis.shape[0] != t_len:
+        raise ValueError(
+            f"basis has {basis.shape[0]} rows but time series has {t_len}"
+        )
+    flat = ts.reshape(t_len, -1)
+    # Least-squares projection onto the drift subspace, removed from data.
+    coef, *_ = np.linalg.lstsq(basis, flat, rcond=None)
+    resid = flat - basis @ coef
+    # Keep each voxel's mean (column 0 of the basis is the constant).
+    resid += flat.mean(axis=0, keepdims=True)
+    return resid.reshape(ts.shape)

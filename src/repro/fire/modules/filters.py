@@ -1,0 +1,35 @@
+"""Spatial filters.
+
+Paper: "a median filter is used to reduce noise in the unprocessed
+picture.  After the processing pipeline, the data can be smoothened by
+an averaging filter."
+"""
+
+from __future__ import annotations
+
+import numpy as np
+from scipy import ndimage
+
+
+def median_filter3d(volume: np.ndarray, size: int = 3) -> np.ndarray:
+    """3-D median filter (the pre-processing noise reducer).
+
+    ``size`` is the cubic window edge; must be odd so the window has a
+    center voxel.
+    """
+    if size < 1 or size % 2 == 0:
+        raise ValueError("median window size must be odd and positive")
+    volume = np.asarray(volume)
+    if volume.ndim != 3:
+        raise ValueError(f"expected a 3-D volume, got shape {volume.shape}")
+    return ndimage.median_filter(volume, size=size, mode="nearest")
+
+
+def smoothing_filter3d(volume: np.ndarray, size: int = 3) -> np.ndarray:
+    """3-D moving-average filter (the post-pipeline smoother)."""
+    if size < 1:
+        raise ValueError("window size must be positive")
+    volume = np.asarray(volume)
+    if volume.ndim != 3:
+        raise ValueError(f"expected a 3-D volume, got shape {volume.shape}")
+    return ndimage.uniform_filter(volume, size=size, mode="nearest")

@@ -1,0 +1,119 @@
+"""Domain-decomposed FIRE modules over metampi.
+
+The T3E modules use "a domain decomposition of the brain"; these are the
+actual parallel implementations (the performance side of Table 1 lives
+in :mod:`repro.machines.t3e_model`; these verify the *algorithmic*
+correctness of the decomposition: each matches its serial counterpart
+exactly).
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+import numpy as np
+
+from repro.fire.decomposition import gather_slabs, slab_bounds
+from repro.fire.hrf import reference_bank
+from repro.fire.modules.correlate import correlation_map
+from repro.fire.modules.detrend import detrend_timeseries, detrending_basis
+from repro.fire.modules.rvo import RvoResult, _grid_scan
+from repro.metampi.comm import Intracomm
+
+
+def _scatter_voxel_slabs(
+    comm: Intracomm, flat: Optional[np.ndarray], n_voxels: int
+) -> np.ndarray:
+    """Scatter columns of a (T, V) array as contiguous voxel slabs."""
+    if comm.rank == 0:
+        slabs = [
+            flat[:, slice(*slab_bounds(n_voxels, comm.size, p))]
+            for p in range(comm.size)
+        ]
+    else:
+        slabs = None
+    return comm.scatter(slabs, root=0)
+
+
+def parallel_rvo(
+    comm: Intracomm,
+    timeseries: Optional[np.ndarray],
+    stimulus: Optional[np.ndarray],
+    delays: Optional[np.ndarray] = None,
+    dispersions: Optional[np.ndarray] = None,
+    tr: float = 2.0,
+    mask: Optional[np.ndarray] = None,
+) -> Optional[RvoResult]:
+    """The reference vector optimization, decomposed over ranks.
+
+    Rank 0 supplies the data; every rank rasters its voxel slab against
+    the shared reference bank; rank 0 assembles the full parameter maps.
+    Matches :func:`repro.fire.modules.rvo.rvo_raster` exactly.
+    """
+    meta = None
+    if comm.rank == 0:
+        ts = np.asarray(timeseries, dtype=float)
+        spatial = ts.shape[1:]
+        if mask is None:
+            mask = np.ones(spatial, dtype=bool)
+        flat = ts.reshape(ts.shape[0], -1)[:, mask.ravel()]
+        if delays is None:
+            delays = np.arange(3.0, 9.01, 0.5)
+        if dispersions is None:
+            dispersions = np.arange(0.6, 1.81, 0.2)
+        meta = (
+            np.asarray(stimulus, dtype=float),
+            np.asarray(delays, dtype=float),
+            np.asarray(dispersions, dtype=float),
+            flat.shape[1],
+        )
+    stimulus, delays, dispersions, n_active = comm.bcast(meta, root=0)
+    my_slab = _scatter_voxel_slabs(
+        comm, flat if comm.rank == 0 else None, n_active
+    )
+
+    best, corr = _grid_scan(my_slab, stimulus, delays, dispersions, tr)
+    parts = comm.gather((best, corr), root=0)
+    if comm.rank != 0:
+        return None
+
+    best_all = np.concatenate([b for b, _ in parts])
+    corr_all = np.concatenate([c for _, c in parts])
+    d_idx, s_idx = np.divmod(best_all, len(dispersions))
+    out_delay = np.zeros(spatial)
+    out_disp = np.zeros(spatial)
+    out_corr = np.zeros(spatial)
+    out_delay[mask] = delays[d_idx]
+    out_disp[mask] = dispersions[s_idx]
+    out_corr[mask] = corr_all
+    return RvoResult(
+        delay=out_delay,
+        dispersion=out_disp,
+        correlation=out_corr,
+        work_units=n_active * len(delays) * len(dispersions),
+    )
+
+
+def parallel_detrend_correlate(
+    comm: Intracomm,
+    timeseries: Optional[np.ndarray],
+    reference: Optional[np.ndarray],
+) -> Optional[np.ndarray]:
+    """Detrending + correlation over voxel slabs (matches the serial
+    pair detrend_timeseries → correlation_map)."""
+    meta = None
+    if comm.rank == 0:
+        ts = np.asarray(timeseries, dtype=float)
+        spatial = ts.shape[1:]
+        flat = ts.reshape(ts.shape[0], -1)
+        meta = (np.asarray(reference, dtype=float), flat.shape[1], ts.shape[0])
+    reference, n_voxels, t_len = comm.bcast(meta, root=0)
+    my_slab = _scatter_voxel_slabs(
+        comm, flat if comm.rank == 0 else None, n_voxels
+    )
+    basis = detrending_basis(t_len)
+    local = correlation_map(detrend_timeseries(my_slab, basis), reference)
+    parts = comm.gather(local, root=0)
+    if comm.rank != 0:
+        return None
+    return gather_slabs(parts, spatial)

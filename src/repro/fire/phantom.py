@@ -1,0 +1,147 @@
+"""Synthetic head phantom with activation sites.
+
+Substitute for the Siemens 1.5 T Vision scanner and subject (DESIGN.md
+§4): an ellipsoidal head with tissue structure and designated activation
+regions whose BOLD signal follows a known reference dynamic — which makes
+the entire analysis chain verifiable against ground truth.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+
+@dataclass(frozen=True)
+class ActivationSite:
+    """A spherical activation region.
+
+    ``center`` is in voxel coordinates (fractions of the volume work too),
+    ``radius`` in voxels, ``amplitude`` is the fractional BOLD signal
+    change (typical experiments: 1–5 %).
+    """
+
+    center: tuple[float, float, float]
+    radius: float
+    amplitude: float = 0.03
+    delay: float = 6.0  #: this site's true hemodynamic delay (s)
+    dispersion: float = 1.0  #: and dispersion (s) — RVO's targets
+
+    def mask(self, shape: tuple[int, int, int]) -> np.ndarray:
+        """Boolean voxel mask of the site within ``shape``.
+
+        The site is an ellipsoid flattened along the slice (z) axis —
+        acquisition volumes are thin in z, so a round-in-voxels blob
+        would leave the brain.
+        """
+        zz, yy, xx = np.ogrid[: shape[0], : shape[1], : shape[2]]
+        cz, cy, cx = self.center
+        r = self.radius
+        d2 = ((zz - cz) / (0.5 * r)) ** 2 + ((yy - cy) / r) ** 2 + (
+            (xx - cx) / r
+        ) ** 2
+        return d2 <= 1.0
+
+
+@dataclass
+class HeadPhantom:
+    """Ellipsoid head with brain, ventricles, skull and activation sites.
+
+    ``shape`` is (slices, rows, cols) = (z, y, x); the paper's standard
+    matrix is 64×64×16 voxels, i.e. shape (16, 64, 64) here.
+    """
+
+    shape: tuple[int, int, int] = (16, 64, 64)
+    sites: tuple[ActivationSite, ...] = ()
+    seed: int = 1999
+
+    def __post_init__(self) -> None:
+        if not self.sites:
+            nz, ny, nx = self.shape
+            self.sites = (
+                ActivationSite(
+                    center=(nz * 0.5, ny * 0.35, nx * 0.30),
+                    radius=max(2.0, nx * 0.06),
+                    amplitude=0.04,
+                    delay=5.0,
+                    dispersion=0.9,
+                ),
+                ActivationSite(
+                    center=(nz * 0.5, ny * 0.40, nx * 0.70),
+                    radius=max(2.0, nx * 0.05),
+                    amplitude=0.03,
+                    delay=7.0,
+                    dispersion=1.3,
+                ),
+            )
+
+    # -- anatomy -------------------------------------------------------------
+    def anatomy(self) -> np.ndarray:
+        """The anatomical (baseline) volume, float64 in [0, ~1000].
+
+        Concentric ellipsoids: skull shell (bright), grey/white matter
+        with smooth texture, dark ventricles.
+        """
+        nz, ny, nx = self.shape
+        zz, yy, xx = np.meshgrid(
+            np.linspace(-1, 1, nz),
+            np.linspace(-1, 1, ny),
+            np.linspace(-1, 1, nx),
+            indexing="ij",
+        )
+        r_head = np.sqrt((zz / 0.95) ** 2 + (yy / 0.9) ** 2 + (xx / 0.75) ** 2)
+        r_brain = np.sqrt((zz / 0.8) ** 2 + (yy / 0.75) ** 2 + (xx / 0.6) ** 2)
+        r_vent = np.sqrt((zz / 0.25) ** 2 + (yy / 0.28) ** 2 + (xx / 0.16) ** 2)
+
+        vol = np.zeros(self.shape)
+        vol[r_head <= 1.0] = 300.0  # scalp/skull region
+        # grey/white matter with smooth radial texture
+        brain = r_brain <= 1.0
+        vol[brain] = 700.0 + 150.0 * np.cos(4.5 * r_brain[brain] * np.pi)
+        vol[r_vent <= 1.0] = 150.0  # CSF-filled ventricles
+        rng = np.random.default_rng(self.seed)
+        vol += rng.normal(0.0, 8.0, size=self.shape) * (vol > 0)
+        return np.clip(vol, 0.0, None)
+
+    def brain_mask(self) -> np.ndarray:
+        """Voxels inside the brain ellipsoid."""
+        nz, ny, nx = self.shape
+        zz, yy, xx = np.meshgrid(
+            np.linspace(-1, 1, nz),
+            np.linspace(-1, 1, ny),
+            np.linspace(-1, 1, nx),
+            indexing="ij",
+        )
+        return (zz / 0.8) ** 2 + (yy / 0.75) ** 2 + (xx / 0.6) ** 2 <= 1.0
+
+    # -- function ------------------------------------------------------------
+    def activation_amplitude(self) -> np.ndarray:
+        """Per-voxel fractional BOLD amplitude (0 outside sites)."""
+        amp = np.zeros(self.shape)
+        for site in self.sites:
+            amp[site.mask(self.shape)] = site.amplitude
+        return amp
+
+    def activation_mask(self) -> np.ndarray:
+        """Union of all activation site masks."""
+        mask = np.zeros(self.shape, dtype=bool)
+        for site in self.sites:
+            mask |= site.mask(self.shape)
+        return mask
+
+    def site_parameters(self) -> np.ndarray:
+        """(n_sites, 2) array of true (delay, dispersion) per site."""
+        return np.array([(s.delay, s.dispersion) for s in self.sites])
+
+    # -- high resolution -----------------------------------------------------
+    def highres_anatomy(
+        self, shape: tuple[int, int, int] = (128, 256, 256)
+    ) -> np.ndarray:
+        """The 256×256×128 anatomical scan used by the 3-D visualization.
+
+        "it is merged with a high resolution (256x256x128 voxels) image of
+        the subject's head.  Such images are usually produced before the
+        actual measurement begins."
+        """
+        return HeadPhantom(shape=shape, sites=self.sites, seed=self.seed).anatomy()

@@ -1,0 +1,285 @@
+"""The end-to-end Figure-2 timing pipeline.
+
+Reproduces the paper's delay budget for one 64×64×16 image:
+
+* scan → RT-server: ~1.5 s;
+* data transfers + control messages RT-server ↔ T3E ↔ RT-client: 1.1 s
+  (dominated by the 1999 control-path software, not wire time — the raw
+  image is only 128 KByte);
+* RT-client receipt → on screen: 0.6 s;
+* T3E processing: Table 1 (1.01 s at 256 PEs) ⇒ total < 5 s.
+
+And the throughput analysis: "the throughput of the application ... is
+the sum of the delays in the RT-client and the T3E, which is 2.7 seconds
+in the above example" because the published FIRE does **not** pipeline —
+"a new image is requested from the RT-server only after the processing
+and displaying of the previous one is completed."  ``pipelined=True``
+implements the improvement the paper points out it is missing.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional
+
+import numpy as np
+
+from repro.machines.t3e_model import REF_VOXELS, T3EPerformanceModel, default_model
+from repro.sim import Environment, Store
+from repro.util.stats import RunningStats
+
+#: Bytes per voxel of the raw image (16-bit) and of the result maps.
+RAW_BYTES_PER_VOXEL = 2
+RESULT_BYTES_PER_VOXEL = 4  # float32 correlation overlay
+
+
+@dataclass(frozen=True)
+class PipelineConfig:
+    """Parameters of one FIRE session on the metacomputer."""
+
+    pes: int = 256  #: T3E processors
+    voxels: int = REF_VOXELS  #: image size (64·64·16 by default)
+    n_images: int = 20
+    repetition_time: float = 3.0  #: scanner TR (Jülich typical: 3 s)
+    delivery_delay: float = 1.5  #: scan → RT-server
+    display_time: float = 0.6  #: data at client → on screen
+    comm_time: float = 1.1  #: transfers + control messages (paper total)
+    pipelined: bool = False
+    modules: tuple[str, ...] = ("filter", "motion", "rvo")
+    #: effective application-level transfer rate for the data legs; used
+    #: only to split comm_time into up/down legs for the pipelined mode.
+    transfer_rate: float = 100e6
+
+    def __post_init__(self) -> None:
+        if self.pes < 1 or self.voxels < 1 or self.n_images < 1:
+            raise ValueError("pes, voxels and n_images must be positive")
+        if self.repetition_time <= 0:
+            raise ValueError("repetition time must be positive")
+
+    @property
+    def raw_bytes(self) -> int:
+        """Raw image size on the wire."""
+        return self.voxels * RAW_BYTES_PER_VOXEL
+
+    @property
+    def result_bytes(self) -> int:
+        """Result overlay size on the wire."""
+        return self.voxels * RESULT_BYTES_PER_VOXEL
+
+    def comm_legs(self) -> tuple[float, float]:
+        """(server→T3E, T3E→client) comm times summing to ``comm_time``.
+
+        Each leg carries its data transfer plus half the control-message
+        budget.
+        """
+        up_wire = self.raw_bytes * 8 / self.transfer_rate
+        down_wire = self.result_bytes * 8 / self.transfer_rate
+        control = max(self.comm_time - up_wire - down_wire, 0.0)
+        return up_wire + control / 2, down_wire + control / 2
+
+
+@dataclass
+class ImageRecord:
+    """Timing of one image through the pipeline."""
+
+    index: int
+    scan_time: float
+    server_time: float
+    t3e_start: float
+    t3e_end: float
+    display_time: float
+
+    @property
+    def total_delay(self) -> float:
+        """Scan completion → on screen."""
+        return self.display_time - self.scan_time
+
+
+@dataclass
+class PipelineReport:
+    """Aggregate results of a pipeline run."""
+
+    config: PipelineConfig
+    records: list[ImageRecord]
+    t3e_time: float  #: per-image processing time used
+
+    @property
+    def mean_total_delay(self) -> float:
+        """Average scan→display delay."""
+        return float(np.mean([r.total_delay for r in self.records]))
+
+    @property
+    def max_total_delay(self) -> float:
+        return float(np.max([r.total_delay for r in self.records]))
+
+    @property
+    def throughput_period(self) -> float:
+        """Mean interval between displayed images (steady state)."""
+        if len(self.records) < 2:
+            return float("nan")
+        times = [r.display_time for r in self.records]
+        # Skip the first interval (pipeline fill).
+        diffs = np.diff(times)
+        return float(np.mean(diffs[1:])) if len(diffs) > 1 else float(diffs[0])
+
+    @property
+    def processing_period(self) -> float:
+        """Client+T3E busy time per image — the paper's 2.7 s figure.
+
+        This is the sequential-mode capacity: the scanner may not run
+        faster than this without images queueing up.
+        """
+        cfg = self.config
+        return cfg.comm_time + self.t3e_time + cfg.display_time
+
+    @property
+    def safe_repetition_time(self) -> float:
+        """Smallest scanner TR the pipeline sustains without backlog."""
+        cfg = self.config
+        if not cfg.pipelined:
+            return self.processing_period
+        up, down = cfg.comm_legs()
+        return max(up, self.t3e_time, down, cfg.display_time)
+
+    def breakdown(self) -> dict[str, float]:
+        """The Figure-2 delay budget."""
+        cfg = self.config
+        return {
+            "scan_to_server": cfg.delivery_delay,
+            "transfers_and_control": cfg.comm_time,
+            "t3e_processing": self.t3e_time,
+            "display": cfg.display_time,
+            "total": cfg.delivery_delay
+            + cfg.comm_time
+            + self.t3e_time
+            + cfg.display_time,
+        }
+
+
+class FirePipeline:
+    """Discrete-event model of the scanner→T3E→display loop."""
+
+    def __init__(
+        self,
+        config: Optional[PipelineConfig] = None,
+        model: Optional[T3EPerformanceModel] = None,
+    ):
+        self.config = config or PipelineConfig()
+        self.model = model or default_model()
+        self.t3e_time = self.model.total_time(
+            self.config.pes, self.config.voxels, self.config.modules
+        )
+
+    def run(self) -> PipelineReport:
+        """Simulate the session and return the timing report."""
+        return (
+            self._run_pipelined() if self.config.pipelined else self._run_sequential()
+        )
+
+    # -- sequential: the published FIRE behaviour -------------------------
+    def _run_sequential(self) -> PipelineReport:
+        cfg = self.config
+        env = Environment()
+        records: list[ImageRecord] = []
+        up, down = cfg.comm_legs()
+
+        last_scan = 0
+
+        def client():
+            nonlocal last_scan
+            for k in range(cfg.n_images):
+                # Take the most recent completed scan (the free-running
+                # scanner buffers; the client may skip scans if it lags),
+                # but never re-process one already displayed.
+                request = env.now
+                scan_index = max(
+                    int(np.floor(request / cfg.repetition_time)),
+                    1,
+                    last_scan + 1,
+                )
+                last_scan = scan_index
+                scan_time = scan_index * cfg.repetition_time
+                server_time = scan_time + cfg.delivery_delay
+                if server_time > env.now:
+                    yield env.timeout(server_time - env.now)
+                yield env.timeout(up)
+                t3e_start = env.now
+                yield env.timeout(self.t3e_time)
+                t3e_end = env.now
+                yield env.timeout(down)
+                yield env.timeout(cfg.display_time)
+                records.append(
+                    ImageRecord(
+                        index=k,
+                        scan_time=scan_time,
+                        server_time=server_time,
+                        t3e_start=t3e_start,
+                        t3e_end=t3e_end,
+                        display_time=env.now,
+                    )
+                )
+
+        env.process(client())
+        env.run()
+        return PipelineReport(cfg, records, self.t3e_time)
+
+    # -- pipelined: the improvement the paper points out --------------------
+    def _run_pipelined(self) -> PipelineReport:
+        cfg = self.config
+        env = Environment()
+        up, down = cfg.comm_legs()
+        q_up, q_t3e, q_down, q_disp = (Store(env) for _ in range(4))
+        records: list[ImageRecord] = []
+        meta: dict[int, dict] = {}
+
+        def scanner():
+            for k in range(cfg.n_images):
+                scan_time = (k + 1) * cfg.repetition_time
+                if scan_time > env.now:
+                    yield env.timeout(scan_time - env.now)
+                env.process(deliver(k, scan_time))
+            return None
+
+        def deliver(k, scan_time):
+            yield env.timeout(cfg.delivery_delay)
+            meta[k] = {"scan": scan_time, "server": env.now}
+            q_up.put(k)
+
+        def stage(src: Store, dst, busy: float, mark: Optional[str] = None):
+            def worker():
+                while True:
+                    k = yield src.get()
+                    if mark == "t3e_start":
+                        meta[k]["t3e_start"] = env.now
+                    yield env.timeout(busy)
+                    if mark == "t3e_start":
+                        meta[k]["t3e_end"] = env.now
+                    dst(k)
+
+            return worker
+
+        env.process(scanner())
+        env.process(stage(q_up, q_t3e.put, up)())
+        env.process(stage(q_t3e, q_down.put, self.t3e_time, mark="t3e_start")())
+        env.process(stage(q_down, q_disp.put, down)())
+
+        def display():
+            for _ in range(cfg.n_images):
+                k = yield q_disp.get()
+                yield env.timeout(cfg.display_time)
+                m = meta[k]
+                records.append(
+                    ImageRecord(
+                        index=k,
+                        scan_time=m["scan"],
+                        server_time=m["server"],
+                        t3e_start=m["t3e_start"],
+                        t3e_end=m["t3e_end"],
+                        display_time=env.now,
+                    )
+                )
+
+        env.process(display())
+        env.run()
+        records.sort(key=lambda r: r.index)
+        return PipelineReport(cfg, records, self.t3e_time)

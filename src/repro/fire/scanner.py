@@ -1,0 +1,151 @@
+"""Simulated Siemens Vision MRI scanner (EPI time series source).
+
+Generates the raw image stream the RT-server receives: the phantom's
+anatomy modulated by BOLD responses at the activation sites (each site
+with its own true delay/dispersion), corrupted by slow baseline drift,
+thermal noise and optional rigid head motion — exactly the artifacts the
+FIRE processing modules exist to remove.
+
+Timing: "The RT-server receives the data approximately 1.5 seconds after
+the scan (for a 64x64x16 image)" — exposed as ``delivery_delay``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Iterator, Optional
+
+import numpy as np
+from scipy import ndimage
+
+from repro.fire.hrf import HrfModel, boxcar_stimulus, reference_vector
+from repro.fire.phantom import HeadPhantom
+
+#: Bytes per voxel of raw scanner output (16-bit).
+BYTES_PER_VOXEL = 2
+
+
+@dataclass(frozen=True)
+class ScannerConfig:
+    """Acquisition parameters.
+
+    ``tr`` is the repetition time: "repetition times of up to 2 seconds";
+    typical Jülich experiments ran at 3 s (paper Section 4).
+    """
+
+    n_frames: int = 60
+    tr: float = 2.0
+    noise_sigma: float = 6.0  #: thermal noise (image units)
+    drift_per_frame: float = 0.35  #: linear baseline drift (units/frame)
+    drift_amplitude: float = 4.0  #: slow sinusoidal drift component
+    motion_amplitude: float = 0.0  #: peak translation in voxels (0 = still)
+    motion_period: int = 25  #: frames per motion cycle
+    delivery_delay: float = 1.5  #: scan → RT-server (s)
+    #: acquire through the k-space layer: complex noise is added in
+    #: k-space and the frame is a magnitude reconstruction (Rician
+    #: statistics), as the real scanner produces.
+    kspace_mode: bool = False
+    seed: int = 42
+
+    def __post_init__(self) -> None:
+        if self.n_frames < 1:
+            raise ValueError("need at least one frame")
+        if self.tr <= 0:
+            raise ValueError("repetition time must be positive")
+
+
+class SimulatedScanner:
+    """Produces the EPI frame stream for a phantom + stimulus protocol."""
+
+    def __init__(
+        self,
+        phantom: Optional[HeadPhantom] = None,
+        config: Optional[ScannerConfig] = None,
+        stimulus: Optional[np.ndarray] = None,
+    ):
+        self.phantom = phantom or HeadPhantom()
+        self.config = config or ScannerConfig()
+        self.stimulus = (
+            np.asarray(stimulus, dtype=float)
+            if stimulus is not None
+            else boxcar_stimulus(self.config.n_frames)
+        )
+        if len(self.stimulus) != self.config.n_frames:
+            raise ValueError("stimulus length must equal n_frames")
+        self._anatomy = self.phantom.anatomy()
+        self._rng = np.random.default_rng(self.config.seed)
+        # Per-site responses with each site's true hemodynamics.
+        self._site_responses = [
+            (
+                site.mask(self.phantom.shape),
+                site.amplitude,
+                self._site_timecourse(site.delay, site.dispersion),
+            )
+            for site in self.phantom.sites
+        ]
+
+    def _site_timecourse(self, delay: float, dispersion: float) -> np.ndarray:
+        """The (unnormalized, >= 0) BOLD time course of one site."""
+        ref = reference_vector(
+            self.stimulus, HrfModel(delay, dispersion), self.config.tr
+        )
+        # reference_vector is zero-mean/unit-norm for correlation; rescale
+        # to a 0..1 modulation so 'amplitude' means fractional change.
+        lo, hi = ref.min(), ref.max()
+        return (ref - lo) / (hi - lo) if hi > lo else np.zeros_like(ref)
+
+    @property
+    def shape(self) -> tuple[int, int, int]:
+        """Volume geometry (z, y, x)."""
+        return self.phantom.shape
+
+    @property
+    def image_bytes(self) -> int:
+        """Raw bytes per frame as shipped to the RT-server."""
+        return int(np.prod(self.shape)) * BYTES_PER_VOXEL
+
+    def true_motion(self, frame: int) -> np.ndarray:
+        """Ground-truth (dz, dy, dx) translation injected at ``frame``."""
+        a = self.config.motion_amplitude
+        if a == 0.0:
+            return np.zeros(3)
+        phase = 2 * np.pi * frame / self.config.motion_period
+        return np.array([0.15 * a * np.sin(phase), a * np.sin(phase), a * np.cos(phase) - a])
+
+    def frame(self, index: int) -> np.ndarray:
+        """Synthesize acquisition ``index`` (float64 volume)."""
+        cfg = self.config
+        if not 0 <= index < cfg.n_frames:
+            raise IndexError(f"frame {index} outside 0..{cfg.n_frames - 1}")
+        vol = self._anatomy.copy()
+        for mask, amplitude, response in self._site_responses:
+            vol[mask] *= 1.0 + amplitude * response[index]
+        # Slow baseline drift: linear + sinusoidal, brain-wide.
+        drift = (
+            cfg.drift_per_frame * index
+            + cfg.drift_amplitude * np.sin(2 * np.pi * index / max(cfg.n_frames, 2))
+        )
+        vol += drift
+        if cfg.motion_amplitude:
+            vol = ndimage.shift(
+                vol, self.true_motion(index), order=1, mode="nearest"
+            )
+        # Fresh thermal noise each frame (per-frame deterministic seed).
+        rng = np.random.default_rng(cfg.seed + 1000 + index)
+        if cfg.kspace_mode:
+            from repro.fire.kspace import acquire_kspace, reconstruct
+
+            return reconstruct(
+                acquire_kspace(vol, noise_sigma=cfg.noise_sigma, rng=rng)
+            )
+        vol += rng.normal(0.0, cfg.noise_sigma, size=vol.shape)
+        return vol
+
+    def frames(self) -> Iterator[tuple[int, float, np.ndarray]]:
+        """Iterate (index, scan_time, volume) over the whole run."""
+        for i in range(self.config.n_frames):
+            yield i, i * self.config.tr, self.frame(i)
+
+    def timeseries(self) -> np.ndarray:
+        """The full 4-D dataset, shape (n_frames, z, y, x)."""
+        return np.stack([self.frame(i) for i in range(self.config.n_frames)])

@@ -1,0 +1,51 @@
+"""Performance models of the testbed machines.
+
+The paper's timing artifacts (Table 1, the Figure-2 delay budget) were
+measured on 1999 supercomputers we do not have; these models reproduce
+their *shape* from calibrated work/overhead decompositions while the
+actual numerics run on the local machine (DESIGN.md Section 4).
+"""
+
+from repro.machines.spec import MachineKind, MachineSpec
+from repro.machines.registry import (
+    CRAY_T3E_600,
+    CRAY_T3E_1200,
+    CRAY_T90,
+    IBM_SP2,
+    SGI_ONYX2_GMD,
+    SGI_ONYX2_JUELICH,
+    SUN_E500,
+    MACHINES,
+    machine,
+)
+from repro.machines.t3e_model import (
+    TABLE1,
+    Table1Row,
+    ModuleCostModel,
+    T3EPerformanceModel,
+    REF_SHAPE,
+    REF_VOXELS,
+)
+from repro.machines.calibration import fit_amdahl_log, CalibrationResult
+
+__all__ = [
+    "MachineKind",
+    "MachineSpec",
+    "CRAY_T3E_600",
+    "CRAY_T3E_1200",
+    "CRAY_T90",
+    "IBM_SP2",
+    "SGI_ONYX2_GMD",
+    "SGI_ONYX2_JUELICH",
+    "SUN_E500",
+    "MACHINES",
+    "machine",
+    "TABLE1",
+    "Table1Row",
+    "ModuleCostModel",
+    "T3EPerformanceModel",
+    "REF_SHAPE",
+    "REF_VOXELS",
+    "fit_amdahl_log",
+    "CalibrationResult",
+]

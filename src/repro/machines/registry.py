@@ -1,0 +1,110 @@
+"""The installed base of the Gigabit Testbed West (paper Section 1).
+
+"Jülich is equipped with 512-node Cray T3E-600 and 512-node T3E-1200
+massively parallel computers and a 10-processor Cray T90 vector-computer.
+An IBM SP2, a 12-processor SGI Onyx 2 visualization server, and a
+8-processor SUN E500 are installed in the GMD."
+"""
+
+from __future__ import annotations
+
+from repro.machines.spec import MachineKind, MachineSpec
+
+CRAY_T3E_600 = MachineSpec(
+    name="Cray T3E-600",
+    kind=MachineKind.MPP,
+    site="juelich",
+    nodes=512,
+    peak_mflops_per_node=600.0,
+    comm_latency=1.5e-6,  # T3E torus one-way latency
+    comm_bandwidth=300e6,  # sustained byte/s per torus link
+    testbed_host="t3e-600",
+)
+
+CRAY_T3E_1200 = MachineSpec(
+    name="Cray T3E-1200",
+    kind=MachineKind.MPP,
+    site="juelich",
+    nodes=512,
+    peak_mflops_per_node=1200.0,
+    comm_latency=1.5e-6,
+    comm_bandwidth=350e6,
+    testbed_host="t3e-1200",
+)
+
+CRAY_T90 = MachineSpec(
+    name="Cray T90",
+    kind=MachineKind.VECTOR,
+    site="juelich",
+    nodes=10,
+    peak_mflops_per_node=1800.0,
+    comm_latency=0.5e-6,
+    comm_bandwidth=1.5e9,  # shared-memory vector machine
+    testbed_host="t90",
+)
+
+IBM_SP2 = MachineSpec(
+    name="IBM SP2",
+    kind=MachineKind.MPP,
+    site="gmd",
+    nodes=34,
+    peak_mflops_per_node=480.0,
+    comm_latency=30e-6,  # SP switch
+    comm_bandwidth=35e6,
+    testbed_host="sp2",
+)
+
+SGI_ONYX2_GMD = MachineSpec(
+    name="SGI Onyx 2 (GMD)",
+    kind=MachineKind.SMP,
+    site="gmd",
+    nodes=12,
+    peak_mflops_per_node=500.0,
+    comm_latency=1e-6,
+    comm_bandwidth=700e6,
+    testbed_host="onyx2-gmd",
+)
+
+SGI_ONYX2_JUELICH = MachineSpec(
+    name="SGI Onyx 2 (Jülich)",
+    kind=MachineKind.SMP,
+    site="juelich",
+    nodes=2,
+    peak_mflops_per_node=500.0,
+    comm_latency=1e-6,
+    comm_bandwidth=700e6,
+    testbed_host="onyx2-juelich",
+)
+
+SUN_E500 = MachineSpec(
+    name="Sun E500",
+    kind=MachineKind.SMP,
+    site="gmd",
+    nodes=8,
+    peak_mflops_per_node=400.0,
+    comm_latency=2e-6,
+    comm_bandwidth=400e6,
+    testbed_host="e500-gmd",
+)
+
+#: All registered machines by name.
+MACHINES: dict[str, MachineSpec] = {
+    m.name: m
+    for m in (
+        CRAY_T3E_600,
+        CRAY_T3E_1200,
+        CRAY_T90,
+        IBM_SP2,
+        SGI_ONYX2_GMD,
+        SGI_ONYX2_JUELICH,
+        SUN_E500,
+    )
+}
+
+
+def machine(name: str) -> MachineSpec:
+    """Look up a machine by full name."""
+    try:
+        return MACHINES[name]
+    except KeyError:
+        raise KeyError(f"unknown machine {name!r}; known: {sorted(MACHINES)}") from None

@@ -1,0 +1,48 @@
+"""Machine descriptions for the metacomputer."""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+
+
+class MachineKind(enum.Enum):
+    """Architectural class — the paper argues some partial problems fit
+    massively-parallel machines and others vector machines (Section 3)."""
+
+    MPP = "massively-parallel"
+    VECTOR = "vector"
+    SMP = "shared-memory"
+    WORKSTATION = "workstation"
+
+
+@dataclass(frozen=True)
+class MachineSpec:
+    """Static description of one testbed machine.
+
+    ``comm_latency``/``comm_bandwidth`` describe the *internal*
+    interconnect (T3E torus, SP2 switch, SMP bus) used by the
+    metacomputing MPI's intra-machine transport; the external attachment
+    (HiPPI/ATM) lives in :mod:`repro.netsim`.
+    """
+
+    name: str
+    kind: MachineKind
+    site: str  #: 'juelich' or 'gmd'
+    nodes: int
+    peak_mflops_per_node: float
+    comm_latency: float  #: seconds, one-way, internal
+    comm_bandwidth: float  #: byte/s, per link, internal
+    testbed_host: str = ""  #: node name in repro.netsim.testbed
+
+    @property
+    def peak_gflops(self) -> float:
+        """Aggregate peak of the whole machine."""
+        return self.nodes * self.peak_mflops_per_node / 1000.0
+
+    def internal_transfer_time(self, nbytes: int) -> float:
+        """Alpha-beta time for one internal point-to-point message."""
+        return self.comm_latency + nbytes / self.comm_bandwidth
+
+    def __str__(self) -> str:  # pragma: no cover - cosmetic
+        return f"{self.name} ({self.kind.value}, {self.nodes} nodes, {self.site})"

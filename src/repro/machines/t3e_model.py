@@ -1,0 +1,158 @@
+"""The Table-1 performance model of the FIRE modules on the Cray T3E-600.
+
+Table 1 of the paper lists, for a 64×64×16 image, the seconds spent in
+the spatial filters, the motion correction, and the reference vector
+optimization (RVO) for 1–256 processors, plus total and speedup.  The
+model here is calibrated against those rows and is used to drive the
+virtual clock whenever "the T3E" processes an image in the simulated
+pipeline.  Work scales with voxel count, overheads do not — hence the
+paper's remark that "larger images take more time, but achieve better
+speedups" emerges from the model (tested in the benchmark for E7).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from functools import lru_cache
+
+import numpy as np
+
+from repro.machines.calibration import CalibrationResult, fit_amdahl_log
+
+#: The reference image geometry of Table 1.
+REF_SHAPE = (64, 64, 16)
+REF_VOXELS = int(np.prod(REF_SHAPE))
+
+
+@dataclass(frozen=True)
+class Table1Row:
+    """One published row of Table 1 (all times in seconds)."""
+
+    pes: int
+    filter: float
+    motion: float
+    rvo: float
+    total: float
+    speedup: float
+
+
+#: Table 1 exactly as published.
+TABLE1: tuple[Table1Row, ...] = (
+    Table1Row(1, 0.18, 1.55, 109.27, 111.00, 1.0),
+    Table1Row(2, 0.09, 0.91, 54.65, 55.65, 2.0),
+    Table1Row(4, 0.05, 0.56, 27.36, 27.97, 4.0),
+    Table1Row(8, 0.03, 0.46, 13.74, 14.23, 7.8),
+    Table1Row(16, 0.02, 0.35, 6.93, 7.30, 15.2),
+    Table1Row(32, 0.02, 0.33, 3.51, 3.86, 28.7),
+    Table1Row(64, 0.03, 0.35, 1.85, 2.22, 50.0),
+    Table1Row(128, 0.03, 0.34, 1.00, 1.37, 81.1),
+    Table1Row(256, 0.04, 0.40, 0.59, 1.01, 110.5),
+)
+
+TABLE1_PES = tuple(r.pes for r in TABLE1)
+
+
+@dataclass(frozen=True)
+class ModuleCostModel:
+    """Calibrated cost of one module: t(p, W) = (a·W/W_ref)/p + b + c·log2 p."""
+
+    name: str
+    fit: CalibrationResult
+    ref_voxels: int = REF_VOXELS
+
+    def time(self, pes: int, voxels: int | None = None) -> float:
+        """Processing time in seconds on ``pes`` processors."""
+        if pes < 1:
+            raise ValueError("need at least one PE")
+        w = (voxels if voxels is not None else self.ref_voxels) / self.ref_voxels
+        f = self.fit
+        return f.a * w / pes + f.b + f.c * np.log2(pes)
+
+
+class T3EPerformanceModel:
+    """The complete per-image cost model for the T3E module set."""
+
+    def __init__(
+        self,
+        filter_model: ModuleCostModel,
+        motion_model: ModuleCostModel,
+        rvo_model: ModuleCostModel,
+    ):
+        self.filter = filter_model
+        self.motion = motion_model
+        self.rvo = rvo_model
+        self.modules = {
+            "filter": self.filter,
+            "motion": self.motion,
+            "rvo": self.rvo,
+        }
+
+    # -- construction -----------------------------------------------------
+    @classmethod
+    def calibrated(cls) -> "T3EPerformanceModel":
+        """Fit each module against the published Table 1."""
+        pes = np.array(TABLE1_PES, dtype=float)
+
+        def fit(attr: str) -> ModuleCostModel:
+            times = np.array([getattr(r, attr) for r in TABLE1])
+            return ModuleCostModel(name=attr, fit=fit_amdahl_log(pes, times))
+
+        return cls(fit("filter"), fit("motion"), fit("rvo"))
+
+    # -- queries ------------------------------------------------------------
+    def total_time(
+        self,
+        pes: int,
+        voxels: int = REF_VOXELS,
+        enabled: tuple[str, ...] = ("filter", "motion", "rvo"),
+    ) -> float:
+        """Per-image processing time with the given modules enabled.
+
+        The paper: "The use of each module is optional and can be
+        controlled during runtime via the GUI of the RT-client."
+        """
+        unknown = set(enabled) - set(self.modules)
+        if unknown:
+            raise KeyError(f"unknown modules: {sorted(unknown)}")
+        return sum(self.modules[m].time(pes, voxels) for m in enabled)
+
+    def speedup(self, pes: int, voxels: int = REF_VOXELS) -> float:
+        """Speedup over one PE for the full module set."""
+        return self.total_time(1, voxels) / self.total_time(pes, voxels)
+
+    def table(
+        self, pes_list: tuple[int, ...] = TABLE1_PES, voxels: int = REF_VOXELS
+    ) -> list[dict]:
+        """Regenerate Table 1 rows (dicts keyed like the paper's columns)."""
+        t1 = self.total_time(1, voxels)
+        rows = []
+        for p in pes_list:
+            row = {
+                "pes": p,
+                "filter": self.filter.time(p, voxels),
+                "motion": self.motion.time(p, voxels),
+                "rvo": self.rvo.time(p, voxels),
+            }
+            row["total"] = row["filter"] + row["motion"] + row["rvo"]
+            row["speedup"] = t1 / row["total"]
+            rows.append(row)
+        return rows
+
+    def format_table(self, voxels: int = REF_VOXELS) -> str:
+        """ASCII rendition in the paper's column layout."""
+        lines = [
+            f"{'PEs':>6} {'filter':>8} {'motion':>8} {'RVO':>9} "
+            f"{'total':>9} {'speedup':>8}"
+        ]
+        for row in self.table(voxels=voxels):
+            lines.append(
+                f"{row['pes']:>6d} {row['filter']:>8.2f} {row['motion']:>8.2f} "
+                f"{row['rvo']:>9.2f} {row['total']:>9.2f} {row['speedup']:>8.1f}"
+            )
+        return "\n".join(lines)
+
+
+@lru_cache(maxsize=1)
+def default_model() -> T3EPerformanceModel:
+    """The calibrated model, fit once per process."""
+    return T3EPerformanceModel.calibrated()

@@ -1,0 +1,68 @@
+"""A metacomputing-aware MPI library (paper Section 3).
+
+The testbed's software base was a "metacomputing-aware communication
+library" by Pallas: efficient *inside* each machine and *between* the
+machines, plus the MPI-2 features useful for metacomputing — dynamic
+process creation and attachment (for realtime visualization and
+computational steering) and language interoperability.  This package
+implements that library from scratch:
+
+* ranks are Python threads executing real functions on real data;
+* every rank carries a **virtual clock**; message timing comes from the
+  machine's internal interconnect (alpha-beta) or, between machines, from
+  the :mod:`repro.netsim` WAN path — so simulated elapsed time reflects
+  the metacomputer, while results are computed for real;
+* the API follows the mpi4py convention: lowercase methods
+  (``send``/``recv``/``bcast``...) move pickled Python objects, uppercase
+  methods (``Send``/``Recv``/``Bcast``...) move NumPy buffers;
+* collectives are topology-aware (hierarchical: intra-machine first,
+  one exchange across the WAN), with the naive flat algorithms available
+  for the ablation benchmark;
+* MPI-2: ``Spawn`` (dynamic process creation), named ports with
+  ``Open_port``/``Accept``/``Connect`` (attachment), intercommunicator
+  ``Merge``, and the language-interoperability layer in
+  :mod:`repro.metampi.interop`.
+"""
+
+from repro.metampi.constants import (
+    ANY_SOURCE,
+    ANY_TAG,
+    MAX,
+    MIN,
+    PROD,
+    SUM,
+    LAND,
+    LOR,
+    Op,
+)
+from repro.metampi.errors import MetaMpiError, RankFailed, DeadlockSuspected
+from repro.metampi.status import Status
+from repro.metampi.request import Request
+from repro.metampi.comm import Comm, Intercomm, Intracomm
+from repro.metampi.launcher import MetaMPI, RankResult
+from repro.metampi.interop import FortranArray, as_c_layout, as_fortran_layout
+
+__all__ = [
+    "ANY_SOURCE",
+    "ANY_TAG",
+    "SUM",
+    "MAX",
+    "MIN",
+    "PROD",
+    "LAND",
+    "LOR",
+    "Op",
+    "MetaMpiError",
+    "RankFailed",
+    "DeadlockSuspected",
+    "Status",
+    "Request",
+    "Comm",
+    "Intracomm",
+    "Intercomm",
+    "MetaMPI",
+    "RankResult",
+    "FortranArray",
+    "as_c_layout",
+    "as_fortran_layout",
+]

@@ -1,0 +1,144 @@
+"""Cartesian process topologies (MPI_Cart_create and friends).
+
+The coupled-fields applications (TRACE, the climate models) decompose
+structured grids over process grids; this module provides the standard
+MPI topology interface: dimension factorization, rank↔coordinate
+mapping, and neighbor shifts with optional periodicity.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional, Sequence
+
+import numpy as np
+
+from repro.metampi.comm import Intracomm
+
+
+def dims_create(n_ranks: int, n_dims: int) -> list[int]:
+    """Factor ``n_ranks`` into ``n_dims`` balanced dimensions
+    (MPI_Dims_create): dimensions as equal as possible, non-increasing."""
+    if n_ranks < 1 or n_dims < 1:
+        raise ValueError("need positive rank and dimension counts")
+    dims = [1] * n_dims
+    remaining = n_ranks
+    # Repeatedly peel the largest prime factor onto the smallest dim.
+    factors = []
+    n = remaining
+    d = 2
+    while d * d <= n:
+        while n % d == 0:
+            factors.append(d)
+            n //= d
+        d += 1
+    if n > 1:
+        factors.append(n)
+    for f in sorted(factors, reverse=True):
+        dims[int(np.argmin(dims))] *= f
+    return sorted(dims, reverse=True)
+
+
+@dataclass
+class CartComm:
+    """A communicator with attached Cartesian topology.
+
+    Wraps (not subclasses) an :class:`Intracomm`: all communication goes
+    through ``comm``; this object adds the geometry.
+    """
+
+    comm: Intracomm
+    dims: tuple[int, ...]
+    periods: tuple[bool, ...]
+
+    def __post_init__(self) -> None:
+        if int(np.prod(self.dims)) != self.comm.size:
+            raise ValueError(
+                f"dims {self.dims} do not tile {self.comm.size} ranks"
+            )
+        if len(self.periods) != len(self.dims):
+            raise ValueError("periods must match dims")
+
+    # -- geometry ----------------------------------------------------------
+    @property
+    def ndim(self) -> int:
+        return len(self.dims)
+
+    def coords(self, rank: Optional[int] = None) -> tuple[int, ...]:
+        """Cartesian coordinates of ``rank`` (default: the caller)."""
+        r = self.comm.rank if rank is None else rank
+        if not 0 <= r < self.comm.size:
+            raise ValueError(f"rank {r} out of range")
+        out = []
+        for d in reversed(self.dims):
+            out.append(r % d)
+            r //= d
+        return tuple(reversed(out))
+
+    def rank_at(self, coords: Sequence[int]) -> int:
+        """Rank at the given coordinates (periodic wrapping if enabled)."""
+        if len(coords) != self.ndim:
+            raise ValueError("coordinate dimensionality mismatch")
+        rank = 0
+        for c, d, p in zip(coords, self.dims, self.periods):
+            if p:
+                c %= d
+            elif not 0 <= c < d:
+                raise ValueError(f"coordinate {c} outside non-periodic dim {d}")
+            rank = rank * d + c
+        return rank
+
+    def shift(self, dimension: int, displacement: int = 1) -> tuple[Optional[int], Optional[int]]:
+        """(source, destination) ranks for a shift (MPI_Cart_shift).
+
+        Returns None where a non-periodic boundary cuts the shift off.
+        """
+        if not 0 <= dimension < self.ndim:
+            raise ValueError("bad dimension")
+        me = list(self.coords())
+
+        def neighbor(direction: int) -> Optional[int]:
+            c = list(me)
+            c[dimension] += direction * displacement
+            try:
+                return self.rank_at(c)
+            except ValueError:
+                return None
+
+        return neighbor(-1), neighbor(+1)
+
+    # -- convenience halo exchange ------------------------------------------
+    def halo_exchange(
+        self, dimension: int, send_down, send_up, tag: int = 90
+    ) -> tuple:
+        """Exchange boundary data with both neighbors along a dimension.
+
+        Sends ``send_up`` to the +1 neighbor and ``send_down`` to the -1
+        neighbor; returns (from_down, from_up), None at open boundaries.
+        """
+        down, up = self.shift(dimension)
+        if up is not None:
+            self.comm.send(send_up, up, tag=tag)
+        if down is not None:
+            self.comm.send(send_down, down, tag=tag + 1)
+        from_down = self.comm.recv(source=down, tag=tag) if down is not None else None
+        from_up = self.comm.recv(source=up, tag=tag + 1) if up is not None else None
+        return from_down, from_up
+
+
+def cart_create(
+    comm: Intracomm,
+    dims: Optional[Sequence[int]] = None,
+    periods: Optional[Sequence[bool]] = None,
+    n_dims: int = 2,
+) -> CartComm:
+    """Attach a Cartesian topology to ``comm`` (MPI_Cart_create).
+
+    ``dims=None`` lets :func:`dims_create` pick a balanced factorization.
+    """
+    if dims is None:
+        dims = dims_create(comm.size, n_dims)
+    dims = tuple(int(d) for d in dims)
+    if periods is None:
+        periods = tuple(False for _ in dims)
+    return CartComm(comm=comm, dims=dims, periods=tuple(bool(p) for p in periods))

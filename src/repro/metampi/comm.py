@@ -1,0 +1,737 @@
+"""Communicators: point-to-point, collectives, MPI-2 dynamic processes.
+
+API follows the mpi4py convention the testbed's users would recognise:
+lowercase methods communicate pickled Python objects, uppercase methods
+communicate NumPy buffers in place.
+
+Collectives are *metacomputing-aware* (paper Section 3): ranks are
+grouped into islands by machine, and tree algorithms route exactly one
+message per island across the WAN, doing the fan-out/fan-in on the fast
+internal interconnect.  Set ``hierarchical=False`` to get the flat
+binomial algorithms for the ablation benchmark.
+"""
+
+from __future__ import annotations
+
+import threading
+from typing import Any, Callable, Optional, Sequence
+
+import numpy as np
+
+from repro.metampi.constants import (
+    ANY_SOURCE,
+    ANY_TAG,
+    INTERNAL_TAG_BASE,
+    Op,
+    SUM,
+)
+from repro.metampi.errors import InvalidTag, MetaMpiError
+from repro.metampi.message import Message
+from repro.metampi.request import Request
+from repro.metampi.runtime import RankContext, Runtime
+from repro.metampi.status import Status
+
+#: Offset used to derive a merged intracommunicator's id from an
+#: intercommunicator's id deterministically on both sides.
+_MERGE_ID_OFFSET = 1_000_000
+
+
+class _ElementwiseOp:
+    """Lift a scalar Op to elementwise application over equal-length
+    sequences (for reduce_scatter)."""
+
+    def __init__(self, op: Op):
+        self.op = op
+
+    def __call__(self, a, b):
+        return [self.op(x, y) for x, y in zip(a, b)]
+
+
+def _binomial_parent_children(n: int) -> tuple[dict[int, int], dict[int, list[int]]]:
+    """Binomial tree over positions 0..n-1 rooted at position 0."""
+    parent: dict[int, int] = {}
+    children: dict[int, list[int]] = {i: [] for i in range(n)}
+    for i in range(1, n):
+        p = i - (1 << (i.bit_length() - 1))
+        parent[i] = p
+        children[p].append(i)
+    return parent, children
+
+
+class Comm:
+    """Base communicator: identity and point-to-point operations."""
+
+    def __init__(self, runtime: Runtime, comm_id: int, group: Sequence[int]):
+        self.runtime = runtime
+        self.comm_id = comm_id
+        self.group = list(group)
+        self._index = {w: i for i, w in enumerate(self.group)}
+        if len(self._index) != len(self.group):
+            raise MetaMpiError("duplicate ranks in communicator group")
+
+    # -- identity ---------------------------------------------------------
+    def _me(self) -> RankContext:
+        ctx = self.runtime.current()
+        if ctx.world_rank not in self._index:
+            raise MetaMpiError(
+                f"calling thread (world rank {ctx.world_rank}) is not a "
+                f"member of this communicator"
+            )
+        return ctx
+
+    @property
+    def rank(self) -> int:
+        """This rank's index within the communicator."""
+        return self._index[self._me().world_rank]
+
+    @property
+    def size(self) -> int:
+        """Number of ranks in the (local) group."""
+        return len(self.group)
+
+    def Get_rank(self) -> int:
+        """MPI-style accessor."""
+        return self.rank
+
+    def Get_size(self) -> int:
+        """MPI-style accessor."""
+        return self.size
+
+    # -- group translation (overridden by Intercomm) -------------------------
+    def _peer_group(self) -> list[int]:
+        """The group that dest/source indices refer to."""
+        return self.group
+
+    def _dst_world(self, dest: int) -> int:
+        peers = self._peer_group()
+        if not 0 <= dest < len(peers):
+            raise MetaMpiError(f"dest {dest} out of range for size {len(peers)}")
+        return peers[dest]
+
+    def _src_local(self, world: int) -> int:
+        peers = self._peer_group()
+        return peers.index(world)
+
+    # -- virtual time ---------------------------------------------------------
+    def advance(self, seconds: float) -> None:
+        """Account ``seconds`` of local computation on this rank's clock."""
+        if seconds < 0:
+            raise ValueError("cannot advance the clock backwards")
+        ctx = self._me()
+        ctx.clock += seconds
+        if self.runtime.tracer is not None:
+            self.runtime.tracer.record_compute(ctx.world_rank, seconds, ctx.clock)
+
+    def wtime(self) -> float:
+        """This rank's virtual clock (MPI_Wtime equivalent)."""
+        return self._me().clock
+
+    # -- point-to-point: objects ------------------------------------------
+    def send(self, obj: Any, dest: int, tag: int = 0) -> None:
+        """Send a picklable object (buffered: returns immediately)."""
+        self._post("obj", obj, dest, tag, user=True)
+
+    def recv(
+        self,
+        source: int = ANY_SOURCE,
+        tag: int = ANY_TAG,
+        status: Optional[Status] = None,
+    ) -> Any:
+        """Blocking matched receive; returns the object."""
+        return self._collect(source, tag, status).data
+
+    def isend(self, obj: Any, dest: int, tag: int = 0) -> Request:
+        """Nonblocking send (buffered, so born complete)."""
+        self.send(obj, dest, tag)
+        return Request.completed()
+
+    def irecv(self, source: int = ANY_SOURCE, tag: int = ANY_TAG) -> Request:
+        """Nonblocking receive returning a waitable Request."""
+        ctx = self._me()
+        world_src = source if source == ANY_SOURCE else self._dst_world(source)
+
+        def waiter(status: Optional[Status]) -> Any:
+            return self._collect(source, tag, status).data
+
+        def prober() -> bool:
+            return ctx.mailbox.probe(self.comm_id, world_src, tag) is not None
+
+        return Request(wait_fn=waiter, probe_fn=prober)
+
+    def sendrecv(
+        self,
+        obj: Any,
+        dest: int,
+        sendtag: int = 0,
+        source: int = ANY_SOURCE,
+        recvtag: int = ANY_TAG,
+        status: Optional[Status] = None,
+    ) -> Any:
+        """Combined send+receive (deadlock-free in this buffered runtime)."""
+        self.send(obj, dest, sendtag)
+        return self.recv(source, recvtag, status)
+
+    def probe(self, source: int = ANY_SOURCE, tag: int = ANY_TAG) -> bool:
+        """True if a matching message is already queued."""
+        ctx = self._me()
+        world_src = source if source == ANY_SOURCE else self._dst_world(source)
+        return ctx.mailbox.probe(self.comm_id, world_src, tag) is not None
+
+    # -- point-to-point: buffers ---------------------------------------------
+    def Send(self, buf: np.ndarray, dest: int, tag: int = 0) -> None:
+        """Send a NumPy buffer (copied at call time)."""
+        self._post("buf", np.asarray(buf), dest, tag, user=True)
+
+    def Recv(
+        self,
+        buf: np.ndarray,
+        source: int = ANY_SOURCE,
+        tag: int = ANY_TAG,
+        status: Optional[Status] = None,
+    ) -> None:
+        """Receive into ``buf`` (shape/size must match the message)."""
+        msg = self._collect(source, tag, status)
+        self._copy_into(buf, msg)
+
+    def Isend(self, buf: np.ndarray, dest: int, tag: int = 0) -> Request:
+        """Nonblocking buffer send."""
+        self.Send(buf, dest, tag)
+        return Request.completed()
+
+    def Irecv(
+        self, buf: np.ndarray, source: int = ANY_SOURCE, tag: int = ANY_TAG
+    ) -> Request:
+        """Nonblocking buffer receive; wait() fills ``buf``."""
+        ctx = self._me()
+        world_src = source if source == ANY_SOURCE else self._dst_world(source)
+
+        def waiter(status: Optional[Status]) -> np.ndarray:
+            msg = self._collect(source, tag, status)
+            self._copy_into(buf, msg)
+            return buf
+
+        def prober() -> bool:
+            return ctx.mailbox.probe(self.comm_id, world_src, tag) is not None
+
+        return Request(wait_fn=waiter, probe_fn=prober)
+
+    def Sendrecv(
+        self,
+        sendbuf: np.ndarray,
+        dest: int,
+        recvbuf: np.ndarray,
+        source: int = ANY_SOURCE,
+        sendtag: int = 0,
+        recvtag: int = ANY_TAG,
+    ) -> None:
+        """Combined buffer send+receive."""
+        self.Send(sendbuf, dest, sendtag)
+        self.Recv(recvbuf, source, recvtag)
+
+    # -- internals -----------------------------------------------------------
+    @staticmethod
+    def _copy_into(buf: np.ndarray, msg: Message) -> None:
+        data = np.asarray(msg.data)
+        if buf.size != data.size:
+            raise MetaMpiError(
+                f"receive buffer size {buf.size} != message size {data.size}"
+            )
+        buf.reshape(-1)[:] = data.reshape(-1)
+
+    def _post(self, kind: str, data: Any, dest: int, tag: int, user: bool) -> None:
+        if user and tag < 0:
+            raise InvalidTag(f"user tags must be >= 0, got {tag}")
+        ctx = self._me()
+        self.runtime.post(ctx, self._dst_world(dest), self.comm_id, tag, kind, data)
+
+    def _collect(
+        self, source: int, tag: int, status: Optional[Status]
+    ) -> Message:
+        ctx = self._me()
+        world_src = source if source == ANY_SOURCE else self._dst_world(source)
+        msg = self.runtime.collect(ctx, self.comm_id, world_src, tag)
+        if status is not None:
+            status.source = self._src_local(msg.src)
+            status.tag = msg.tag
+            status.count = msg.nbytes
+        return msg
+
+    # -- MPI-2 attachment hooks shared by both comm kinds --------------------
+    def Get_parent(self) -> Optional["Intercomm"]:
+        """The intercommunicator to the spawning processes (children only)."""
+        return self.runtime.current().parent_comm
+
+    def Disconnect(self) -> None:
+        """No-op in this buffered runtime (messages are already delivered)."""
+
+    def Publish_name(self, service: str, port: str) -> None:
+        """Publish a port under a service name (MPI_Publish_name)."""
+        self.runtime.publish_name(service, port)
+
+    def Lookup_name(self, service: str) -> str:
+        """Resolve a published service name (MPI_Lookup_name)."""
+        return self.runtime.lookup_name(service)
+
+
+class Intracomm(Comm):
+    """Intracommunicator: collectives, split/dup, dynamic processes."""
+
+    def __init__(
+        self,
+        runtime: Runtime,
+        comm_id: int,
+        group: Sequence[int],
+        hierarchical: bool = True,
+    ):
+        super().__init__(runtime, comm_id, group)
+        self.hierarchical = hierarchical
+
+    # -- island structure -----------------------------------------------------
+    def islands(self) -> list[list[int]]:
+        """Comm-local ranks grouped by machine (WAN-island structure)."""
+        by_loc: dict[tuple[str, str], list[int]] = {}
+        for local, world in enumerate(self.group):
+            ctx = self.runtime.ranks[world]
+            by_loc.setdefault((ctx.machine.name, ctx.host), []).append(local)
+        return list(by_loc.values())
+
+    def _tree(self, root: int) -> tuple[dict[int, int], dict[int, list[int]]]:
+        """Parent/children maps (comm-local) for the collective tree."""
+        n = self.size
+        if not self.hierarchical:
+            order = [(root + i) % n for i in range(n)]
+            p_pos, c_pos = _binomial_parent_children(n)
+            parent = {order[i]: order[p] for i, p in p_pos.items()}
+            children = {
+                order[i]: [order[c] for c in cs] for i, cs in c_pos.items()
+            }
+            return parent, children
+
+        islands = self.islands()
+        # Root's island first; the root leads its island.
+        islands.sort(key=lambda isl: (root not in isl, isl[0]))
+        leaders = []
+        for isl in islands:
+            leader = root if root in isl else isl[0]
+            leaders.append(leader)
+        parent: dict[int, int] = {}
+        children: dict[int, list[int]] = {r: [] for r in range(n)}
+        # Binomial tree over the island leaders (the WAN level).
+        lp, lc = _binomial_parent_children(len(leaders))
+        for i, p in lp.items():
+            parent[leaders[i]] = leaders[p]
+        for i, cs in lc.items():
+            children[leaders[i]].extend(leaders[c] for c in cs)
+        # Binomial tree inside each island (the fast level).
+        for isl, leader in zip(islands, leaders):
+            members = [leader] + [r for r in isl if r != leader]
+            mp, mc = _binomial_parent_children(len(members))
+            for i, p in mp.items():
+                parent[members[i]] = members[p]
+            for i, cs in mc.items():
+                children[members[i]].extend(members[c] for c in cs)
+        return parent, children
+
+    def _coll_tag(self) -> int:
+        return self._me().next_collective_tag(self.comm_id, INTERNAL_TAG_BASE)
+
+    def _send_i(self, kind: str, data: Any, dest: int, tag: int) -> None:
+        self._post(kind, data, dest, tag, user=False)
+
+    def _recv_i(self, source: int, tag: int) -> Any:
+        return self._collect(source, tag, None).data
+
+    # -- object collectives ----------------------------------------------------
+    def bcast(self, obj: Any, root: int = 0) -> Any:
+        """Broadcast ``obj`` from ``root``; every rank returns it."""
+        tag = self._coll_tag()
+        parent, children = self._tree(root)
+        me = self.rank
+        if me != root:
+            obj = self._recv_i(parent[me], tag)
+        for child in children[me]:
+            self._send_i("obj", obj, child, tag)
+        return obj
+
+    def gather(self, obj: Any, root: int = 0) -> Optional[list]:
+        """Gather objects to ``root`` (list in rank order) — None elsewhere."""
+        tag = self._coll_tag()
+        parent, children = self._tree(root)
+        me = self.rank
+        bundle: dict[int, Any] = {me: obj}
+        for child in children[me]:
+            bundle.update(self._recv_i(child, tag))
+        if me != root:
+            self._send_i("obj", bundle, parent[me], tag)
+            return None
+        return [bundle[r] for r in range(self.size)]
+
+    def scatter(self, values: Optional[Sequence], root: int = 0) -> Any:
+        """Scatter a size-length sequence from ``root``; returns own item."""
+        tag = self._coll_tag()
+        parent, children = self._tree(root)
+        me = self.rank
+        if me == root:
+            if values is None or len(values) != self.size:
+                raise MetaMpiError(
+                    "scatter needs a sequence of exactly comm.size items at root"
+                )
+            bundle = {r: values[r] for r in range(self.size)}
+        else:
+            bundle = self._recv_i(parent[me], tag)
+        # Pass each child the slice for its whole subtree.
+        subtree: dict[int, set] = {}
+
+        def collect_subtree(r: int) -> set:
+            s = {r}
+            for c in children[r]:
+                s |= collect_subtree(c)
+            return s
+
+        for child in children[me]:
+            keys = collect_subtree(child)
+            self._send_i("obj", {k: bundle[k] for k in keys}, child, tag)
+        return bundle[me]
+
+    def allgather(self, obj: Any) -> list:
+        """Gather to rank 0, then broadcast the full list."""
+        gathered = self.gather(obj, root=0)
+        return self.bcast(gathered, root=0)
+
+    def reduce(self, value: Any, op: Op = SUM, root: int = 0) -> Any:
+        """Reduce to ``root`` (rank-ordered fold); None elsewhere."""
+        items = self.gather(value, root=root)
+        if items is None:
+            return None
+        acc = items[0]
+        for item in items[1:]:
+            acc = op(acc, item)
+        return acc
+
+    def allreduce(self, value: Any, op: Op = SUM) -> Any:
+        """Reduce to rank 0, then broadcast the result."""
+        return self.bcast(self.reduce(value, op, root=0), root=0)
+
+    def alltoall(self, values: Sequence) -> list:
+        """Personalized all-to-all exchange."""
+        if len(values) != self.size:
+            raise MetaMpiError("alltoall needs exactly comm.size items")
+        tag = self._coll_tag()
+        me = self.rank
+        for r in range(self.size):
+            if r != me:
+                self._send_i("obj", values[r], r, tag)
+        out = [None] * self.size
+        out[me] = values[me]
+        for r in range(self.size):
+            if r != me:
+                out[r] = self._recv_i(r, tag)
+        return out
+
+    def barrier(self) -> None:
+        """All ranks synchronize; afterwards all clocks agree.
+
+        Exit time = the maximum clock any rank reached after the first
+        synchronization round, agreed on in a second round.  (The second
+        round's own sender overheads are idealized away so all exit
+        clocks are exactly equal — a µs-scale idealization.)
+        """
+        ctx = self._me()
+        after_first = None
+        self.allgather(ctx.clock)
+        after_first = ctx.clock
+        ctx.clock = max(self.allgather(after_first))
+
+    def scan(self, value: Any, op: Op = SUM) -> Any:
+        """Inclusive prefix reduction along rank order."""
+        tag = self._coll_tag()
+        me = self.rank
+        acc = value
+        if me > 0:
+            acc = op(self._recv_i(me - 1, tag), value)
+        if me < self.size - 1:
+            self._send_i("obj", acc, me + 1, tag)
+        return acc
+
+    def exscan(self, value: Any, op: Op = SUM) -> Any:
+        """Exclusive prefix reduction: rank 0 gets None."""
+        tag = self._coll_tag()
+        me = self.rank
+        prior = None if me == 0 else self._recv_i(me - 1, tag)
+        if me < self.size - 1:
+            outgoing = value if prior is None else op(prior, value)
+            self._send_i("obj", outgoing, me + 1, tag)
+        return prior
+
+    def reduce_scatter(self, values: Sequence, op: Op = SUM) -> Any:
+        """Elementwise reduction of size-length sequences, item ``i``
+        delivered to rank ``i`` (MPI_Reduce_scatter_block semantics)."""
+        if len(values) != self.size:
+            raise MetaMpiError("reduce_scatter needs exactly comm.size items")
+        reduced = self.reduce(list(values), op=_ElementwiseOp(op), root=0)
+        return self.scatter(reduced, root=0)
+
+    # -- buffer collectives --------------------------------------------------
+    def Bcast(self, buf: np.ndarray, root: int = 0) -> None:
+        """Broadcast ``buf`` from root into every rank's ``buf`` in place."""
+        tag = self._coll_tag()
+        parent, children = self._tree(root)
+        me = self.rank
+        if me != root:
+            data = self._collect_internal(parent[me], tag)
+            self._copy_into(buf, data)
+        for child in children[me]:
+            self._send_i("buf", buf, child, tag)
+
+    def Reduce(
+        self,
+        sendbuf: np.ndarray,
+        recvbuf: Optional[np.ndarray],
+        op: Op = SUM,
+        root: int = 0,
+    ) -> None:
+        """Elementwise tree reduction into ``recvbuf`` at root."""
+        tag = self._coll_tag()
+        parent, children = self._tree(root)
+        me = self.rank
+        acc = np.array(sendbuf, copy=True)
+        for child in children[me]:
+            msg = self._collect_internal(child, tag)
+            op.np_ufunc(acc, np.asarray(msg.data).reshape(acc.shape), out=acc)
+        if me != root:
+            self._send_i("buf", acc, parent[me], tag)
+        else:
+            if recvbuf is None:
+                raise MetaMpiError("root must supply recvbuf")
+            recvbuf.reshape(-1)[:] = acc.reshape(-1)
+
+    def Allreduce(
+        self, sendbuf: np.ndarray, recvbuf: np.ndarray, op: Op = SUM
+    ) -> None:
+        """Reduce to rank 0 then broadcast, filling ``recvbuf`` everywhere."""
+        if self.rank == 0:
+            self.Reduce(sendbuf, recvbuf, op, root=0)
+        else:
+            self.Reduce(sendbuf, None, op, root=0)
+        self.Bcast(recvbuf, root=0)
+
+    def Gather(
+        self,
+        sendbuf: np.ndarray,
+        recvbuf: Optional[np.ndarray],
+        root: int = 0,
+    ) -> None:
+        """Gather equal-size buffers into ``recvbuf[rank] = sendbuf``."""
+        parts = self.gather(np.asarray(sendbuf), root=root)
+        if self.rank == root:
+            if recvbuf is None:
+                raise MetaMpiError("root must supply recvbuf")
+            stacked = np.stack(parts)
+            recvbuf.reshape(-1)[:] = stacked.reshape(-1)
+
+    def Scatter(
+        self,
+        sendbuf: Optional[np.ndarray],
+        recvbuf: np.ndarray,
+        root: int = 0,
+    ) -> None:
+        """Scatter rows of ``sendbuf`` at root into each rank's ``recvbuf``."""
+        values = None
+        if self.rank == root:
+            if sendbuf is None:
+                raise MetaMpiError("root must supply sendbuf")
+            arr = np.asarray(sendbuf)
+            if arr.shape[0] != self.size:
+                raise MetaMpiError(
+                    f"Scatter sendbuf first dim {arr.shape[0]} != size {self.size}"
+                )
+            values = [arr[i] for i in range(self.size)]
+        part = self.scatter(values, root=root)
+        self._copy_into_array(recvbuf, part)
+
+    def Allgather(self, sendbuf: np.ndarray, recvbuf: np.ndarray) -> None:
+        """All ranks end with the stacked buffers in ``recvbuf``."""
+        parts = self.allgather(np.asarray(sendbuf))
+        stacked = np.stack(parts)
+        recvbuf.reshape(-1)[:] = stacked.reshape(-1)
+
+    @staticmethod
+    def _copy_into_array(buf: np.ndarray, data: np.ndarray) -> None:
+        data = np.asarray(data)
+        if buf.size != data.size:
+            raise MetaMpiError(
+                f"buffer size {buf.size} != incoming size {data.size}"
+            )
+        buf.reshape(-1)[:] = data.reshape(-1)
+
+    def _collect_internal(self, source: int, tag: int) -> Message:
+        return self._collect(source, tag, None)
+
+    # -- communicator management ----------------------------------------------
+    def dup(self) -> "Intracomm":
+        """A new communicator over the same group (separate tag space)."""
+        new_id = self.bcast(
+            self.runtime.next_comm_id() if self.rank == 0 else None, root=0
+        )
+        return Intracomm(self.runtime, new_id, self.group, self.hierarchical)
+
+    def split(self, color: int, key: int = 0) -> Optional["Intracomm"]:
+        """Partition the communicator by ``color``, ordering by ``key``."""
+        me = self.rank
+        triples = self.allgather((color, key, me))
+        # Rank 0 of the parent allocates ids for all colors at once.
+        if me == 0:
+            colors = sorted({c for (c, _, _) in triples if c is not None})
+            id_map = {c: self.runtime.next_comm_id() for c in colors}
+        else:
+            id_map = None
+        id_map = self.bcast(id_map, root=0)
+        if color is None:
+            return None
+        members = sorted(
+            (k, r) for (c, k, r) in triples if c == color
+        )
+        local_ranks = [r for _, r in members]
+        return Intracomm(
+            self.runtime,
+            id_map[color],
+            [self.group[r] for r in local_ranks],
+            self.hierarchical,
+        )
+
+    # -- MPI-2 dynamic process management -----------------------------------
+    def Spawn(
+        self,
+        fn: Callable,
+        args: tuple = (),
+        maxprocs: int = 1,
+        machine=None,
+        host: str = "",
+        root: int = 0,
+    ) -> "Intercomm":
+        """Start ``maxprocs`` new ranks running ``fn(child_comm, *args)``.
+
+        Collective over this communicator.  Children see each other through
+        their own world communicator and reach the parents through
+        ``comm.Get_parent()``.  The paper uses this for realtime
+        visualization and computational steering attachments.
+        """
+        me = self.rank
+        if me == root:
+            ctx = self._me()
+            spec = machine or ctx.machine
+            child_ctxs = [
+                self.runtime.add_rank(spec, host or spec.testbed_host, clock=ctx.clock)
+                for _ in range(maxprocs)
+            ]
+            child_world = [c.world_rank for c in child_ctxs]
+            child_comm_id = self.runtime.next_comm_id()
+            inter_comm_id = self.runtime.next_comm_id()
+            info = (child_world, child_comm_id, inter_comm_id)
+        else:
+            info = None
+        child_world, child_comm_id, inter_comm_id = self.bcast(info, root=root)
+
+        inter = Intercomm(
+            self.runtime, inter_comm_id, self.group, child_world
+        )
+        if me == root:
+            child_intra = Intracomm(
+                self.runtime, child_comm_id, child_world, self.hierarchical
+            )
+            child_side = Intercomm(
+                self.runtime, inter_comm_id, child_world, self.group
+            )
+            for c in child_ctxs:
+                c.parent_comm = child_side
+                self.runtime.start_rank(c, fn, args, child_intra)
+        return inter
+
+    # -- MPI-2 ports (attachment) ------------------------------------------
+    def Open_port(self) -> str:
+        """Allocate a port name for Accept/Connect."""
+        return self.runtime.open_port()
+
+    def Accept(self, port: str, root: int = 0) -> "Intercomm":
+        """Accept one connection on ``port`` (collective)."""
+        me = self.rank
+        if me == root:
+            offer = self.runtime.port_take(port)
+            inter_comm_id = offer["comm_id"]
+            remote_group = offer["group"]
+            offer["reply"].append(
+                {"group": self.group, "clock": self._me().clock}
+            )
+            offer["event"].set()
+            info = (inter_comm_id, remote_group)
+        else:
+            info = None
+        inter_comm_id, remote_group = self.bcast(info, root=root)
+        return Intercomm(self.runtime, inter_comm_id, self.group, remote_group)
+
+    def Connect(self, port: str, root: int = 0) -> "Intercomm":
+        """Connect to an Accept-ing communicator at ``port`` (collective)."""
+        me = self.rank
+        if me == root:
+            ctx = self._me()
+            inter_comm_id = self.runtime.next_comm_id()
+            event = threading.Event()
+            reply: list = []
+            self.runtime.port_offer(
+                port,
+                {
+                    "comm_id": inter_comm_id,
+                    "group": self.group,
+                    "clock": ctx.clock,
+                    "reply": reply,
+                    "event": event,
+                },
+            )
+            if not event.wait(timeout=self.runtime.wallclock_timeout):
+                raise MetaMpiError(f"Connect({port!r}) timed out")
+            remote = reply[0]
+            ctx.clock = max(ctx.clock, remote["clock"])
+            info = (inter_comm_id, remote["group"])
+        else:
+            info = None
+        inter_comm_id, remote_group = self.bcast(info, root=root)
+        return Intercomm(self.runtime, inter_comm_id, self.group, remote_group)
+
+
+class Intercomm(Comm):
+    """Intercommunicator: p2p addresses the *remote* group."""
+
+    def __init__(
+        self,
+        runtime: Runtime,
+        comm_id: int,
+        local_group: Sequence[int],
+        remote_group: Sequence[int],
+    ):
+        super().__init__(runtime, comm_id, local_group)
+        self.remote_group = list(remote_group)
+
+    @property
+    def remote_size(self) -> int:
+        """Number of ranks in the remote group."""
+        return len(self.remote_group)
+
+    def Get_remote_size(self) -> int:
+        """MPI-style accessor."""
+        return self.remote_size
+
+    def _peer_group(self) -> list[int]:
+        return self.remote_group
+
+    def Merge(self, high: bool = False) -> Intracomm:
+        """Merge both groups into one intracommunicator.
+
+        The ``high=False`` group comes first in the merged rank order;
+        both sides derive the same communicator id deterministically.
+        """
+        merged_id = self.comm_id + _MERGE_ID_OFFSET
+        if high:
+            group = self.remote_group + self.group
+        else:
+            group = self.group + self.remote_group
+        return Intracomm(self.runtime, merged_id, group)

@@ -1,0 +1,22 @@
+"""Error types of the metacomputing MPI runtime."""
+
+
+class MetaMpiError(RuntimeError):
+    """Base class for all metampi errors."""
+
+
+class RankFailed(MetaMpiError):
+    """A rank's function raised; carries rank and original exception."""
+
+    def __init__(self, rank: int, original: BaseException):
+        super().__init__(f"rank {rank} failed: {original!r}")
+        self.rank = rank
+        self.original = original
+
+
+class DeadlockSuspected(MetaMpiError):
+    """The wall-clock watchdog fired while ranks were still blocked."""
+
+
+class InvalidTag(MetaMpiError):
+    """User supplied a negative (reserved) tag."""

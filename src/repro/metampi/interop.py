@@ -1,0 +1,105 @@
+"""MPI-2 language interoperability (paper Section 3).
+
+"Language-interoperability is needed to couple applications that are
+implemented in different programming languages."  The testbed coupled
+Fortran field solvers (TRACE, MOM-2, IFS) with C/C++ codes; the issues
+are array memory order (column- vs row-major), index base, and the
+datatype correspondence between the languages.
+
+This module provides the conversion layer the coupled applications use:
+:class:`FortranArray` wraps a column-major array with 1-based indexing,
+and the ``as_*_layout`` helpers re-order buffers at a language boundary.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+#: Fortran type name → NumPy dtype, the correspondence a heterogeneous
+#: coupling must agree on (MPI-2 §4.12 style).
+FORTRAN_TYPES = {
+    "INTEGER": np.dtype(np.int32),
+    "INTEGER*4": np.dtype(np.int32),
+    "INTEGER*8": np.dtype(np.int64),
+    "REAL": np.dtype(np.float32),
+    "REAL*4": np.dtype(np.float32),
+    "REAL*8": np.dtype(np.float64),
+    "DOUBLE PRECISION": np.dtype(np.float64),
+    "COMPLEX": np.dtype(np.complex64),
+    "DOUBLE COMPLEX": np.dtype(np.complex128),
+    "LOGICAL": np.dtype(np.int32),
+}
+
+#: C type name → NumPy dtype.
+C_TYPES = {
+    "int": np.dtype(np.int32),
+    "long": np.dtype(np.int64),
+    "float": np.dtype(np.float32),
+    "double": np.dtype(np.float64),
+}
+
+
+def dtype_for(language: str, typename: str) -> np.dtype:
+    """The NumPy dtype a language-level type maps to."""
+    table = FORTRAN_TYPES if language.lower() == "fortran" else C_TYPES
+    try:
+        return table[typename]
+    except KeyError:
+        raise KeyError(
+            f"unknown {language} type {typename!r}; known: {sorted(table)}"
+        ) from None
+
+
+def as_fortran_layout(arr: np.ndarray) -> np.ndarray:
+    """Column-major copy (no copy if already Fortran-contiguous)."""
+    return np.asfortranarray(arr)
+
+
+def as_c_layout(arr: np.ndarray) -> np.ndarray:
+    """Row-major copy (no copy if already C-contiguous)."""
+    return np.ascontiguousarray(arr)
+
+
+@dataclass
+class FortranArray:
+    """A Fortran-side view of an array: column-major, 1-based indices.
+
+    The coupled Fortran codes address field arrays as ``A(i, j, k)`` with
+    ``i`` fastest; this wrapper lets the Python stand-ins express the same
+    access pattern so boundary exchanges match element-for-element.
+    """
+
+    data: np.ndarray
+
+    def __post_init__(self) -> None:
+        self.data = np.asfortranarray(self.data)
+
+    @property
+    def shape(self) -> tuple[int, ...]:
+        return self.data.shape
+
+    def get(self, *indices: int) -> np.generic:
+        """1-based element access, Fortran style."""
+        return self.data[tuple(i - 1 for i in indices)]
+
+    def set(self, *indices_and_value) -> None:
+        """1-based element assignment: ``set(i, j, ..., value)``."""
+        *indices, value = indices_and_value
+        self.data[tuple(i - 1 for i in indices)] = value
+
+    def to_c(self) -> np.ndarray:
+        """Row-major copy for the C side of a coupling."""
+        return np.ascontiguousarray(self.data)
+
+    @classmethod
+    def from_c(cls, arr: np.ndarray) -> "FortranArray":
+        """Wrap a C-side array, converting layout."""
+        return cls(np.asfortranarray(arr))
+
+    def column(self, j: int) -> np.ndarray:
+        """1-based column ``A(:, j)`` — contiguous in Fortran layout."""
+        col = self.data[:, j - 1]
+        assert col.flags["F_CONTIGUOUS"] or col.ndim == 0 or col.flags["C_CONTIGUOUS"]
+        return col

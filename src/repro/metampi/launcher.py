@@ -1,0 +1,150 @@
+"""High-level launcher: assemble a metacomputer and run a program on it.
+
+Typical use::
+
+    mc = MetaMPI(testbed=build_testbed())
+    mc.add_machine(CRAY_T3E_600, ranks=8)
+    mc.add_machine(IBM_SP2, ranks=4)
+    results = mc.run(main)          # main(comm) runs on every rank
+    print(mc.elapsed)               # metacomputer virtual seconds
+
+Without a ``testbed``, inter-machine messages use a generic default WAN
+cost, which keeps unit tests independent of the network simulator.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Callable, Optional, Sequence
+
+from repro.machines.spec import MachineSpec
+from repro.metampi.comm import Intracomm
+from repro.metampi.runtime import Runtime
+from repro.metampi.transport import TransportModel
+
+
+@dataclass
+class RankResult:
+    """Outcome of one rank: return value and final virtual clock."""
+
+    rank: int
+    value: Any
+    clock: float
+    machine: str
+
+
+class MetaMPI:
+    """Builds the rank layout and runs SPMD programs on it."""
+
+    def __init__(
+        self,
+        testbed: Any = None,
+        transport: Optional[TransportModel] = None,
+        wallclock_timeout: Optional[float] = 60.0,
+        tracer: Any = None,
+        hierarchical: bool = True,
+    ):
+        if transport is None:
+            net = getattr(testbed, "net", testbed)
+            transport = TransportModel(net=net)
+        self.runtime = Runtime(
+            transport=transport,
+            wallclock_timeout=wallclock_timeout,
+            tracer=tracer,
+        )
+        self.hierarchical = hierarchical
+        self._layout: list = []
+        self.world: Optional[Intracomm] = None
+
+    # -- assembly -----------------------------------------------------------
+    def add_machine(
+        self, spec: MachineSpec, ranks: int, host: str = ""
+    ) -> "MetaMPI":
+        """Contribute ``ranks`` processes on ``spec`` to the metacomputer."""
+        if ranks < 1:
+            raise ValueError("need at least one rank per machine")
+        for _ in range(ranks):
+            self._layout.append(self.runtime.add_rank(spec, host))
+        return self
+
+    @property
+    def size(self) -> int:
+        """World size assembled so far."""
+        return len(self._layout)
+
+    # -- execution ------------------------------------------------------------
+    def run(
+        self,
+        fn: Callable,
+        args: tuple = (),
+        per_rank_args: Optional[Sequence[tuple]] = None,
+    ) -> list[RankResult]:
+        """Run ``fn(world_comm, *args)`` on every rank; wait for all ranks.
+
+        ``per_rank_args`` overrides ``args`` individually.  Ranks spawned
+        dynamically during the run are joined too.
+        """
+        if not self._layout:
+            raise RuntimeError("add_machine() before run()")
+        if per_rank_args is not None and len(per_rank_args) != self.size:
+            raise ValueError("per_rank_args length must equal world size")
+
+        world = Intracomm(
+            self.runtime,
+            self.runtime.next_comm_id(),
+            [c.world_rank for c in self._layout],
+            hierarchical=self.hierarchical,
+        )
+        self.world = world
+        if self.runtime.tracer is not None:
+            self.runtime.tracer.bind_runtime(self.runtime)
+
+        for i, ctx in enumerate(self._layout):
+            rank_args = per_rank_args[i] if per_rank_args is not None else args
+            self.runtime.start_rank(ctx, fn, tuple(rank_args), world)
+
+        # Join everything, including ranks spawned while running.  A rank
+        # can exist momentarily before its thread starts (inside Spawn), so
+        # keep polling until every registered rank has been joined.
+        import time
+
+        deadline = (
+            time.monotonic() + self.runtime.wallclock_timeout
+            if self.runtime.wallclock_timeout is not None
+            else None
+        )
+        joined: set[int] = set()
+        while True:
+            pending = [
+                c for c in list(self.runtime.ranks) if c.world_rank not in joined
+            ]
+            if not pending:
+                break
+            started = [c for c in pending if c.thread is not None]
+            if started:
+                self.runtime.join(started)
+                joined.update(c.world_rank for c in started)
+            else:
+                if deadline is not None and time.monotonic() > deadline:
+                    from repro.metampi.errors import DeadlockSuspected
+
+                    raise DeadlockSuspected(
+                        f"ranks {[c.world_rank for c in pending]} registered "
+                        "but never started"
+                    )
+                time.sleep(0.002)
+
+        return [
+            RankResult(
+                rank=i,
+                value=ctx.result,
+                clock=ctx.clock,
+                machine=ctx.machine.name,
+            )
+            for i, ctx in enumerate(self.runtime.ranks)
+        ]
+
+    @property
+    def elapsed(self) -> float:
+        """Virtual elapsed time of the whole run (max over rank clocks)."""
+        return self.runtime.elapsed

@@ -1,0 +1,57 @@
+"""Nonblocking-operation handles (MPI_Request equivalent)."""
+
+from __future__ import annotations
+
+from typing import Any, Callable, Optional, Tuple
+
+from repro.metampi.status import Status
+
+
+class Request:
+    """Handle returned by isend/irecv.
+
+    Sends are buffered in this runtime, so send requests are born
+    complete; receive requests perform the matched receive on ``wait``.
+    """
+
+    def __init__(
+        self,
+        wait_fn: Optional[Callable[[], Any]] = None,
+        probe_fn: Optional[Callable[[], bool]] = None,
+        value: Any = None,
+        done: bool = False,
+    ):
+        self._wait_fn = wait_fn
+        self._probe_fn = probe_fn
+        self._value = value
+        self._done = done
+
+    @classmethod
+    def completed(cls, value: Any = None) -> "Request":
+        """A request that is already finished (buffered send)."""
+        return cls(value=value, done=True)
+
+    def wait(self, status: Optional[Status] = None) -> Any:
+        """Block until the operation completes; returns received object."""
+        if not self._done:
+            assert self._wait_fn is not None
+            self._value = self._wait_fn(status) if status is not None else self._wait_fn(None)
+            self._done = True
+        return self._value
+
+    def test(self) -> Tuple[bool, Any]:
+        """Non-blocking completion check: (flag, value-or-None)."""
+        if self._done:
+            return True, self._value
+        if self._probe_fn is not None and self._probe_fn():
+            return True, self.wait()
+        return False, None
+
+    @property
+    def done(self) -> bool:
+        return self._done
+
+    @staticmethod
+    def waitall(requests: list["Request"]) -> list[Any]:
+        """Wait on every request, returning their values in order."""
+        return [r.wait() for r in requests]

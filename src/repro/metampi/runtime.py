@@ -1,0 +1,271 @@
+"""The threaded virtual-time runtime behind the MPI API.
+
+Each rank is an OS thread executing the user's function on real data.
+Virtual time is tracked per rank: compute is accounted explicitly
+(``comm.advance``), communication costs come from the
+:class:`~repro.metampi.transport.TransportModel`.  A receive sets the
+receiver's clock to ``max(own clock, message arrival)`` — the standard
+conservative logical-clock rule — so the final ``max`` over all rank
+clocks is the metacomputer's elapsed time for the run.
+"""
+
+from __future__ import annotations
+
+import itertools
+import pickle
+import threading
+from dataclasses import dataclass, field
+from typing import Any, Callable, Optional
+
+import numpy as np
+
+from repro.machines.spec import MachineSpec
+from repro.metampi.errors import MetaMpiError, RankFailed
+from repro.metampi.message import Mailbox, Message
+from repro.metampi.transport import TransportModel
+
+
+def payload_nbytes(kind: str, data: Any) -> int:
+    """Size accounting: buffers by nbytes, objects by pickled size."""
+    if kind == "buf":
+        return int(data.nbytes)
+    return len(pickle.dumps(data, protocol=pickle.HIGHEST_PROTOCOL))
+
+
+def snapshot(kind: str, data: Any) -> Any:
+    """Copy-on-send semantics: the receiver must not see later mutation."""
+    if kind == "buf":
+        return np.array(data, copy=True)
+    return pickle.loads(pickle.dumps(data, protocol=pickle.HIGHEST_PROTOCOL))
+
+
+@dataclass
+class RankContext:
+    """Per-rank state: location, clock, mailbox, thread bookkeeping."""
+
+    world_rank: int
+    machine: MachineSpec
+    host: str
+    node_index: int
+    clock: float = 0.0
+    mailbox: Mailbox = field(default_factory=Mailbox)
+    thread: Optional[threading.Thread] = None
+    result: Any = None
+    error: Optional[BaseException] = None
+    #: per-communicator collective sequence numbers (for internal tags)
+    coll_seq: dict[int, int] = field(default_factory=dict)
+    #: set for spawned ranks: the intercommunicator back to the parents
+    parent_comm: Any = None
+
+    def next_collective_tag(self, comm_id: int, base: int) -> int:
+        """Internal tag for the next collective on ``comm_id``.
+
+        All ranks call collectives on a communicator in the same program
+        order (an MPI requirement), so local counters agree globally.
+        """
+        seq = self.coll_seq.get(comm_id, 0)
+        self.coll_seq[comm_id] = seq + 1
+        return base - seq
+
+
+class Runtime:
+    """Owns all ranks, the transport model, and the global send order."""
+
+    def __init__(
+        self,
+        transport: Optional[TransportModel] = None,
+        wallclock_timeout: Optional[float] = 60.0,
+        tracer: Any = None,
+    ):
+        self.transport = transport or TransportModel()
+        self.wallclock_timeout = wallclock_timeout
+        self.tracer = tracer
+        self.ranks: list[RankContext] = []
+        self._tls = threading.local()
+        self._lock = threading.Lock()
+        self._seq = itertools.count()
+        self._comm_ids = itertools.count(1)
+        self._channel_free: dict[tuple[str, str], float] = {}
+        self._ports: dict[str, list] = {}
+        self._port_cond = threading.Condition()
+        self._port_names = itertools.count(1)
+        self._services: dict[str, str] = {}
+
+    # -- rank management ------------------------------------------------
+    def add_rank(self, machine: MachineSpec, host: str = "", clock: float = 0.0) -> RankContext:
+        """Register a new rank located on ``machine`` (thread started later)."""
+        with self._lock:
+            per_machine = sum(
+                1 for c in self.ranks if c.machine is machine and c.host == host
+            )
+            ctx = RankContext(
+                world_rank=len(self.ranks),
+                machine=machine,
+                host=host or machine.testbed_host,
+                node_index=per_machine,
+                clock=clock,
+            )
+            self.ranks.append(ctx)
+            return ctx
+
+    def next_comm_id(self) -> int:
+        return next(self._comm_ids)
+
+    def current(self) -> RankContext:
+        """The context of the calling thread."""
+        ctx = getattr(self._tls, "ctx", None)
+        if ctx is None:
+            raise MetaMpiError("not inside a metampi rank thread")
+        return ctx
+
+    def start_rank(
+        self, ctx: RankContext, fn: Callable, args: tuple, comm: Any
+    ) -> None:
+        """Spin up the rank's thread running ``fn(comm, *args)``."""
+
+        def body():
+            self._tls.ctx = ctx
+            try:
+                ctx.result = fn(comm, *args)
+            except BaseException as exc:  # noqa: BLE001 - reported to joiner
+                ctx.error = exc
+            finally:
+                if self.tracer is not None:
+                    self.tracer.record_finish(ctx.world_rank, ctx.clock)
+
+        ctx.thread = threading.Thread(
+            target=body, name=f"metampi-rank-{ctx.world_rank}", daemon=True
+        )
+        ctx.thread.start()
+
+    def join(self, ctxs: list[RankContext]) -> None:
+        """Wait for the given ranks; re-raise the first rank failure.
+
+        Fails fast: if any rank raised, its peers are typically blocked in
+        receives that will never match, so we surface the root cause
+        immediately instead of waiting out the watchdog.
+        """
+        import time
+
+        deadline = (
+            time.monotonic() + self.wallclock_timeout
+            if self.wallclock_timeout is not None
+            else None
+        )
+        pending = [c for c in ctxs if c.thread is not None]
+        while pending:
+            for ctx in list(pending):
+                ctx.thread.join(timeout=0.02)
+                if not ctx.thread.is_alive():
+                    pending.remove(ctx)
+                    if ctx.error is not None:
+                        raise RankFailed(ctx.world_rank, ctx.error) from ctx.error
+            if deadline is not None and time.monotonic() > deadline:
+                from repro.metampi.errors import DeadlockSuspected
+
+                stuck = [c.world_rank for c in pending]
+                raise DeadlockSuspected(
+                    f"ranks {stuck} still running after "
+                    f"{self.wallclock_timeout}s wall-clock"
+                )
+
+    # -- messaging --------------------------------------------------------
+    def post(
+        self,
+        src: RankContext,
+        dst_world: int,
+        comm_id: int,
+        tag: int,
+        kind: str,
+        data: Any,
+    ) -> int:
+        """Send path: cost accounting + delivery to the dest mailbox.
+
+        Returns payload size in bytes.
+        """
+        dst = self.ranks[dst_world]
+        nbytes = payload_nbytes(kind, data)
+        cost = self.transport.cost(src.machine, src.host, dst.machine, dst.host)
+        key = self.transport.channel_key(
+            src.machine, src.host, dst.machine, dst.host
+        )
+        if key is None:
+            arrival = src.clock + cost.transit(nbytes)
+        else:
+            # The external attachment serializes concurrent transfers.
+            occupancy = nbytes / cost.bandwidth
+            with self._lock:
+                start = max(src.clock, self._channel_free.get(key, 0.0))
+                self._channel_free[key] = start + occupancy
+            arrival = start + occupancy + cost.latency
+        src.clock += cost.sender_overhead
+        msg = Message(
+            src=src.world_rank,
+            dst=dst_world,
+            comm_id=comm_id,
+            tag=tag,
+            kind=kind,
+            data=snapshot(kind, data),
+            nbytes=nbytes,
+            arrival=arrival,
+            seq=next(self._seq),
+        )
+        dst.mailbox.deliver(msg)
+        if self.tracer is not None:
+            self.tracer.record_send(
+                src.world_rank, dst_world, tag, nbytes, src.clock, arrival
+            )
+        return nbytes
+
+    def collect(
+        self, dst: RankContext, comm_id: int, source_world: int, tag: int
+    ) -> Message:
+        """Receive path: block for a match, then advance the clock."""
+        msg = dst.mailbox.collect(
+            comm_id, source_world, tag, timeout=self.wallclock_timeout
+        )
+        dst.clock = max(dst.clock, msg.arrival)
+        if self.tracer is not None:
+            self.tracer.record_recv(
+                msg.src, dst.world_rank, msg.tag, msg.nbytes, dst.clock
+            )
+        return msg
+
+    # -- ports (MPI-2 attachment) -----------------------------------------
+    def open_port(self) -> str:
+        """A fresh port name for Accept/Connect."""
+        return f"metampi-port-{next(self._port_names)}"
+
+    def publish_name(self, service: str, port: str) -> None:
+        """Associate a service name with a port (MPI_Publish_name)."""
+        with self._port_cond:
+            self._services[service] = port
+            self._port_cond.notify_all()
+
+    def lookup_name(self, service: str) -> str:
+        """Resolve a published service name, waiting if necessary."""
+        with self._port_cond:
+            while service not in self._services:
+                if not self._port_cond.wait(timeout=self.wallclock_timeout):
+                    raise MetaMpiError(f"service {service!r} never published")
+            return self._services[service]
+
+    def port_offer(self, port: str, offer: Any) -> None:
+        """Connect side: deposit a connection offer at the port."""
+        with self._port_cond:
+            self._ports.setdefault(port, []).append(offer)
+            self._port_cond.notify_all()
+
+    def port_take(self, port: str) -> Any:
+        """Accept side: wait for and remove one connection offer."""
+        with self._port_cond:
+            while not self._ports.get(port):
+                if not self._port_cond.wait(timeout=self.wallclock_timeout):
+                    raise MetaMpiError(f"accept on {port!r} timed out")
+            return self._ports[port].pop(0)
+
+    # -- diagnostics ------------------------------------------------------
+    @property
+    def elapsed(self) -> float:
+        """Metacomputer elapsed virtual time so far."""
+        return max((c.clock for c in self.ranks), default=0.0)

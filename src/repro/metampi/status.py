@@ -1,0 +1,26 @@
+"""Receive status, mirroring MPI_Status."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+
+@dataclass
+class Status:
+    """Filled in by recv/Recv with the matched message's envelope."""
+
+    source: int = -1
+    tag: int = -1
+    count: int = 0  #: payload size in bytes
+
+    def Get_source(self) -> int:
+        """MPI-style accessor."""
+        return self.source
+
+    def Get_tag(self) -> int:
+        """MPI-style accessor."""
+        return self.tag
+
+    def Get_count(self) -> int:
+        """Payload size in bytes."""
+        return self.count

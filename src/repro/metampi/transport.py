@@ -1,0 +1,133 @@
+"""Message timing: the "metacomputing-aware" transport model.
+
+The paper requires communication to be efficient both *inside* and
+*between* the machines of the metacomputer.  Correspondingly the cost of
+a message depends on where its endpoints live:
+
+* same machine — the machine's internal interconnect (alpha-beta from
+  :class:`repro.machines.MachineSpec`: T3E torus, SP2 switch, SMP bus);
+* different machines — the Gigabit Testbed West path between the two
+  hosts (latency from distance + store-and-forward, bandwidth from the
+  TCP pipeline model of :mod:`repro.netsim.tcp`).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+from repro.machines.spec import MachineSpec
+from repro.netsim.core import Gateway, Host, Network
+from repro.netsim.ip import ClassicalIP, TESTBED_MTU
+from repro.netsim.tcp import characterize_path
+
+
+@dataclass(frozen=True)
+class LinkCost:
+    """Alpha-beta cost of one logical channel."""
+
+    latency: float  #: seconds, one-way zero-load
+    bandwidth: float  #: byte/s for the payload
+    sender_overhead: float  #: seconds the sender is busy per message
+
+    def transit(self, nbytes: int) -> float:
+        """One-way delivery time for a message of ``nbytes``."""
+        return self.latency + nbytes / self.bandwidth
+
+
+def one_way_latency(net: Network, src: str, dst: str) -> float:
+    """Zero-load one-way latency of a small (64-byte) packet."""
+    small = 64
+    total = 0.0
+    path = net.shortest_path(src, dst)
+    for name in (src, dst):
+        host = net.host(name)
+        total += host.cpu_per_packet
+        if host.io_bus_rate != float("inf"):
+            total += small * 8 / host.io_bus_rate
+    for u, v in zip(path, path[1:]):
+        link = net.nodes[u].link_to(v)
+        total += link.propagation + link.framing.wire_bytes(small) * 8 / link.rate
+        node = net.nodes[v]
+        if isinstance(node, Gateway):
+            total += node.per_packet
+    return total
+
+
+class TransportModel:
+    """Computes per-message costs for the runtime.
+
+    ``net`` is optional: without it, inter-machine messages fall back to a
+    configurable default WAN cost (useful for unit tests that do not need
+    the full testbed).
+    """
+
+    def __init__(
+        self,
+        net: Optional[Network] = None,
+        ip: Optional[ClassicalIP] = None,
+        default_wan: LinkCost = LinkCost(
+            latency=1e-3, bandwidth=30e6, sender_overhead=50e-6
+        ),
+    ):
+        self.net = net
+        self.ip = ip or ClassicalIP(TESTBED_MTU)
+        self.default_wan = default_wan
+        self._wan_cache: dict[tuple[str, str], LinkCost] = {}
+
+    # -- cost lookups ------------------------------------------------------
+    def intra(self, spec: MachineSpec) -> LinkCost:
+        """Cost of an internal message on ``spec``."""
+        return LinkCost(
+            latency=spec.comm_latency,
+            bandwidth=spec.comm_bandwidth,
+            sender_overhead=spec.comm_latency,
+        )
+
+    def wan(self, src_host: str, dst_host: str) -> LinkCost:
+        """Cost of a message between two testbed hosts."""
+        if self.net is None or not src_host or not dst_host:
+            return self.default_wan
+        key = (src_host, dst_host)
+        cost = self._wan_cache.get(key)
+        if cost is None:
+            char = characterize_path(self.net, src_host, dst_host, self.ip)
+            bw_bytes = char.pipeline_rate() / 8
+            cost = LinkCost(
+                latency=one_way_latency(self.net, src_host, dst_host),
+                bandwidth=bw_bytes,
+                sender_overhead=self.net.host(src_host).cpu_per_packet or 50e-6,
+            )
+            self._wan_cache[key] = cost
+        return cost
+
+    def cost(
+        self,
+        src_spec: MachineSpec,
+        src_host: str,
+        dst_spec: MachineSpec,
+        dst_host: str,
+    ) -> LinkCost:
+        """Pick the channel connecting two rank locations."""
+        if src_spec is dst_spec and src_host == dst_host:
+            return self.intra(src_spec)
+        return self.wan(src_host, dst_host)
+
+    def channel_key(
+        self,
+        src_spec: MachineSpec,
+        src_host: str,
+        dst_spec: MachineSpec,
+        dst_host: str,
+    ) -> Optional[tuple[str, str]]:
+        """Identity of the *shared* serializing channel, if any.
+
+        Intra-machine traffic rides a scalable interconnect (torus/switch)
+        and is not serialized.  WAN traffic between two hosts shares one
+        external attachment (the HiPPI gateway / ATM adapter), so all
+        concurrent transfers between the same host pair queue behind each
+        other — the effect that makes topology-aware collectives pay off.
+        """
+        if src_spec is dst_spec and src_host == dst_host:
+            return None
+        return (src_host or src_spec.name, dst_host or dst_spec.name)

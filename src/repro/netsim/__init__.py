@@ -1,0 +1,72 @@
+"""Simulator of the Gigabit Testbed West network (paper Section 2, Figure 1).
+
+Layers, bottom-up:
+
+* :mod:`repro.netsim.sdh` — SDH/SONET line vs. payload rates (STM-1/4/16).
+* :mod:`repro.netsim.atm` — 53-byte cells, AAL5 segmentation and the cell tax.
+* :mod:`repro.netsim.ip` — classical IP over ATM (LLC/SNAP, RFC 1577 style)
+  with the large (64 KByte) MTUs the testbed relied on.
+* :mod:`repro.netsim.hippi` — the 800 Mbit/s HiPPI channels of the
+  supercomputers.
+* :mod:`repro.netsim.core` — packet-level discrete-event network: hosts,
+  switches, HiPPI↔ATM gateways, links, static routing.
+* :mod:`repro.netsim.tcp` — window/RTT TCP throughput (analytic + DES flows).
+* :mod:`repro.netsim.flows` — bulk, request/response and CBR traffic.
+* :mod:`repro.netsim.testbed` — the Figure-1 topology builder.
+"""
+
+from repro.netsim.atm import (
+    ATM_CELL_BYTES,
+    ATM_PAYLOAD_BYTES,
+    AAL5Frame,
+    aal5_cells,
+    aal5_efficiency,
+    aal5_wire_bytes,
+)
+from repro.netsim.sdh import SDH_LEVELS, SdhLevel
+from repro.netsim.ip import ClassicalIP, IP_HEADER, TCP_HEADER, LLC_SNAP_HEADER
+from repro.netsim.core import (
+    Host,
+    Link,
+    Network,
+    Packet,
+    Switch,
+    Gateway,
+    AtmFraming,
+    HippiFraming,
+    PlainFraming,
+)
+from repro.netsim.tcp import TcpModel, tcp_steady_throughput
+from repro.netsim.flows import BulkTransfer, CbrFlow, PingFlow
+from repro.netsim.testbed import GigabitTestbedWest, build_testbed
+
+__all__ = [
+    "ATM_CELL_BYTES",
+    "ATM_PAYLOAD_BYTES",
+    "AAL5Frame",
+    "aal5_cells",
+    "aal5_efficiency",
+    "aal5_wire_bytes",
+    "SDH_LEVELS",
+    "SdhLevel",
+    "ClassicalIP",
+    "IP_HEADER",
+    "TCP_HEADER",
+    "LLC_SNAP_HEADER",
+    "Host",
+    "Link",
+    "Network",
+    "Packet",
+    "Switch",
+    "Gateway",
+    "AtmFraming",
+    "HippiFraming",
+    "PlainFraming",
+    "TcpModel",
+    "tcp_steady_throughput",
+    "BulkTransfer",
+    "CbrFlow",
+    "PingFlow",
+    "GigabitTestbedWest",
+    "build_testbed",
+]

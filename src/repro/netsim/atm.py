@@ -1,0 +1,130 @@
+"""ATM cells and AAL5 segmentation/reassembly.
+
+The testbed's WAN is ATM over SDH.  Every IP datagram is carried as an
+AAL5 CPCS-PDU: payload + 0..47 bytes of padding + an 8-byte trailer,
+segmented into 48-byte cell payloads, each cell adding a 5-byte header —
+the "cell tax" that caps classical-IP goodput at 48/53 ≈ 90.6 % of the
+ATM cell rate (before IP/TCP headers).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Iterator, Optional
+
+#: A full ATM cell on the wire.
+ATM_CELL_BYTES = 53
+#: The cell header.
+ATM_HEADER_BYTES = 5
+#: Payload bytes per cell.
+ATM_PAYLOAD_BYTES = 48
+#: AAL5 CPCS-PDU trailer (UU, CPI, length, CRC-32).
+AAL5_TRAILER_BYTES = 8
+
+
+def aal5_cells(payload_bytes: int) -> int:
+    """Number of ATM cells needed for an AAL5 PDU with ``payload_bytes``.
+
+    The trailer must live in the final cell, so the PDU is padded to a
+    multiple of 48 bytes *including* the 8-byte trailer.
+    """
+    if payload_bytes < 0:
+        raise ValueError("negative payload")
+    total = payload_bytes + AAL5_TRAILER_BYTES
+    return max(1, -(-total // ATM_PAYLOAD_BYTES))
+
+
+def aal5_wire_bytes(payload_bytes: int) -> int:
+    """Bytes actually transmitted on an ATM link for one AAL5 PDU."""
+    return aal5_cells(payload_bytes) * ATM_CELL_BYTES
+
+
+def aal5_padding(payload_bytes: int) -> int:
+    """PAD bytes inserted between payload and trailer."""
+    return (
+        aal5_cells(payload_bytes) * ATM_PAYLOAD_BYTES
+        - payload_bytes
+        - AAL5_TRAILER_BYTES
+    )
+
+
+def aal5_efficiency(payload_bytes: int) -> float:
+    """payload bytes / wire bytes for one PDU (→ 48/53 · pad loss)."""
+    if payload_bytes == 0:
+        return 0.0
+    return payload_bytes / aal5_wire_bytes(payload_bytes)
+
+
+@dataclass(frozen=True)
+class Cell:
+    """One ATM cell, for the cell-exact simulation mode.
+
+    ``last`` carries the AAL5 end-of-PDU indication (the PT bit used by
+    AAL5 reassembly).
+    """
+
+    vpi: int
+    vci: int
+    seq: int
+    last: bool
+    pdu_id: int
+
+
+@dataclass
+class AAL5Frame:
+    """An AAL5 CPCS-PDU carrying ``payload_bytes`` of higher-layer data."""
+
+    payload_bytes: int
+    vpi: int = 0
+    vci: int = 32
+    pdu_id: int = 0
+
+    @property
+    def n_cells(self) -> int:
+        """Cells this frame segments into."""
+        return aal5_cells(self.payload_bytes)
+
+    @property
+    def wire_bytes(self) -> int:
+        """Total bytes on the wire."""
+        return aal5_wire_bytes(self.payload_bytes)
+
+    def segment(self) -> Iterator[Cell]:
+        """Yield the frame's cells in order (cell-exact mode)."""
+        n = self.n_cells
+        for i in range(n):
+            yield Cell(self.vpi, self.vci, i, i == n - 1, self.pdu_id)
+
+
+class AAL5Reassembler:
+    """Reassemble cells back into AAL5 PDUs (per-VC state machine).
+
+    Detects cell loss through sequence gaps: a lost cell corrupts the
+    whole PDU (the CRC-32 in the real trailer); corrupt PDUs are counted
+    and dropped, matching AAL5 semantics.
+    """
+
+    def __init__(self) -> None:
+        self._partial: dict[tuple[int, int], list[Cell]] = {}
+        self.completed: list[int] = []
+        self.errors = 0
+
+    def push(self, cell: Cell) -> Optional[int]:
+        """Feed one cell; returns the completed ``pdu_id`` when a PDU ends."""
+        key = (cell.vpi, cell.vci)
+        buf = self._partial.setdefault(key, [])
+        if buf and (buf[-1].pdu_id != cell.pdu_id or buf[-1].seq + 1 != cell.seq):
+            # Sequence break: the in-progress PDU is lost (CRC failure).
+            self.errors += 1
+            buf.clear()
+        buf.append(cell)
+        if cell.last:
+            expected = cell.seq + 1
+            ok = len(buf) == expected and buf[0].seq == 0
+            pdu_id = cell.pdu_id
+            buf.clear()
+            if ok:
+                self.completed.append(pdu_id)
+                return pdu_id
+            self.errors += 1
+        return None

@@ -1,0 +1,394 @@
+"""Packet-level discrete-event network: hosts, switches, gateways, links.
+
+The model is store-and-forward at packet granularity with per-link
+framing overhead (ATM cell tax, HiPPI bursts), which reproduces the
+throughput phenomena the paper reports without simulating every one of
+the ~6 million cells/s an OC-48 carries.  Cell-exact behaviour is
+available separately in :mod:`repro.netsim.atm` for validation.
+
+Performance-relevant host effects of 1999 hardware are first-class:
+
+* ``cpu_per_packet`` — protocol-stack traversal cost; with small MTUs this,
+  not the wire, is the bottleneck (why the testbed used 64 KByte MTUs).
+* ``io_bus_rate`` — host I/O bus ceiling (the microchannel of the IBM SP2
+  nodes, which limited the WAN path to ~260 Mbit/s; paper Section 2).
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass, field
+from typing import Any, Callable, Optional
+
+from repro.netsim.atm import aal5_wire_bytes
+from repro.netsim.hippi import hippi_wire_bytes
+from repro.netsim.ip import LLC_SNAP_HEADER
+from repro.sim import Environment, Store
+
+_packet_ids = itertools.count()
+
+
+@dataclass
+class Packet:
+    """One IP datagram in flight.
+
+    ``ip_bytes`` includes IP/TCP headers; link framing (cells, bursts) is
+    added per hop by the link's :class:`Framing`.
+    """
+
+    flow: str
+    src: str
+    dst: str
+    ip_bytes: int
+    payload_bytes: int
+    kind: str = "data"
+    seq: int = 0
+    created: float = 0.0
+    meta: dict = field(default_factory=dict)
+    uid: int = field(default_factory=lambda: next(_packet_ids))
+    hops: int = 0
+
+
+class Framing:
+    """Per-link encapsulation: maps IP datagram bytes to wire bytes."""
+
+    name = "raw"
+
+    def wire_bytes(self, ip_bytes: int) -> int:
+        raise NotImplementedError
+
+
+class AtmFraming(Framing):
+    """LLC/SNAP + AAL5 + 53-byte cells (classical IP over ATM)."""
+
+    name = "atm"
+
+    def wire_bytes(self, ip_bytes: int) -> int:
+        return aal5_wire_bytes(ip_bytes + LLC_SNAP_HEADER)
+
+
+class HippiFraming(Framing):
+    """HiPPI-FP framing with burst rounding."""
+
+    name = "hippi"
+
+    def wire_bytes(self, ip_bytes: int) -> int:
+        return hippi_wire_bytes(ip_bytes)
+
+
+class PlainFraming(Framing):
+    """A generic LAN framing with a constant per-packet overhead."""
+
+    name = "plain"
+
+    def __init__(self, overhead: int = 18):
+        self.overhead = overhead
+
+    def wire_bytes(self, ip_bytes: int) -> int:
+        return ip_bytes + self.overhead
+
+
+class Link:
+    """A full-duplex point-to-point link between two nodes.
+
+    Each direction has its own FIFO transmit queue and transmitter
+    process: serialization at ``rate`` (on framed wire bytes) followed by
+    ``propagation`` seconds of flight.  ``queue_packets`` bounds the
+    transmit queue; excess packets are dropped (counted per direction).
+    """
+
+    def __init__(
+        self,
+        env: Environment,
+        a: "Node",
+        b: "Node",
+        rate: float,
+        propagation: float = 0.0,
+        framing: Optional[Framing] = None,
+        name: str = "",
+        queue_packets: int | float = float("inf"),
+    ):
+        if rate <= 0:
+            raise ValueError("link rate must be positive")
+        self.env = env
+        self.a = a
+        self.b = b
+        self.rate = rate
+        self.propagation = propagation
+        self.framing = framing or PlainFraming()
+        self.name = name or f"{a.name}--{b.name}"
+        self.queue_packets = queue_packets
+        self._queues = {a.name: Store(env), b.name: Store(env)}
+        self.drops = {a.name: 0, b.name: 0}
+        self.tx_bytes = {a.name: 0, b.name: 0}
+        self.tx_packets = {a.name: 0, b.name: 0}
+        self.busy_time = {a.name: 0.0, b.name: 0.0}
+        env.process(self._transmitter(a, b))
+        env.process(self._transmitter(b, a))
+        a.attach(self)
+        b.attach(self)
+
+    def other(self, node: "Node") -> "Node":
+        """The peer of ``node`` on this link."""
+        return self.b if node is self.a else self.a
+
+    def send(self, from_node: "Node", packet: Packet) -> None:
+        """Enqueue ``packet`` for transmission from ``from_node``."""
+        q = self._queues[from_node.name]
+        if len(q) >= self.queue_packets:
+            self.drops[from_node.name] += 1
+            return
+        q.put(packet)
+
+    def _transmitter(self, src: "Node", dst: "Node"):
+        q = self._queues[src.name]
+        while True:
+            packet: Packet = yield q.get()
+            wire = self.framing.wire_bytes(packet.ip_bytes)
+            self.tx_bytes[src.name] += wire
+            self.tx_packets[src.name] += 1
+            serialization = wire * 8 / self.rate
+            self.busy_time[src.name] += serialization
+            yield self.env.timeout(serialization)
+            # Propagation does not occupy the transmitter: hand off to a
+            # dedicated delivery event so back-to-back packets pipeline.
+            self.env.process(self._deliver(dst, packet))
+
+    def utilization(self, from_node: str) -> float:
+        """Busy fraction of one direction since t=0 (simulated)."""
+        if self.env.now <= 0:
+            return 0.0
+        return self.busy_time[from_node] / self.env.now
+
+    def _deliver(self, dst: "Node", packet: Packet):
+        if self.propagation:
+            yield self.env.timeout(self.propagation)
+        packet.hops += 1
+        dst.receive(packet, self)
+        return None
+
+
+class Node:
+    """Base class for anything with network attachments."""
+
+    def __init__(self, env: Environment, name: str):
+        self.env = env
+        self.name = name
+        self.links: list[Link] = []
+        self.network: Optional["Network"] = None
+
+    def attach(self, link: Link) -> None:
+        self.links.append(link)
+
+    def link_to(self, neighbor: str) -> Link:
+        """The link connecting this node to ``neighbor``."""
+        for link in self.links:
+            if link.other(self).name == neighbor:
+                return link
+        raise KeyError(f"{self.name} has no link to {neighbor}")
+
+    def forward(self, packet: Packet) -> None:
+        """Send ``packet`` towards its destination via static routing."""
+        assert self.network is not None, "node not registered with a Network"
+        nxt = self.network.next_hop(self.name, packet.dst)
+        self.link_to(nxt).send(self, packet)
+
+    def receive(self, packet: Packet, link: Link) -> None:  # pragma: no cover
+        raise NotImplementedError
+
+
+class Host(Node):
+    """An end host with a protocol stack and an I/O bus.
+
+    Outbound packets pass (1) the send-side stack CPU, (2) the I/O bus,
+    then the NIC/link.  Inbound packets pass the bus and the receive-side
+    stack before delivery to the flow.  Each stage is a FIFO worker, so
+    stages pipeline across back-to-back packets — throughput is set by the
+    slowest stage, as on real hosts.
+    """
+
+    def __init__(
+        self,
+        env: Environment,
+        name: str,
+        cpu_per_packet: float = 0.0,
+        io_bus_rate: float = float("inf"),
+    ):
+        super().__init__(env, name)
+        self.cpu_per_packet = cpu_per_packet
+        self.io_bus_rate = io_bus_rate
+        self._tx_stack = Store(env)
+        self._tx_bus = Store(env)
+        self._rx_bus = Store(env)
+        self._rx_stack = Store(env)
+        self._sinks: dict[str, Callable[[Packet, float], None]] = {}
+        env.process(self._stack_worker(self._tx_stack, self._tx_bus.put))
+        env.process(self._bus_worker(self._tx_bus, self._nic_out))
+        env.process(self._bus_worker(self._rx_bus, self._rx_stack.put))
+        env.process(self._stack_worker(self._rx_stack, self._deliver))
+
+    # -- pipeline stages ---------------------------------------------------
+    def _stack_worker(self, queue: Store, emit):
+        while True:
+            packet = yield queue.get()
+            if self.cpu_per_packet:
+                yield self.env.timeout(self.cpu_per_packet)
+            emit(packet)
+
+    def _bus_worker(self, queue: Store, emit):
+        while True:
+            packet = yield queue.get()
+            if self.io_bus_rate != float("inf"):
+                yield self.env.timeout(packet.ip_bytes * 8 / self.io_bus_rate)
+            emit(packet)
+
+    def _nic_out(self, packet: Packet) -> None:
+        self.forward(packet)
+
+    def _deliver(self, packet: Packet) -> None:
+        sink = self._sinks.get(packet.flow)
+        if sink is not None:
+            sink(packet, self.env.now)
+
+    # -- API for flows -------------------------------------------------------
+    def send(self, packet: Packet) -> None:
+        """Inject a packet into the outbound stack."""
+        packet.created = self.env.now
+        self._tx_stack.put(packet)
+
+    def register_sink(self, flow: str, sink: Callable[[Packet, float], None]) -> None:
+        """Deliver received packets of ``flow`` to ``sink(packet, time)``."""
+        self._sinks[flow] = sink
+
+    def receive(self, packet: Packet, link: Link) -> None:
+        if packet.dst == self.name:
+            self._rx_bus.put(packet)
+        else:
+            self.forward(packet)
+
+
+class Switch(Node):
+    """An output-buffered switch (ASX-4000-like): tiny per-packet latency,
+    contention handled by the output links' transmit queues."""
+
+    def __init__(self, env: Environment, name: str, latency: float = 10e-6):
+        super().__init__(env, name)
+        self.latency = latency
+
+    def receive(self, packet: Packet, link: Link) -> None:
+        self.env.process(self._forward_later(packet))
+
+    def _forward_later(self, packet: Packet):
+        if self.latency:
+            yield self.env.timeout(self.latency)
+        self.forward(packet)
+        return None
+
+
+class Gateway(Node):
+    """A HiPPI↔ATM IP gateway workstation (SGI O200, Sun Ultra 30, E5000).
+
+    Store-and-forward with a serial per-packet forwarding cost (the
+    gateway's IP stack): a single worker, so the gateway can itself become
+    the bottleneck — as the real workstation gateways could.
+    """
+
+    def __init__(self, env: Environment, name: str, per_packet: float = 120e-6):
+        super().__init__(env, name)
+        self.per_packet = per_packet
+        self._queue = Store(env)
+        self.forwarded = 0
+        env.process(self._worker())
+
+    def receive(self, packet: Packet, link: Link) -> None:
+        self._queue.put(packet)
+
+    def _worker(self):
+        while True:
+            packet = yield self._queue.get()
+            if self.per_packet:
+                yield self.env.timeout(self.per_packet)
+            self.forwarded += 1
+            self.forward(packet)
+
+
+class Network:
+    """The set of nodes plus static shortest-path routing.
+
+    Routes are hop-count shortest paths computed on demand and cached;
+    the Figure-1 topology is a tree, so paths are unique anyway.
+    """
+
+    def __init__(self, env: Environment):
+        self.env = env
+        self.nodes: dict[str, Node] = {}
+        self._routes: dict[tuple[str, str], str] = {}
+
+    def add(self, node: Node) -> Node:
+        """Register a node (idempotent by name)."""
+        if node.name in self.nodes:
+            raise ValueError(f"duplicate node name {node.name!r}")
+        self.nodes[node.name] = node
+        node.network = self
+        self._routes.clear()
+        return node
+
+    def link(
+        self,
+        a: str,
+        b: str,
+        rate: float,
+        propagation: float = 0.0,
+        framing: Optional[Framing] = None,
+        **kw,
+    ) -> Link:
+        """Create a link between two registered nodes."""
+        link = Link(
+            self.env, self.nodes[a], self.nodes[b], rate, propagation, framing, **kw
+        )
+        self._routes.clear()
+        return link
+
+    def neighbors(self, name: str) -> list[str]:
+        return [l.other(self.nodes[name]).name for l in self.nodes[name].links]
+
+    def next_hop(self, src: str, dst: str) -> str:
+        """First hop on the shortest path from ``src`` to ``dst``."""
+        key = (src, dst)
+        hop = self._routes.get(key)
+        if hop is None:
+            path = self.shortest_path(src, dst)
+            if len(path) < 2:
+                raise ValueError(f"no route from {src} to {dst}")
+            for i in range(len(path) - 1):
+                self._routes[(path[i], dst)] = path[i + 1]
+            hop = path[1]
+        return hop
+
+    def shortest_path(self, src: str, dst: str) -> list[str]:
+        """BFS shortest path by hop count."""
+        if src == dst:
+            return [src]
+        prev: dict[str, str] = {src: src}
+        frontier = [src]
+        while frontier:
+            nxt: list[str] = []
+            for u in frontier:
+                for v in self.neighbors(u):
+                    if v not in prev:
+                        prev[v] = u
+                        if v == dst:
+                            path = [dst]
+                            while path[-1] != src:
+                                path.append(prev[path[-1]])
+                            return path[::-1]
+                        nxt.append(v)
+            frontier = nxt
+        raise ValueError(f"no route from {src} to {dst}")
+
+    def host(self, name: str) -> Host:
+        """Fetch a registered node, asserting it is a Host."""
+        node = self.nodes[name]
+        if not isinstance(node, Host):
+            raise TypeError(f"{name} is not a Host")
+        return node

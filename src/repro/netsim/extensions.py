@@ -1,0 +1,107 @@
+"""Section-5 extensions of the testbed.
+
+"A dark fibre that links the national German Aerospace Research Center
+(DLR) and the University of Cologne to the GMD has just been set up.
+This line is used for projects that range from distributed traffic
+simulation and visualization to distributed virtual TV-production ...
+A new 622 Mbit/s ATM-link between the University of Bonn and the GMD
+will be the basis for metacomputing projects that deal with multiscale
+molecular dynamics and lithospheric fluids."
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.netsim.core import AtmFraming, Host, Switch
+from repro.netsim.sdh import STM4, STM16
+from repro.netsim.testbed import (
+    GigabitTestbedWest,
+    LOCAL_PROPAGATION,
+    PROPAGATION_PER_KM,
+    SWITCH_LATENCY,
+    WS_STACK_PER_PACKET,
+    build_testbed,
+)
+
+#: New sites and their fibre distance to the GMD (km).
+DLR_DISTANCE_KM = 25.0
+COLOGNE_DISTANCE_KM = 30.0
+BONN_DISTANCE_KM = 25.0
+
+
+@dataclass
+class ExtendedTestbed:
+    """The 1999/2000 extended topology: the original testbed plus the
+    DLR/Cologne dark fibre and the Bonn 622 Mbit/s link."""
+
+    base: GigabitTestbedWest
+
+    DLR = "dlr"
+    COLOGNE = "uni-cologne"
+    BONN = "uni-bonn"
+    SW_COLOGNE = "sw-cologne"
+    MEDIA_ARTS = "media-arts-cologne"
+
+    @property
+    def net(self):
+        return self.base.net
+
+    @property
+    def env(self):
+        return self.base.env
+
+    @property
+    def new_hosts(self) -> list[str]:
+        return [self.DLR, self.COLOGNE, self.BONN, self.MEDIA_ARTS]
+
+
+def build_extended_testbed(oc48: bool = True) -> ExtendedTestbed:
+    """Build the Figure-1 testbed plus the Section-5 extensions.
+
+    The dark fibre to Cologne runs at OC-48 over a small switch serving
+    DLR, the University and the Academy of Media Arts; Bonn attaches at
+    622 Mbit/s directly to the GMD switch.
+    """
+    base = build_testbed(oc48=oc48)
+    net = base.net
+    env = base.env
+    ext = ExtendedTestbed(base=base)
+
+    atm = AtmFraming()
+    # Dark fibre: GMD -> Cologne area switch.
+    net.add(Switch(env, ext.SW_COLOGNE, latency=SWITCH_LATENCY))
+    net.link(
+        base.SW_GMD,
+        ext.SW_COLOGNE,
+        STM16.payload_rate if oc48 else STM4.payload_rate,
+        COLOGNE_DISTANCE_KM * PROPAGATION_PER_KM,
+        atm,
+        name="dark-fibre-cologne",
+    )
+    for name, dist in (
+        (ext.DLR, DLR_DISTANCE_KM),
+        (ext.COLOGNE, COLOGNE_DISTANCE_KM),
+        (ext.MEDIA_ARTS, COLOGNE_DISTANCE_KM),
+    ):
+        net.add(Host(env, name, cpu_per_packet=WS_STACK_PER_PACKET))
+        net.link(
+            name,
+            ext.SW_COLOGNE,
+            STM4.payload_rate,
+            abs(dist - COLOGNE_DISTANCE_KM) * PROPAGATION_PER_KM
+            + LOCAL_PROPAGATION,
+            atm,
+        )
+
+    # Bonn: direct 622 Mbit/s ATM to the GMD.
+    net.add(Host(env, ext.BONN, cpu_per_packet=WS_STACK_PER_PACKET))
+    net.link(
+        ext.BONN,
+        base.SW_GMD,
+        STM4.payload_rate,
+        BONN_DISTANCE_KM * PROPAGATION_PER_KM,
+        atm,
+        name="bonn-622",
+    )
+    return ext

@@ -1,0 +1,292 @@
+"""Traffic sources and sinks for the network simulator."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+from repro.netsim.core import Network, Packet
+from repro.netsim.ip import ClassicalIP, IP_HEADER, TCP_HEADER
+from repro.sim import Environment, Event
+from repro.util.stats import RunningStats
+
+_ACK_BYTES = IP_HEADER + TCP_HEADER
+
+
+class BulkTransfer:
+    """A windowed (TCP-like) bulk transfer of ``nbytes`` from src to dst.
+
+    Sliding byte window with cumulative acknowledgements; optional slow
+    start.  ``done`` is an event firing at completion; ``throughput`` is
+    application goodput in bit/s over the transfer.
+    """
+
+    _ids = 0
+
+    def __init__(
+        self,
+        net: Network,
+        src: str,
+        dst: str,
+        nbytes: int,
+        ip: Optional[ClassicalIP] = None,
+        window_bytes: int = 8 * 1024 * 1024,
+        slow_start: bool = False,
+        name: str = "",
+    ):
+        if nbytes <= 0:
+            raise ValueError("transfer size must be positive")
+        BulkTransfer._ids += 1
+        self.net = net
+        self.env: Environment = net.env
+        self.src = src
+        self.dst = dst
+        self.nbytes = nbytes
+        self.ip = ip or ClassicalIP()
+        self.window_bytes = window_bytes
+        self.slow_start = slow_start
+        self.name = name or f"bulk{BulkTransfer._ids}"
+        self.done: Event = self.env.event()
+        self.start_time: Optional[float] = None
+        self.end_time: Optional[float] = None
+        self._acked = 0
+        self._received = 0
+        self._cwnd = self.ip.max_segment if slow_start else window_bytes
+        self._window_open = self.env.event()
+        net.host(src).register_sink(self.name, self._on_ack)
+        net.host(dst).register_sink(self.name, self._on_data)
+        self.env.process(self._sender())
+
+    # -- sender --------------------------------------------------------------
+    def _sender(self):
+        host = self.net.host(self.src)
+        self.start_time = self.env.now
+        sent = 0
+        seq = 0
+        for payload in self.ip.segments(self.nbytes):
+            while sent - self._acked + payload > min(self._cwnd, self.window_bytes):
+                self._window_open = self.env.event()
+                yield self._window_open
+            host.send(
+                Packet(
+                    flow=self.name,
+                    src=self.src,
+                    dst=self.dst,
+                    ip_bytes=self.ip.datagram_bytes(payload),
+                    payload_bytes=payload,
+                    seq=seq,
+                )
+            )
+            sent += payload
+            seq += 1
+        return None
+
+    # -- receiver side ---------------------------------------------------------
+    def _on_data(self, packet: Packet, now: float) -> None:
+        self._received += packet.payload_bytes
+        ack = Packet(
+            flow=self.name,
+            src=self.dst,
+            dst=self.src,
+            ip_bytes=_ACK_BYTES,
+            payload_bytes=0,
+            kind="ack",
+            seq=packet.seq,
+            meta={"acked": self._received},
+        )
+        self.net.host(self.dst).send(ack)
+
+    # -- ack handling -------------------------------------------------------
+    def _on_ack(self, packet: Packet, now: float) -> None:
+        acked = packet.meta["acked"]
+        if acked > self._acked:
+            self._acked = acked
+            if self.slow_start:
+                self._cwnd = min(
+                    self._cwnd + self.ip.max_segment, self.window_bytes
+                )
+            if not self._window_open.triggered:
+                self._window_open.succeed()
+            if self._acked >= self.nbytes and not self.done.triggered:
+                self.end_time = now
+                self.done.succeed(self.throughput)
+
+    @property
+    def throughput(self) -> float:
+        """Application goodput in bit/s (valid after completion)."""
+        if self.end_time is None or self.start_time is None:
+            raise RuntimeError("transfer not complete")
+        elapsed = self.end_time - self.start_time
+        return self.nbytes * 8 / elapsed if elapsed > 0 else float("inf")
+
+    def run(self) -> float:
+        """Convenience: run the simulation until completion, return bit/s."""
+        self.env.run(until=self.done)
+        return self.throughput
+
+
+class CbrFlow:
+    """Constant-bit-rate frame stream (e.g. an uncompressed D1 video VC).
+
+    Emits ``frame_bytes`` every ``interval`` seconds, segmented at the IP
+    MTU.  The sink counts complete frames and tracks inter-arrival jitter;
+    frames missing segments (queue drops) count as lost.
+    """
+
+    _ids = 0
+
+    def __init__(
+        self,
+        net: Network,
+        src: str,
+        dst: str,
+        frame_bytes: int,
+        interval: float,
+        n_frames: int,
+        ip: Optional[ClassicalIP] = None,
+        name: str = "",
+    ):
+        CbrFlow._ids += 1
+        self.net = net
+        self.env = net.env
+        self.src = src
+        self.dst = dst
+        self.frame_bytes = frame_bytes
+        self.interval = interval
+        self.n_frames = n_frames
+        self.ip = ip or ClassicalIP()
+        self.name = name or f"cbr{CbrFlow._ids}"
+        self.done: Event = self.env.event()
+        self.frames_received = 0
+        self.frames_lost = 0
+        self.interarrival = RunningStats()
+        self.latency = RunningStats()
+        self._rx_segments: dict[int, int] = {}
+        self._frame_sent_at: dict[int, float] = {}
+        self._last_arrival: Optional[float] = None
+        self._segments_per_frame = len(self.ip.segments(frame_bytes))
+        net.host(dst).register_sink(self.name, self._on_segment)
+        self.env.process(self._sender())
+
+    def _sender(self):
+        host = self.net.host(self.src)
+        for frame in range(self.n_frames):
+            self._frame_sent_at[frame] = self.env.now
+            for payload in self.ip.segments(self.frame_bytes):
+                host.send(
+                    Packet(
+                        flow=self.name,
+                        src=self.src,
+                        dst=self.dst,
+                        ip_bytes=self.ip.datagram_bytes(payload),
+                        payload_bytes=payload,
+                        seq=frame,
+                    )
+                )
+            yield self.env.timeout(self.interval)
+        # Allow the tail to drain before declaring the flow finished.
+        yield self.env.timeout(self.interval * 4)
+        self.frames_lost = self.n_frames - self.frames_received
+        if not self.done.triggered:
+            self.done.succeed()
+        return None
+
+    def _on_segment(self, packet: Packet, now: float) -> None:
+        frame = packet.seq
+        got = self._rx_segments.get(frame, 0) + 1
+        self._rx_segments[frame] = got
+        if got == self._segments_per_frame:
+            self.frames_received += 1
+            self.latency.add(now - self._frame_sent_at[frame])
+            if self._last_arrival is not None:
+                self.interarrival.add(now - self._last_arrival)
+            self._last_arrival = now
+
+    @property
+    def delivered_rate(self) -> float:
+        """Delivered application bit/s based on mean frame inter-arrival."""
+        if self.interarrival.n == 0:
+            return 0.0
+        return self.frame_bytes * 8 / self.interarrival.mean
+
+    @property
+    def jitter(self) -> float:
+        """Standard deviation of frame inter-arrival times (seconds)."""
+        return self.interarrival.stddev
+
+    def run(self) -> "CbrFlow":
+        """Run until the flow drains; returns self for chaining."""
+        self.env.run(until=self.done)
+        return self
+
+
+class PingFlow:
+    """Small request/response pairs measuring round-trip time."""
+
+    _ids = 0
+
+    def __init__(
+        self,
+        net: Network,
+        src: str,
+        dst: str,
+        count: int = 10,
+        payload: int = 16,
+        interval: float = 1e-3,
+        name: str = "",
+    ):
+        PingFlow._ids += 1
+        self.net = net
+        self.env = net.env
+        self.src = src
+        self.dst = dst
+        self.count = count
+        self.payload = payload
+        self.interval = interval
+        self.name = name or f"ping{PingFlow._ids}"
+        self.rtt = RunningStats()
+        self.done: Event = self.env.event()
+        self._sent_at: dict[int, float] = {}
+        net.host(dst).register_sink(self.name, self._echo)
+        net.host(src).register_sink(self.name + ".reply", self._pong)
+        self.env.process(self._sender())
+
+    def _sender(self):
+        host = self.net.host(self.src)
+        for i in range(self.count):
+            self._sent_at[i] = self.env.now
+            host.send(
+                Packet(
+                    flow=self.name,
+                    src=self.src,
+                    dst=self.dst,
+                    ip_bytes=self.payload + IP_HEADER + TCP_HEADER,
+                    payload_bytes=self.payload,
+                    seq=i,
+                )
+            )
+            yield self.env.timeout(self.interval)
+        return None
+
+    def _echo(self, packet: Packet, now: float) -> None:
+        self.net.host(self.dst).send(
+            Packet(
+                flow=self.name + ".reply",
+                src=self.dst,
+                dst=self.src,
+                ip_bytes=packet.ip_bytes,
+                payload_bytes=packet.payload_bytes,
+                kind="reply",
+                seq=packet.seq,
+            )
+        )
+
+    def _pong(self, packet: Packet, now: float) -> None:
+        self.rtt.add(now - self._sent_at[packet.seq])
+        if self.rtt.n == self.count and not self.done.triggered:
+            self.done.succeed(self.rtt.mean)
+
+    def run(self) -> float:
+        """Run until all echoes return; mean RTT in seconds."""
+        self.env.run(until=self.done)
+        return self.rtt.mean

@@ -1,0 +1,65 @@
+"""HiPPI ('High Performance Parallel Interface') channel model.
+
+The supercomputers could not take 622 Mbit/s ATM adapters, so they were
+attached through HiPPI: "HiPPI offers a peak performance of 800 Mbit/s
+when a low-level protocol and large transfer blocks (1 MByte or more) are
+used" (paper Section 2).  HiPPI-FP frames carry an IP datagram with a
+small framing overhead; the dominant effect at TCP level is the hosts'
+per-packet stack cost, modelled in :mod:`repro.netsim.core`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.util.units import MBIT, MBYTE
+
+#: HiPPI-800 data rate.
+HIPPI_RATE = 800 * MBIT
+#: HiPPI burst size: data moves in 256 32-bit-word bursts.
+HIPPI_BURST_BYTES = 1024
+#: HiPPI-FP header (FP header + D1 area as configured for IP).
+HIPPI_FP_HEADER = 40
+
+
+def hippi_wire_bytes(payload_bytes: int) -> int:
+    """Bytes on a HiPPI channel for one framed payload.
+
+    Payload plus FP header, rounded up to whole bursts (the channel
+    always completes a burst).
+    """
+    if payload_bytes < 0:
+        raise ValueError("negative payload")
+    total = payload_bytes + HIPPI_FP_HEADER
+    bursts = -(-total // HIPPI_BURST_BYTES)
+    return bursts * HIPPI_BURST_BYTES
+
+
+def hippi_efficiency(payload_bytes: int) -> float:
+    """payload / wire bytes; → ~1 for the paper's >= 1 MByte blocks."""
+    if payload_bytes == 0:
+        return 0.0
+    return payload_bytes / hippi_wire_bytes(payload_bytes)
+
+
+def raw_block_throughput(block_bytes: int, setup_latency: float = 5e-6) -> float:
+    """Low-level-protocol throughput for ``block_bytes`` transfer blocks.
+
+    With a connection setup cost per block, large blocks approach the
+    800 Mbit/s peak the paper quotes (1 MByte blocks → ~797 Mbit/s).
+    """
+    wire = hippi_wire_bytes(block_bytes)
+    t = setup_latency + wire * 8 / HIPPI_RATE
+    return block_bytes * 8 / t
+
+
+@dataclass(frozen=True)
+class HippiChannel:
+    """A point-to-point HiPPI channel (used by the Figure-1 builder)."""
+
+    name: str
+    rate: float = HIPPI_RATE
+
+    def serialization_delay(self, payload_bytes: int) -> float:
+        """Time to clock one framed payload onto the channel."""
+        return hippi_wire_bytes(payload_bytes) * 8 / self.rate

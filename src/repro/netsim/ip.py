@@ -1,0 +1,83 @@
+"""Classical IP over ATM (RFC 1577 style) as used in the testbed.
+
+The testbed ran TCP/IP over AAL5 with LLC/SNAP encapsulation.  Crucially,
+the Fore adapters supported *large MTUs*: "IP packets of 64 KByte size can
+be transferred throughout the network" (paper Section 2) — the per-packet
+protocol-stack cost of 1999 hosts made this the difference between tens
+and hundreds of Mbit/s.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.netsim.atm import aal5_wire_bytes
+from repro.util.units import KBYTE
+
+#: LLC/SNAP encapsulation header for routed PDUs (RFC 1483/2684).
+LLC_SNAP_HEADER = 8
+#: IPv4 header without options.
+IP_HEADER = 20
+#: TCP header without options.
+TCP_HEADER = 20
+#: Default classical-IP-over-ATM MTU (RFC 1577).
+DEFAULT_ATM_MTU = 9180
+#: The testbed's large MTU (64 KByte).
+TESTBED_MTU = 64 * KBYTE
+#: Ethernet MTU, for the ablation comparison.
+ETHERNET_MTU = 1500
+
+
+@dataclass(frozen=True)
+class ClassicalIP:
+    """Per-MTU accounting for TCP/IP over LLC/SNAP over AAL5.
+
+    ``mtu`` is the IP datagram size limit (header included), as usual.
+    """
+
+    mtu: int = DEFAULT_ATM_MTU
+
+    def __post_init__(self) -> None:
+        if self.mtu < IP_HEADER + TCP_HEADER + 1:
+            raise ValueError(f"MTU {self.mtu} too small for TCP/IP")
+        if self.mtu > 64 * KBYTE:
+            raise ValueError("IPv4 datagrams cannot exceed 64 KByte")
+
+    @property
+    def max_segment(self) -> int:
+        """TCP payload bytes per full-size segment (the MSS)."""
+        return self.mtu - IP_HEADER - TCP_HEADER
+
+    def segments(self, nbytes: int) -> list[int]:
+        """Split ``nbytes`` of application data into TCP segment payloads."""
+        if nbytes < 0:
+            raise ValueError("negative transfer size")
+        mss = self.max_segment
+        full, rest = divmod(nbytes, mss)
+        out = [mss] * full
+        if rest:
+            out.append(rest)
+        return out
+
+    def datagram_bytes(self, segment_payload: int) -> int:
+        """IP datagram size for a TCP segment carrying ``segment_payload``."""
+        return segment_payload + IP_HEADER + TCP_HEADER
+
+    def atm_wire_bytes(self, segment_payload: int) -> int:
+        """Bytes on an ATM wire for one segment (LLC/SNAP + AAL5 + cells)."""
+        return aal5_wire_bytes(
+            self.datagram_bytes(segment_payload) + LLC_SNAP_HEADER
+        )
+
+    def goodput_fraction(self) -> float:
+        """Application bytes / ATM wire bytes for full-size segments.
+
+        This is the protocol ceiling: multiply by the ATM payload rate of
+        the SDH level to get the best possible TCP goodput.
+        """
+        mss = self.max_segment
+        return mss / self.atm_wire_bytes(mss)
+
+    def ack_wire_bytes(self) -> int:
+        """ATM wire bytes of a bare TCP ACK."""
+        return aal5_wire_bytes(IP_HEADER + TCP_HEADER + LLC_SNAP_HEADER)

@@ -1,0 +1,113 @@
+"""ATM quality of service: CBR virtual circuits with admission control.
+
+The multimedia project "examined basic technology for transferring
+studio-quality digital video over ATM" — on real ATM that means CBR VCs
+with reserved peak cell rate.  This module adds VC reservations on top
+of the packet-level links: admission control against each link's
+payload rate, per-VC accounting, and policing of the residual best-
+effort capacity.
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass, field
+from typing import Optional
+
+from repro.netsim.core import Link, Network
+
+_vc_ids = itertools.count(1)
+
+
+@dataclass(frozen=True)
+class VcReservation:
+    """A constant-bit-rate VC along a routed path."""
+
+    vc_id: int
+    src: str
+    dst: str
+    rate: float  #: reserved application bit/s
+    path: tuple[str, ...]
+
+
+class AdmissionError(RuntimeError):
+    """Raised when a reservation exceeds a link's remaining capacity."""
+
+
+class QosManager:
+    """Tracks CBR reservations per link and admits or rejects new VCs.
+
+    ``headroom`` keeps a fraction of each link unreservable — the
+    operational practice that protects signalling and best-effort
+    traffic.
+    """
+
+    def __init__(self, net: Network, headroom: float = 0.05):
+        if not 0.0 <= headroom < 1.0:
+            raise ValueError("headroom must be in [0, 1)")
+        self.net = net
+        self.headroom = headroom
+        #: (link name, from-node) -> reserved bit/s; links are full
+        #: duplex, so each direction has its own capacity.
+        self._reserved: dict[tuple[str, str], float] = {}
+        self.reservations: dict[int, VcReservation] = {}
+
+    # -- queries ------------------------------------------------------------
+    def _path_hops(self, path: list[str]) -> list[tuple[Link, str]]:
+        return [
+            (self.net.nodes[u].link_to(v), u) for u, v in zip(path, path[1:])
+        ]
+
+    def reserved_on(self, link_name: str, from_node: str) -> float:
+        """Currently reserved bit/s on a directed link."""
+        return self._reserved.get((link_name, from_node), 0.0)
+
+    def available_on(self, link: Link, from_node: str) -> float:
+        """Remaining reservable bit/s in one direction of a link."""
+        return link.rate * (1.0 - self.headroom) - self.reserved_on(
+            link.name, from_node
+        )
+
+    def path_available(self, src: str, dst: str) -> float:
+        """Largest CBR rate admissible from src to dst right now."""
+        path = self.net.shortest_path(src, dst)
+        return min(self.available_on(l, u) for l, u in self._path_hops(path))
+
+    # -- admission ------------------------------------------------------------
+    def reserve(self, src: str, dst: str, rate: float) -> VcReservation:
+        """Admit a CBR VC or raise :class:`AdmissionError`."""
+        if rate <= 0:
+            raise ValueError("rate must be positive")
+        path = self.net.shortest_path(src, dst)
+        hops = self._path_hops(path)
+        for link, u in hops:
+            if self.available_on(link, u) < rate:
+                raise AdmissionError(
+                    f"link {link.name} ({u}->) has "
+                    f"{self.available_on(link, u) / 1e6:.1f} Mbit/s "
+                    f"reservable, requested {rate / 1e6:.1f}"
+                )
+        for link, u in hops:
+            key = (link.name, u)
+            self._reserved[key] = self._reserved.get(key, 0.0) + rate
+        vc = VcReservation(
+            vc_id=next(_vc_ids), src=src, dst=dst, rate=rate, path=tuple(path)
+        )
+        self.reservations[vc.vc_id] = vc
+        return vc
+
+    def release(self, vc: VcReservation) -> None:
+        """Tear down a VC, returning its capacity."""
+        if vc.vc_id not in self.reservations:
+            raise KeyError(f"unknown VC {vc.vc_id}")
+        del self.reservations[vc.vc_id]
+        for link, u in self._path_hops(list(vc.path)):
+            self._reserved[(link.name, u)] -= vc.rate
+
+    def utilization(self, link_name: str, from_node: str) -> float:
+        """Reserved fraction of one direction of a link."""
+        for node in self.net.nodes.values():
+            for link in node.links:
+                if link.name == link_name:
+                    return self.reserved_on(link_name, from_node) / link.rate
+        raise KeyError(f"unknown link {link_name}")

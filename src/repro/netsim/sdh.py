@@ -1,0 +1,64 @@
+"""SDH/SONET framing levels used by the testbed backbone.
+
+The testbed link was OC-12/STM-4 (622 Mbit/s) in its first year and was
+upgraded to OC-48/STM-16 (2.4 Gbit/s) in August 1998 (paper Section 2).
+SDH section/line/path overhead means ATM cells only see the *payload*
+(SPE) rate, not the line rate — e.g. 2396.16 of 2488.32 Mbit/s on OC-48.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.util.units import MBIT
+
+
+@dataclass(frozen=True)
+class SdhLevel:
+    """One SDH/SONET hierarchy level."""
+
+    name: str
+    sonet_name: str
+    line_mbit: float  #: gross line rate, Mbit/s
+    payload_mbit: float  #: SPE payload available to ATM, Mbit/s
+
+    @property
+    def line_rate(self) -> float:
+        """Gross line rate in bit/s."""
+        return self.line_mbit * MBIT
+
+    @property
+    def payload_rate(self) -> float:
+        """ATM-usable payload rate in bit/s."""
+        return self.payload_mbit * MBIT
+
+    @property
+    def overhead_fraction(self) -> float:
+        """Fraction of the line rate consumed by SDH overhead."""
+        return 1.0 - self.payload_mbit / self.line_mbit
+
+
+#: The standard hierarchy (9-row frames, 8000 frames/s).
+STM1 = SdhLevel("STM-1", "OC-3", 155.52, 149.76)
+STM4 = SdhLevel("STM-4", "OC-12", 622.08, 599.04)
+STM16 = SdhLevel("STM-16", "OC-48", 2488.32, 2396.16)
+
+SDH_LEVELS = {lvl.name: lvl for lvl in (STM1, STM4, STM16)}
+SDH_LEVELS.update({lvl.sonet_name: lvl for lvl in (STM1, STM4, STM16)})
+
+
+def level_for(name: str) -> SdhLevel:
+    """Look up a level by SDH ('STM-4') or SONET ('OC-12') name."""
+    try:
+        return SDH_LEVELS[name]
+    except KeyError:
+        raise KeyError(
+            f"unknown SDH level {name!r}; known: {sorted(SDH_LEVELS)}"
+        ) from None
+
+
+def atm_cell_rate(level: SdhLevel) -> float:
+    """Cells per second the level's payload can carry."""
+    from repro.netsim.atm import ATM_CELL_BYTES
+
+    return level.payload_rate / (8 * ATM_CELL_BYTES)

@@ -1,0 +1,103 @@
+"""TCP throughput model for the testbed paths.
+
+Two views that must agree (and are cross-checked in the tests):
+
+* :func:`tcp_steady_throughput` — closed-form steady state: the minimum of
+  the window limit ``W/RTT`` and the slowest pipeline stage on the path
+  (wire serialization with framing overhead, host stack per-packet cost,
+  host I/O bus, gateway forwarding).
+* :class:`repro.netsim.flows.BulkTransfer` — the discrete-event sliding
+  window implementation measured end to end.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.netsim.core import Gateway, Host, Network
+from repro.netsim.ip import ClassicalIP
+
+
+@dataclass
+class PathCharacterization:
+    """Per-full-size-segment stage costs along a path."""
+
+    stages: dict[str, float] = field(default_factory=dict)  #: name -> seconds
+    rtt: float = 0.0  #: zero-load round trip of a full segment + ack
+    mss: int = 0
+
+    @property
+    def bottleneck_stage(self) -> str:
+        """Name of the slowest stage."""
+        return max(self.stages, key=self.stages.get)
+
+    @property
+    def per_packet_time(self) -> float:
+        """Seconds per segment at the bottleneck."""
+        return max(self.stages.values())
+
+    def pipeline_rate(self) -> float:
+        """Goodput (bit/s of application payload) ignoring the window."""
+        return self.mss * 8 / self.per_packet_time
+
+
+def characterize_path(
+    net: Network, src: str, dst: str, ip: ClassicalIP
+) -> PathCharacterization:
+    """Walk the routed path and collect per-stage costs for full segments."""
+    mss = ip.max_segment
+    ip_bytes = ip.datagram_bytes(mss)
+    path = net.shortest_path(src, dst)
+    out = PathCharacterization(mss=mss)
+    rtt = 0.0
+
+    for name in (src, dst):
+        host = net.host(name)
+        if host.cpu_per_packet:
+            out.stages[f"{name}.stack"] = host.cpu_per_packet
+            rtt += 2 * host.cpu_per_packet
+        if host.io_bus_rate != float("inf"):
+            t = ip_bytes * 8 / host.io_bus_rate
+            out.stages[f"{name}.iobus"] = t
+            rtt += t
+
+    for u, v in zip(path, path[1:]):
+        link = net.nodes[u].link_to(v)
+        wire = link.framing.wire_bytes(ip_bytes)
+        t = wire * 8 / link.rate
+        out.stages[f"{link.name}.wire"] = t
+        ack_wire = link.framing.wire_bytes(40)
+        rtt += t + 2 * link.propagation + ack_wire * 8 / link.rate
+        node = net.nodes[v]
+        if isinstance(node, Gateway) and node.per_packet:
+            out.stages[f"{v}.forward"] = node.per_packet
+            rtt += 2 * node.per_packet
+
+    out.rtt = rtt
+    return out
+
+
+def tcp_steady_throughput(
+    net: Network,
+    src: str,
+    dst: str,
+    ip: ClassicalIP,
+    window_bytes: float = float("inf"),
+) -> float:
+    """Predicted steady-state TCP goodput in bit/s of application data."""
+    char = characterize_path(net, src, dst, ip)
+    window_rate = window_bytes * 8 / char.rtt if char.rtt > 0 else float("inf")
+    return min(char.pipeline_rate(), window_rate)
+
+
+@dataclass(frozen=True)
+class TcpModel:
+    """Bundles the IP layer and window for a connection."""
+
+    ip: ClassicalIP
+    window_bytes: int = 8 * 1024 * 1024
+    slow_start: bool = False
+
+    def predicted_throughput(self, net: Network, src: str, dst: str) -> float:
+        """Closed-form goodput prediction for this connection."""
+        return tcp_steady_throughput(net, src, dst, self.ip, self.window_bytes)

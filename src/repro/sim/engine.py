@@ -1,0 +1,121 @@
+"""The event loop of the discrete-event kernel."""
+
+from __future__ import annotations
+
+import heapq
+import itertools
+from typing import Any, Callable, Generator, Optional
+
+from repro.sim import events as _ev
+
+
+class SimulationError(RuntimeError):
+    """Raised for kernel misuse (double trigger, running an empty queue...)."""
+
+
+class Interrupt(Exception):
+    """Thrown into a process when another process interrupts it.
+
+    ``cause`` carries an arbitrary payload from the interrupter.
+    """
+
+    def __init__(self, cause: Any = None):
+        super().__init__(cause)
+        self.cause = cause
+
+
+class Environment:
+    """Simulation environment: clock plus time-ordered event queue.
+
+    Events scheduled at equal times fire in scheduling order (FIFO),
+    which makes simulations deterministic.
+    """
+
+    def __init__(self, initial_time: float = 0.0):
+        self._now = float(initial_time)
+        self._queue: list[tuple[float, int, _ev.Event]] = []
+        self._counter = itertools.count()
+        self._active_proc: Optional[_ev.Process] = None
+
+    @property
+    def now(self) -> float:
+        """Current simulation time in seconds."""
+        return self._now
+
+    @property
+    def active_process(self) -> Optional["_ev.Process"]:
+        """The process currently being resumed (None outside callbacks)."""
+        return self._active_proc
+
+    # -- scheduling ------------------------------------------------------
+    def schedule(self, event: "_ev.Event", delay: float = 0.0) -> None:
+        """Queue a triggered event to fire ``delay`` seconds from now."""
+        if delay < 0:
+            raise SimulationError(f"cannot schedule into the past (delay={delay})")
+        heapq.heappush(self._queue, (self._now + delay, next(self._counter), event))
+
+    # -- event/process factories -----------------------------------------
+    def event(self) -> "_ev.Event":
+        """A fresh, untriggered event."""
+        return _ev.Event(self)
+
+    def timeout(self, delay: float, value: Any = None) -> "_ev.Timeout":
+        """An event that fires ``delay`` seconds from now with ``value``."""
+        return _ev.Timeout(self, delay, value)
+
+    def process(self, generator: Generator) -> "_ev.Process":
+        """Start a process running ``generator`` immediately."""
+        return _ev.Process(self, generator)
+
+    def all_of(self, evts) -> "_ev.AllOf":
+        """An event that fires once every event in ``evts`` has fired."""
+        return _ev.AllOf(self, list(evts))
+
+    def any_of(self, evts) -> "_ev.AnyOf":
+        """An event that fires when the first event in ``evts`` fires."""
+        return _ev.AnyOf(self, list(evts))
+
+    # -- running ----------------------------------------------------------
+    def step(self) -> None:
+        """Process the next queued event (advancing the clock to it)."""
+        if not self._queue:
+            raise SimulationError("step() on an empty event queue")
+        when, _, event = heapq.heappop(self._queue)
+        self._now = when
+        event._fire()
+
+    def peek(self) -> float:
+        """Time of the next queued event, or +inf if the queue is empty."""
+        return self._queue[0][0] if self._queue else float("inf")
+
+    def run(self, until: Any = None) -> Any:
+        """Run the simulation.
+
+        ``until`` may be ``None`` (run until the queue drains), a number
+        (run until that simulation time) or an :class:`Event` (run until it
+        fires, returning its value; raises if the queue drains first).
+        """
+        if until is None:
+            while self._queue:
+                self.step()
+            return None
+
+        if isinstance(until, _ev.Event):
+            sentinel = until
+            while not sentinel.processed:
+                if not self._queue:
+                    raise SimulationError(
+                        "event queue drained before the awaited event fired"
+                    )
+                self.step()
+            if sentinel.failed:
+                raise sentinel.value
+            return sentinel.value
+
+        horizon = float(until)
+        if horizon < self._now:
+            raise SimulationError("cannot run() backwards in time")
+        while self._queue and self._queue[0][0] <= horizon:
+            self.step()
+        self._now = horizon
+        return None

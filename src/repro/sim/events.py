@@ -1,0 +1,231 @@
+"""Events and processes for the discrete-event kernel."""
+
+from __future__ import annotations
+
+from typing import Any, Callable, Generator, Optional
+
+
+class Event:
+    """A one-shot occurrence processes can wait on.
+
+    Life cycle: *pending* → ``succeed``/``fail`` (triggered, queued) →
+    *processed* (callbacks ran).  Waiting processes register callbacks;
+    the value (or exception) is delivered into their generators.
+    """
+
+    def __init__(self, env):
+        self.env = env
+        self.callbacks: Optional[list[Callable[["Event"], None]]] = []
+        self._value: Any = None
+        self._ok: Optional[bool] = None
+        self._processed = False
+
+    # -- state -------------------------------------------------------------
+    @property
+    def triggered(self) -> bool:
+        """True once succeed()/fail() was called."""
+        return self._ok is not None
+
+    @property
+    def processed(self) -> bool:
+        """True once the event fired and its callbacks ran."""
+        return self._processed
+
+    @property
+    def ok(self) -> bool:
+        """True if the event succeeded (only valid when triggered)."""
+        return bool(self._ok)
+
+    @property
+    def failed(self) -> bool:
+        """True if the event carries an exception."""
+        return self._ok is False
+
+    @property
+    def value(self) -> Any:
+        """The event's value (or exception instance when failed)."""
+        return self._value
+
+    # -- triggering ----------------------------------------------------------
+    def succeed(self, value: Any = None, delay: float = 0.0) -> "Event":
+        """Trigger the event successfully with ``value``."""
+        if self.triggered:
+            raise RuntimeError("event already triggered")
+        self._ok = True
+        self._value = value
+        self.env.schedule(self, delay)
+        return self
+
+    def fail(self, exception: BaseException, delay: float = 0.0) -> "Event":
+        """Trigger the event with an exception to raise in waiters."""
+        if self.triggered:
+            raise RuntimeError("event already triggered")
+        if not isinstance(exception, BaseException):
+            raise TypeError("fail() needs an exception instance")
+        self._ok = False
+        self._value = exception
+        self.env.schedule(self, delay)
+        return self
+
+    # -- firing ----------------------------------------------------------
+    def _fire(self) -> None:
+        callbacks, self.callbacks = self.callbacks, None
+        self._processed = True
+        for cb in callbacks or ():
+            cb(self)
+
+    def add_callback(self, cb: Callable[["Event"], None]) -> None:
+        """Register ``cb`` to run when the event fires (immediately if done)."""
+        if self.callbacks is None:
+            cb(self)
+        else:
+            self.callbacks.append(cb)
+
+
+class Timeout(Event):
+    """An event that fires a fixed delay after creation."""
+
+    def __init__(self, env, delay: float, value: Any = None):
+        super().__init__(env)
+        if delay < 0:
+            raise ValueError(f"negative timeout delay {delay}")
+        self.delay = delay
+        self._ok = True
+        self._value = value
+        env.schedule(self, delay)
+
+
+class Process(Event):
+    """A running generator; also an event that fires when it returns.
+
+    The generator yields :class:`Event` s.  When a yielded event fires,
+    the kernel resumes the generator with the event's value (or throws the
+    event's exception into it).
+    """
+
+    def __init__(self, env, generator: Generator):
+        super().__init__(env)
+        if not hasattr(generator, "send"):
+            raise TypeError("Process needs a generator")
+        self._generator = generator
+        self._target: Optional[Event] = None
+        # Bootstrap: resume the process at time now.
+        init = Event(env)
+        init._ok = True
+        env.schedule(init)
+        init.add_callback(self._resume)
+
+    @property
+    def is_alive(self) -> bool:
+        """True while the generator has not finished."""
+        return not self.triggered
+
+    def interrupt(self, cause: Any = None) -> None:
+        """Throw :class:`Interrupt` into the process at the current time."""
+        from repro.sim.engine import Interrupt
+
+        if not self.is_alive:
+            raise RuntimeError("cannot interrupt a finished process")
+        if self.env.active_process is self:
+            raise RuntimeError("a process cannot interrupt itself")
+        # Detach from the event we were waiting on and schedule the throw.
+        evt = Event(self.env)
+        evt._ok = False
+        evt._value = Interrupt(cause)
+        evt.defused = True
+        if self._target is not None and self._target.callbacks is not None:
+            try:
+                self._target.callbacks.remove(self._resume)
+            except ValueError:
+                pass
+        self._target = None
+        self.env.schedule(evt)
+        evt.add_callback(self._resume)
+
+    def _resume(self, event: Event) -> None:
+        env = self.env
+        env._active_proc = self
+        while True:
+            try:
+                if event._ok:
+                    target = self._generator.send(event._value)
+                else:
+                    event.defused = True
+                    target = self._generator.throw(event._value)
+            except StopIteration as stop:
+                env._active_proc = None
+                self._ok = True
+                self._value = stop.value
+                env.schedule(self)
+                return
+            except BaseException as exc:
+                env._active_proc = None
+                self._ok = False
+                self._value = exc
+                env.schedule(self)
+                return
+
+            if not isinstance(target, Event):
+                env._active_proc = None
+                self._generator.throw(
+                    TypeError(f"process yielded a non-event: {target!r}")
+                )
+                return
+            if target.callbacks is None:
+                # Already fired: loop and deliver immediately.
+                event = target
+                continue
+            self._target = target
+            target.add_callback(self._resume)
+            env._active_proc = None
+            return
+
+
+class _Condition(Event):
+    """Base for AllOf/AnyOf composite events."""
+
+    def __init__(self, env, events: list[Event]):
+        super().__init__(env)
+        self._events = events
+        self._done = 0
+        if not events:
+            self.succeed({})
+            return
+        for ev in events:
+            ev.add_callback(self._check)
+
+    def _collect(self) -> dict:
+        return {
+            i: ev.value
+            for i, ev in enumerate(self._events)
+            if ev.processed and ev.ok
+        }
+
+    def _check(self, event: Event) -> None:  # pragma: no cover - abstract
+        raise NotImplementedError
+
+
+class AllOf(_Condition):
+    """Fires when all constituent events fired; value maps index → value."""
+
+    def _check(self, event: Event) -> None:
+        if self.triggered:
+            return
+        if event.failed:
+            self.fail(event.value)
+            return
+        self._done += 1
+        if self._done == len(self._events):
+            self.succeed(self._collect())
+
+
+class AnyOf(_Condition):
+    """Fires when the first constituent event fires."""
+
+    def _check(self, event: Event) -> None:
+        if self.triggered:
+            return
+        if event.failed:
+            self.fail(event.value)
+            return
+        self.succeed(self._collect())

@@ -1,0 +1,36 @@
+"""A VAMPIR-like tracing and performance-analysis tool (paper Section 3).
+
+The testbed extended the VAMPIR tracing tool [Nagel et al. 1996] for the
+metacomputing MPI library — "a tool for performance evaluation and tuning
+of metacomputing applications".  This package provides the equivalent:
+
+* :class:`Tracer` — plugs into :class:`repro.metampi.MetaMPI` and records
+  region enter/leave, sends, receives and compute blocks with virtual
+  timestamps;
+* :class:`Timeline` — per-rank ordered event streams with queries;
+* :mod:`repro.trace.stats` — per-region time statistics and the
+  rank-to-rank message matrix;
+* :mod:`repro.trace.render` — the ASCII timeline display;
+* :mod:`repro.trace.io` — JSONL trace files (write, read, merge).
+"""
+
+from repro.trace.events import EventKind, TraceEvent
+from repro.trace.recorder import Tracer
+from repro.trace.timeline import Timeline
+from repro.trace.stats import MessageMatrix, RegionProfile, profile_regions, message_matrix
+from repro.trace.render import render_timeline
+from repro.trace.io import read_trace, write_trace
+
+__all__ = [
+    "EventKind",
+    "TraceEvent",
+    "Tracer",
+    "Timeline",
+    "MessageMatrix",
+    "RegionProfile",
+    "profile_regions",
+    "message_matrix",
+    "render_timeline",
+    "read_trace",
+    "write_trace",
+]

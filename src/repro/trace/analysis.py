@@ -1,0 +1,145 @@
+"""Performance analysis over traces — the "tuning" half of the VAMPIR
+role (paper Section 3: "a tool for performance evaluation and tuning of
+metacomputing applications").
+
+Provides the analyses performance engineers actually ran on such traces:
+
+* per-rank busy/idle breakdown (utilization),
+* wait-time attribution: how long each receive blocked (late-sender),
+* communication phases: traffic volume over time bins,
+* load imbalance across the ranks of each machine island.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.trace.events import EventKind, TraceEvent
+from repro.trace.timeline import Timeline
+
+
+@dataclass
+class RankUtilization:
+    """Busy/total accounting for one rank."""
+
+    rank: int
+    busy: float  #: accounted compute seconds
+    span: float  #: first event .. finish
+
+    @property
+    def utilization(self) -> float:
+        """Fraction of the rank's span spent computing."""
+        return self.busy / self.span if self.span > 0 else 0.0
+
+
+def utilization(timeline: Timeline) -> dict[int, RankUtilization]:
+    """Per-rank compute utilization from COMPUTE events."""
+    out: dict[int, RankUtilization] = {}
+    for rank in timeline.ranks:
+        events = timeline.rank_events(rank)
+        busy = sum(e.duration for e in events if e.kind == EventKind.COMPUTE)
+        t0 = events[0].time - (
+            events[0].duration if events[0].kind == EventKind.COMPUTE else 0.0
+        )
+        t1 = events[-1].time
+        out[rank] = RankUtilization(rank=rank, busy=busy, span=t1 - t0)
+    return out
+
+
+@dataclass(frozen=True)
+class WaitRecord:
+    """One receive's blocking time (late-sender analysis)."""
+
+    rank: int
+    peer: int
+    tag: int
+    wait: float  #: seconds the receiver sat idle for this message
+    at: float
+
+
+def wait_times(timeline: Timeline) -> list[WaitRecord]:
+    """Blocking time of every receive.
+
+    The receiver's clock jumps to the message arrival on a blocking
+    receive; the wait is the jump size — the gap between the receiver's
+    previous event and the receive completion, clamped at zero.
+    """
+    out: list[WaitRecord] = []
+    for rank in timeline.ranks:
+        # World ranks start at clock 0; a receive that is the rank's very
+        # first event waited since then.  (Dynamically spawned ranks
+        # inherit the parent clock, which slightly overstates their first
+        # wait — acceptable for an analysis tool.)
+        prev_time = 0.0
+        for ev in timeline.rank_events(rank):
+            if ev.kind == EventKind.RECV:
+                wait = max(ev.time - prev_time, 0.0)
+                out.append(
+                    WaitRecord(
+                        rank=rank,
+                        peer=ev.peer if ev.peer is not None else -1,
+                        tag=ev.tag if ev.tag is not None else -1,
+                        wait=wait,
+                        at=ev.time,
+                    )
+                )
+            prev_time = ev.time
+    return out
+
+
+def total_wait_by_rank(timeline: Timeline) -> dict[int, float]:
+    """Aggregate blocking time per rank (the idle hot spots)."""
+    totals: dict[int, float] = {}
+    for rec in wait_times(timeline):
+        totals[rec.rank] = totals.get(rec.rank, 0.0) + rec.wait
+    return totals
+
+
+def traffic_profile(
+    timeline: Timeline, n_bins: int = 20
+) -> tuple[np.ndarray, np.ndarray]:
+    """(bin_edges, bytes_per_bin): communication volume over time.
+
+    The "short bursts" vs "sustained stream" distinction in the paper's
+    application list is directly visible in this profile.
+    """
+    recvs = timeline.of_kind(EventKind.RECV)
+    if not recvs:
+        return np.linspace(0, 1, n_bins + 1), np.zeros(n_bins)
+    times = np.array([e.time for e in recvs])
+    volumes = np.array([e.nbytes for e in recvs], dtype=float)
+    t0, t1 = timeline.start, timeline.end
+    if t1 <= t0:
+        t1 = t0 + 1e-9
+    edges = np.linspace(t0, t1, n_bins + 1)
+    bins = np.clip(np.digitize(times, edges) - 1, 0, n_bins - 1)
+    out = np.zeros(n_bins)
+    np.add.at(out, bins, volumes)
+    return edges, out
+
+
+def load_imbalance(timeline: Timeline) -> float:
+    """max/mean of per-rank compute time (1.0 = perfectly balanced)."""
+    util = utilization(timeline)
+    busy = np.array([u.busy for u in util.values()])
+    if busy.size == 0 or busy.mean() == 0:
+        return 1.0
+    return float(busy.max() / busy.mean())
+
+
+def summarize(timeline: Timeline) -> str:
+    """Human-readable analysis block (the tool's text report)."""
+    util = utilization(timeline)
+    waits = total_wait_by_rank(timeline)
+    lines = [
+        f"{'rank':>5} {'busy (s)':>10} {'util':>7} {'wait (s)':>10}",
+    ]
+    for rank, u in sorted(util.items()):
+        lines.append(
+            f"{rank:>5} {u.busy:>10.3f} {u.utilization:>6.1%} "
+            f"{waits.get(rank, 0.0):>10.3f}"
+        )
+    lines.append(f"load imbalance (max/mean busy): {load_imbalance(timeline):.2f}")
+    return "\n".join(lines)

@@ -1,0 +1,66 @@
+"""Trace event records."""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+from typing import Optional
+
+
+class EventKind(enum.Enum):
+    """The event vocabulary (VAMPIR's enter/leave/send/recv model)."""
+
+    ENTER = "enter"  #: entering a named region
+    LEAVE = "leave"  #: leaving a named region
+    SEND = "send"  #: message departure
+    RECV = "recv"  #: message arrival/consumption
+    COMPUTE = "compute"  #: accounted computation block
+    FINISH = "finish"  #: rank completed
+
+
+@dataclass(frozen=True)
+class TraceEvent:
+    """One timestamped event on one rank.
+
+    ``time`` is virtual (metacomputer) time.  ``peer`` is the other rank
+    for SEND/RECV; ``region`` names the code region for ENTER/LEAVE;
+    ``nbytes``/``tag`` describe messages; ``duration`` is set for COMPUTE.
+    """
+
+    rank: int
+    time: float
+    kind: EventKind
+    region: str = ""
+    peer: Optional[int] = None
+    tag: Optional[int] = None
+    nbytes: int = 0
+    duration: float = 0.0
+
+    def to_dict(self) -> dict:
+        """JSON-serializable form (omits empty fields)."""
+        out = {"rank": self.rank, "time": self.time, "kind": self.kind.value}
+        if self.region:
+            out["region"] = self.region
+        if self.peer is not None:
+            out["peer"] = self.peer
+        if self.tag is not None:
+            out["tag"] = self.tag
+        if self.nbytes:
+            out["nbytes"] = self.nbytes
+        if self.duration:
+            out["duration"] = self.duration
+        return out
+
+    @classmethod
+    def from_dict(cls, d: dict) -> "TraceEvent":
+        """Inverse of :meth:`to_dict`."""
+        return cls(
+            rank=d["rank"],
+            time=d["time"],
+            kind=EventKind(d["kind"]),
+            region=d.get("region", ""),
+            peer=d.get("peer"),
+            tag=d.get("tag"),
+            nbytes=d.get("nbytes", 0),
+            duration=d.get("duration", 0.0),
+        )

@@ -1,0 +1,116 @@
+"""The Tracer: collects events from the metampi runtime and user regions."""
+
+from __future__ import annotations
+
+import threading
+from contextlib import contextmanager
+from typing import Optional
+
+from repro.trace.events import EventKind, TraceEvent
+from repro.trace.timeline import Timeline
+
+
+class Tracer:
+    """Thread-safe event collector pluggable into MetaMPI.
+
+    The runtime calls ``record_send``/``record_recv``/``record_compute``;
+    applications mark regions with :meth:`region`::
+
+        with tracer.region(comm, "correlation"):
+            ... compute ...
+            comm.advance(cost)
+    """
+
+    def __init__(self) -> None:
+        self._lock = threading.Lock()
+        self._events: list[TraceEvent] = []
+        self._runtime = None
+
+    def bind_runtime(self, runtime) -> None:
+        """Called by MetaMPI so region() can read rank clocks."""
+        self._runtime = runtime
+
+    # -- runtime hooks -----------------------------------------------------
+    def _add(self, event: TraceEvent) -> None:
+        with self._lock:
+            self._events.append(event)
+
+    def record_send(
+        self, src: int, dst: int, tag: int, nbytes: int, time: float, arrival: float
+    ) -> None:
+        """A message left rank ``src`` at virtual ``time``."""
+        self._add(
+            TraceEvent(
+                rank=src, time=time, kind=EventKind.SEND,
+                peer=dst, tag=tag, nbytes=nbytes,
+            )
+        )
+
+    def record_recv(
+        self, src: int, dst: int, tag: int, nbytes: int, time: float
+    ) -> None:
+        """Rank ``dst`` consumed a message at virtual ``time``."""
+        self._add(
+            TraceEvent(
+                rank=dst, time=time, kind=EventKind.RECV,
+                peer=src, tag=tag, nbytes=nbytes,
+            )
+        )
+
+    def record_compute(self, rank: int, duration: float, time: float) -> None:
+        """Rank accounted ``duration`` seconds of computation ending at ``time``."""
+        self._add(
+            TraceEvent(
+                rank=rank, time=time, kind=EventKind.COMPUTE, duration=duration
+            )
+        )
+
+    def record_finish(self, rank: int, time: float) -> None:
+        """Rank's function returned."""
+        self._add(TraceEvent(rank=rank, time=time, kind=EventKind.FINISH))
+
+    # -- user-code region marking ------------------------------------------
+    def enter(self, comm, region: str) -> None:
+        """Mark region entry at the calling rank's current clock."""
+        ctx = comm.runtime.current()
+        self._add(
+            TraceEvent(
+                rank=ctx.world_rank, time=ctx.clock,
+                kind=EventKind.ENTER, region=region,
+            )
+        )
+
+    def leave(self, comm, region: str) -> None:
+        """Mark region exit."""
+        ctx = comm.runtime.current()
+        self._add(
+            TraceEvent(
+                rank=ctx.world_rank, time=ctx.clock,
+                kind=EventKind.LEAVE, region=region,
+            )
+        )
+
+    @contextmanager
+    def region(self, comm, name: str):
+        """Context manager marking an ENTER/LEAVE pair."""
+        self.enter(comm, name)
+        try:
+            yield
+        finally:
+            self.leave(comm, name)
+
+    # -- results ---------------------------------------------------------
+    @property
+    def events(self) -> list[TraceEvent]:
+        """Snapshot of the recorded events (stable copy)."""
+        with self._lock:
+            return list(self._events)
+
+    def timeline(self) -> Timeline:
+        """The events organized as a per-rank Timeline."""
+        return Timeline(self.events)
+
+    def clear(self) -> None:
+        """Drop all recorded events."""
+        with self._lock:
+            self._events.clear()

@@ -1,0 +1,51 @@
+"""ASCII timeline rendering (the VAMPIR Gantt view, in a terminal)."""
+
+from __future__ import annotations
+
+from repro.trace.events import EventKind
+from repro.trace.timeline import Timeline
+
+
+def render_timeline(
+    timeline: Timeline, width: int = 72, label_width: int = 10
+) -> str:
+    """Render per-rank activity bars.
+
+    Region intervals are drawn with the first letter of the region name;
+    message receives show as ``<``, sends as ``>``; idle is ``.``.
+    """
+    if not timeline.events:
+        return "(empty trace)"
+    t0, t1 = timeline.start, timeline.end
+    span = max(t1 - t0, 1e-12)
+
+    def col(t: float) -> int:
+        return min(width - 1, int((t - t0) / span * width))
+
+    lines = [
+        f"{'time':>{label_width}} |{'':-<{width}}| "
+        f"[{t0:.3f} s .. {t1:.3f} s]"
+    ]
+    for rank in timeline.ranks:
+        row = ["."] * width
+        for region, a, b in timeline.region_intervals(rank):
+            ch = region[0] if region else "#"
+            for c in range(col(a), col(b) + 1):
+                row[c] = ch
+        for ev in timeline.rank_events(rank):
+            if ev.kind == EventKind.SEND:
+                row[col(ev.time)] = ">"
+            elif ev.kind == EventKind.RECV:
+                row[col(ev.time)] = "<"
+        lines.append(f"{f'rank {rank}':>{label_width}} |{''.join(row)}|")
+    return "\n".join(lines)
+
+
+def render_legend(timeline: Timeline) -> str:
+    """Legend mapping bar letters to region names."""
+    regions = sorted(
+        {e.region for e in timeline.events if e.region}
+    )
+    entries = [f"  {r[0]} = {r}" for r in regions]
+    entries.append("  > = send    < = recv    . = idle")
+    return "legend:\n" + "\n".join(entries)

@@ -1,0 +1,87 @@
+"""Trace statistics: region profiles and the message matrix.
+
+These are the summary views VAMPIR provides next to its timeline: how
+much time each rank spent in each code region, and who sent how much to
+whom.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.trace.events import EventKind
+from repro.trace.timeline import Timeline
+
+
+@dataclass
+class RegionProfile:
+    """Aggregated statistics for one region on one rank."""
+
+    region: str
+    rank: int
+    calls: int = 0
+    total_time: float = 0.0
+
+    @property
+    def mean_time(self) -> float:
+        """Average time per call."""
+        return self.total_time / self.calls if self.calls else 0.0
+
+
+def profile_regions(timeline: Timeline) -> dict[tuple[str, int], RegionProfile]:
+    """Per-(region, rank) call counts and inclusive times."""
+    out: dict[tuple[str, int], RegionProfile] = {}
+    for rank in timeline.ranks:
+        for region, t0, t1 in timeline.region_intervals(rank):
+            key = (region, rank)
+            prof = out.setdefault(key, RegionProfile(region=region, rank=rank))
+            prof.calls += 1
+            prof.total_time += t1 - t0
+    return out
+
+
+def region_totals(timeline: Timeline) -> dict[str, float]:
+    """Total inclusive time per region summed over ranks."""
+    totals: dict[str, float] = {}
+    for (region, _), prof in profile_regions(timeline).items():
+        totals[region] = totals.get(region, 0.0) + prof.total_time
+    return totals
+
+
+@dataclass
+class MessageMatrix:
+    """Rank-to-rank communication volume and counts."""
+
+    n_ranks: int
+    bytes: np.ndarray = field(default=None)  # type: ignore[assignment]
+    counts: np.ndarray = field(default=None)  # type: ignore[assignment]
+
+    def __post_init__(self) -> None:
+        if self.bytes is None:
+            self.bytes = np.zeros((self.n_ranks, self.n_ranks), dtype=np.int64)
+        if self.counts is None:
+            self.counts = np.zeros((self.n_ranks, self.n_ranks), dtype=np.int64)
+
+    @property
+    def total_bytes(self) -> int:
+        """All traffic in the trace."""
+        return int(self.bytes.sum())
+
+    def heaviest_pair(self) -> tuple[int, int]:
+        """(src, dst) with the most bytes."""
+        idx = int(np.argmax(self.bytes))
+        return divmod(idx, self.n_ranks)
+
+
+def message_matrix(timeline: Timeline, n_ranks: int = 0) -> MessageMatrix:
+    """Build the communication matrix from RECV events."""
+    if not n_ranks:
+        peers = [e.peer for e in timeline.of_kind(EventKind.RECV) if e.peer is not None]
+        n_ranks = max(timeline.ranks + peers, default=-1) + 1
+    mat = MessageMatrix(n_ranks=n_ranks)
+    for src, dst, nbytes, _ in timeline.messages():
+        mat.bytes[src, dst] += nbytes
+        mat.counts[src, dst] += 1
+    return mat

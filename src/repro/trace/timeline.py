@@ -1,0 +1,76 @@
+"""Per-rank ordered event streams."""
+
+from __future__ import annotations
+
+from typing import Iterable, Optional
+
+from repro.trace.events import EventKind, TraceEvent
+
+
+class Timeline:
+    """Events sorted by time and grouped by rank, with queries."""
+
+    def __init__(self, events: Iterable[TraceEvent]):
+        self.events = sorted(events, key=lambda e: (e.time, e.rank))
+        self._by_rank: dict[int, list[TraceEvent]] = {}
+        for ev in self.events:
+            self._by_rank.setdefault(ev.rank, []).append(ev)
+
+    @property
+    def ranks(self) -> list[int]:
+        """All ranks with at least one event."""
+        return sorted(self._by_rank)
+
+    def rank_events(self, rank: int) -> list[TraceEvent]:
+        """Events of one rank in time order."""
+        return self._by_rank.get(rank, [])
+
+    @property
+    def start(self) -> float:
+        """Earliest event time (0.0 when empty)."""
+        return self.events[0].time if self.events else 0.0
+
+    @property
+    def end(self) -> float:
+        """Latest event time (0.0 when empty)."""
+        return self.events[-1].time if self.events else 0.0
+
+    @property
+    def span(self) -> float:
+        """end - start."""
+        return self.end - self.start
+
+    def of_kind(self, kind: EventKind) -> list[TraceEvent]:
+        """All events of one kind, in time order."""
+        return [e for e in self.events if e.kind == kind]
+
+    def region_intervals(self, rank: int) -> list[tuple[str, float, float]]:
+        """(region, t_enter, t_leave) for each completed region on a rank.
+
+        Supports nesting: LEAVE matches the most recent unmatched ENTER of
+        the same region name.
+        """
+        stack: list[tuple[str, float]] = []
+        out: list[tuple[str, float, float]] = []
+        for ev in self.rank_events(rank):
+            if ev.kind == EventKind.ENTER:
+                stack.append((ev.region, ev.time))
+            elif ev.kind == EventKind.LEAVE:
+                for i in range(len(stack) - 1, -1, -1):
+                    if stack[i][0] == ev.region:
+                        _, t0 = stack.pop(i)
+                        out.append((ev.region, t0, ev.time))
+                        break
+        return sorted(out, key=lambda x: x[1])
+
+    def messages(self) -> list[tuple[int, int, int, float]]:
+        """(src, dst, nbytes, recv_time) for every consumed message."""
+        return [
+            (e.peer, e.rank, e.nbytes, e.time)
+            for e in self.of_kind(EventKind.RECV)
+            if e.peer is not None
+        ]
+
+    def merge(self, other: "Timeline") -> "Timeline":
+        """Union of two timelines (e.g. traces from separate components)."""
+        return Timeline(self.events + other.events)

@@ -1,0 +1,63 @@
+"""Minimal dependency-free image writers (binary PGM/PPM).
+
+The FIRE GUI (Figure 3) and the AVS rendering (Figure 4) are reproduced as
+programmatic images; PGM/PPM keeps us free of imaging libraries while still
+producing files any viewer opens.
+"""
+
+from __future__ import annotations
+
+import os
+
+import numpy as np
+
+
+def _as_u8(img: np.ndarray) -> np.ndarray:
+    """Clip/convert an array to uint8 without rescaling semantics surprises.
+
+    Float arrays are expected in [0, 1] and are scaled to [0, 255];
+    integer arrays are clipped to [0, 255].
+    """
+    arr = np.asarray(img)
+    if np.issubdtype(arr.dtype, np.floating):
+        arr = np.clip(arr, 0.0, 1.0) * 255.0
+    return np.clip(arr, 0, 255).astype(np.uint8)
+
+
+def write_pgm(path: str | os.PathLike, img: np.ndarray) -> None:
+    """Write a 2-D grayscale array as a binary PGM (P5) file."""
+    arr = _as_u8(img)
+    if arr.ndim != 2:
+        raise ValueError(f"PGM needs a 2-D array, got shape {arr.shape}")
+    h, w = arr.shape
+    with open(path, "wb") as fh:
+        fh.write(f"P5\n{w} {h}\n255\n".encode("ascii"))
+        fh.write(arr.tobytes())
+
+
+def write_ppm(path: str | os.PathLike, img: np.ndarray) -> None:
+    """Write an (H, W, 3) RGB array as a binary PPM (P6) file."""
+    arr = _as_u8(img)
+    if arr.ndim != 3 or arr.shape[2] != 3:
+        raise ValueError(f"PPM needs an (H, W, 3) array, got shape {arr.shape}")
+    h, w, _ = arr.shape
+    with open(path, "wb") as fh:
+        fh.write(f"P6\n{w} {h}\n255\n".encode("ascii"))
+        fh.write(arr.tobytes())
+
+
+def read_pnm(path: str | os.PathLike) -> np.ndarray:
+    """Read back a binary PGM/PPM written by this module (for tests)."""
+    with open(path, "rb") as fh:
+        magic = fh.readline().strip()
+        dims = fh.readline().split()
+        maxval = int(fh.readline())
+        if maxval != 255:
+            raise ValueError("only 8-bit PNM supported")
+        w, h = int(dims[0]), int(dims[1])
+        data = np.frombuffer(fh.read(), dtype=np.uint8)
+    if magic == b"P5":
+        return data.reshape(h, w)
+    if magic == b"P6":
+        return data.reshape(h, w, 3)
+    raise ValueError(f"unsupported PNM magic {magic!r}")

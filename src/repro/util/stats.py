@@ -1,0 +1,67 @@
+"""Streaming statistics used by traffic sinks and the tracer."""
+
+from __future__ import annotations
+
+import math
+
+
+class RunningStats:
+    """Welford-style running mean/variance plus min/max.
+
+    Suitable for one-pass statistics over simulation observations (packet
+    inter-arrival jitter, per-image latencies, ...) without storing samples.
+    """
+
+    def __init__(self) -> None:
+        self.n = 0
+        self._mean = 0.0
+        self._m2 = 0.0
+        self.min = math.inf
+        self.max = -math.inf
+        self.total = 0.0
+
+    def add(self, x: float) -> None:
+        """Fold one observation into the statistics."""
+        self.n += 1
+        self.total += x
+        delta = x - self._mean
+        self._mean += delta / self.n
+        self._m2 += delta * (x - self._mean)
+        if x < self.min:
+            self.min = x
+        if x > self.max:
+            self.max = x
+
+    @property
+    def mean(self) -> float:
+        """Arithmetic mean of the observations (0.0 when empty)."""
+        return self._mean if self.n else 0.0
+
+    @property
+    def variance(self) -> float:
+        """Sample variance (unbiased); 0.0 for fewer than two samples."""
+        return self._m2 / (self.n - 1) if self.n > 1 else 0.0
+
+    @property
+    def stddev(self) -> float:
+        """Sample standard deviation."""
+        return math.sqrt(self.variance)
+
+    def merge(self, other: "RunningStats") -> "RunningStats":
+        """Return the statistics of the union of both sample sets."""
+        out = RunningStats()
+        out.n = self.n + other.n
+        out.total = self.total + other.total
+        if out.n:
+            delta = other.mean - self.mean
+            out._mean = (self.n * self.mean + other.n * other.mean) / out.n
+            out._m2 = self._m2 + other._m2 + delta * delta * self.n * other.n / out.n
+        out.min = min(self.min, other.min)
+        out.max = max(self.max, other.max)
+        return out
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"RunningStats(n={self.n}, mean={self.mean:.6g}, "
+            f"std={self.stddev:.6g}, min={self.min:.6g}, max={self.max:.6g})"
+        )

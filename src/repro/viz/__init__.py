@@ -1,0 +1,34 @@
+"""Visualization: the FIRE 2-D GUI, the 3-D VR rendering, the Workbench.
+
+* :mod:`repro.viz.colormap` — grayscale/hot lookup tables;
+* :mod:`repro.viz.overlay2d` — Figure 3: anatomy with color-coded
+  correlation overlay above a clip level, slice mosaics, ROI time
+  courses;
+* :mod:`repro.viz.volume` — resampling the 64×64×16 functional data into
+  the 256×256×128 anatomical scan;
+* :mod:`repro.viz.render3d` — Figure 4: maximum-intensity-projection
+  volume rendering with functional highlights, mono and stereo;
+* :mod:`repro.viz.workbench` — the Responsive Workbench frame geometry
+  (2 projection planes × stereo × 1024×768 true color) and its frame
+  rate over the testbed (< 8 frames/s over 622 Mbit/s classical IP).
+"""
+
+from repro.viz.colormap import grayscale, hot_colormap
+from repro.viz.overlay2d import overlay_slice, slice_mosaic, roi_timecourse
+from repro.viz.volume import merge_functional, resample_to
+from repro.viz.render3d import render_frame, render_stereo_pair
+from repro.viz.workbench import WorkbenchSpec, workbench_fps
+
+__all__ = [
+    "grayscale",
+    "hot_colormap",
+    "overlay_slice",
+    "slice_mosaic",
+    "roi_timecourse",
+    "resample_to",
+    "merge_functional",
+    "render_frame",
+    "render_stereo_pair",
+    "WorkbenchSpec",
+    "workbench_fps",
+]

@@ -1,0 +1,43 @@
+"""Color lookup tables (dependency-free)."""
+
+from __future__ import annotations
+
+import numpy as np
+
+
+def grayscale(values: np.ndarray) -> np.ndarray:
+    """Map values in [0, 1] to RGB grays; output shape (..., 3)."""
+    v = np.clip(np.asarray(values, dtype=float), 0.0, 1.0)
+    return np.stack([v, v, v], axis=-1)
+
+
+def hot_colormap(values: np.ndarray) -> np.ndarray:
+    """The classic 'hot' map (black→red→yellow→white) for values in [0,1].
+
+    This is the color coding of the FIRE correlation overlay: low
+    correlations deep red, strong activations bright yellow/white.
+    """
+    v = np.clip(np.asarray(values, dtype=float), 0.0, 1.0)
+    r = np.clip(3.0 * v, 0.0, 1.0)
+    g = np.clip(3.0 * v - 1.0, 0.0, 1.0)
+    b = np.clip(3.0 * v - 2.0, 0.0, 1.0)
+    return np.stack([r, g, b], axis=-1)
+
+
+def cold_colormap(values: np.ndarray) -> np.ndarray:
+    """Mirror map (black→blue→cyan) for negative correlations."""
+    v = np.clip(np.asarray(values, dtype=float), 0.0, 1.0)
+    b = np.clip(3.0 * v, 0.0, 1.0)
+    g = np.clip(3.0 * v - 1.0, 0.0, 1.0)
+    r = np.clip(3.0 * v - 2.0, 0.0, 1.0)
+    return np.stack([r, g, b], axis=-1)
+
+
+def normalize(volume: np.ndarray, clip_percentile: float = 99.5) -> np.ndarray:
+    """Scale image data into [0, 1] robustly (clips hot outliers)."""
+    vol = np.asarray(volume, dtype=float)
+    hi = np.percentile(vol, clip_percentile)
+    lo = vol.min()
+    if hi <= lo:
+        return np.zeros_like(vol)
+    return np.clip((vol - lo) / (hi - lo), 0.0, 1.0)

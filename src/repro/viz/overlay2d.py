@@ -1,0 +1,91 @@
+"""The FIRE 2-D display (paper Figure 3).
+
+"The upper left canvas shows MR-images with a color coded correlation
+map overlay" — "for those pixels of each slice, for which the
+correlation coefficient is larger than an adjustable clip-level, the
+anatomical data are overlayed with the color-coded correlation
+coefficient."  The upper right shows ROI signal time courses.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.viz.colormap import cold_colormap, grayscale, hot_colormap, normalize
+
+
+def overlay_slice(
+    anatomy_slice: np.ndarray,
+    correlation_slice: np.ndarray,
+    clip_level: float = 0.5,
+    show_negative: bool = False,
+) -> np.ndarray:
+    """One slice of the Figure-3 canvas: gray anatomy + hot overlay.
+
+    Returns an (H, W, 3) float RGB image in [0, 1].
+    """
+    if anatomy_slice.shape != correlation_slice.shape:
+        raise ValueError("anatomy and correlation slices must align")
+    if not 0.0 < clip_level <= 1.0:
+        raise ValueError("clip level must be in (0, 1]")
+    rgb = grayscale(normalize(anatomy_slice))
+    corr = np.asarray(correlation_slice, dtype=float)
+
+    pos = corr >= clip_level
+    if np.any(pos):
+        # Map [clip, 1] onto the full colormap range.
+        scaled = (corr[pos] - clip_level) / max(1.0 - clip_level, 1e-9)
+        rgb[pos] = hot_colormap(0.25 + 0.75 * scaled)
+    if show_negative:
+        neg = corr <= -clip_level
+        if np.any(neg):
+            scaled = (-corr[neg] - clip_level) / max(1.0 - clip_level, 1e-9)
+            rgb[neg] = cold_colormap(0.25 + 0.75 * scaled)
+    return rgb
+
+
+def slice_mosaic(
+    anatomy: np.ndarray,
+    correlation: np.ndarray,
+    clip_level: float = 0.5,
+    columns: int = 4,
+) -> np.ndarray:
+    """All slices of the volume arranged as the GUI's slice mosaic."""
+    if anatomy.shape != correlation.shape or anatomy.ndim != 3:
+        raise ValueError("expected matching 3-D volumes")
+    n_slices, h, w = anatomy.shape
+    columns = max(1, min(columns, n_slices))
+    rows = -(-n_slices // columns)
+    canvas = np.zeros((rows * h, columns * w, 3))
+    for k in range(n_slices):
+        r, c = divmod(k, columns)
+        canvas[r * h : (r + 1) * h, c * w : (c + 1) * w] = overlay_slice(
+            anatomy[k], correlation[k], clip_level
+        )
+    return canvas
+
+
+def roi_timecourse(
+    timeseries: np.ndarray, roi_mask: np.ndarray
+) -> np.ndarray:
+    """Mean signal time course of a region of interest.
+
+    The Figure-3 panel "the signal time courses of special 'regions of
+    interest' can be displayed".
+    """
+    ts = np.asarray(timeseries, dtype=float)
+    mask = np.asarray(roi_mask, dtype=bool)
+    if ts.shape[1:] != mask.shape:
+        raise ValueError("mask shape must match the spatial shape")
+    if not mask.any():
+        raise ValueError("empty ROI")
+    return ts.reshape(ts.shape[0], -1)[:, mask.ravel()].mean(axis=1)
+
+
+def percent_signal_change(timecourse: np.ndarray) -> np.ndarray:
+    """Time course as % change from its temporal mean (GUI display units)."""
+    tc = np.asarray(timecourse, dtype=float)
+    base = tc.mean()
+    if abs(base) < 1e-12:
+        return np.zeros_like(tc)
+    return (tc - base) / base * 100.0

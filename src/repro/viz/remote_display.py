@@ -1,0 +1,108 @@
+"""Rendering platforms and the planned AVOCADO remote display.
+
+Two Section-4 claims are modelled here:
+
+* the AVS prototype "running on a workstation ... While (on a high-end
+  graphical workstation) the update of the functional data takes about
+  the same amount of time as the display on the 2-D GUI, this setup is
+  too slow for interactive manipulations" — a rendering cost model
+  separates the update path from the interactive path;
+* the planned extension: "extend AVOCADO such that also remote display
+  systems can be used.  Then the data will be displayed on a Workbench
+  ... in Jülich" — a pipeline combining Onyx 2 rendering rate with the
+  622 Mbit/s transfer gives the achievable remote frame rate.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.netsim.core import Network
+from repro.netsim.ip import ClassicalIP, TESTBED_MTU
+from repro.netsim.tcp import tcp_steady_throughput
+from repro.viz.workbench import WorkbenchSpec
+
+#: Frame rate below which direct manipulation stops feeling interactive.
+INTERACTIVE_FPS = 10.0
+
+
+@dataclass(frozen=True)
+class RenderPlatform:
+    """A 1999 rendering machine as a fill-rate model.
+
+    ``megavoxels_per_second`` is the volume-rendering throughput per
+    pipe; ``pipes`` are parallel graphics pipelines (the Onyx 2's
+    InfiniteReality advantage over any workstation).
+    """
+
+    name: str
+    megavoxels_per_second: float
+    pipes: int = 1
+
+    def render_time(self, volume_shape: tuple[int, int, int], views: int = 1) -> float:
+        """Seconds to render ``views`` views of a volume."""
+        voxels = float(np.prod(volume_shape))
+        rate = self.megavoxels_per_second * 1e6 * self.pipes
+        return views * voxels / rate
+
+    def fps(self, volume_shape: tuple[int, int, int], views: int = 1) -> float:
+        """Achievable local frame rate."""
+        return 1.0 / self.render_time(volume_shape, views)
+
+    def interactive(self, volume_shape: tuple[int, int, int], views: int = 1) -> bool:
+        """Can a user rotate/zoom/slice in realtime on this platform?"""
+        return self.fps(volume_shape, views) >= INTERACTIVE_FPS
+
+
+#: The AVS prototype host: a high-end graphical workstation.
+GRAPHICS_WORKSTATION = RenderPlatform(
+    name="high-end graphical workstation", megavoxels_per_second=18.0, pipes=1
+)
+#: The 12-processor Onyx 2 visualization server at the GMD.
+ONYX2_PIPE = RenderPlatform(
+    name="SGI Onyx 2 (InfiniteReality)", megavoxels_per_second=150.0, pipes=2
+)
+
+#: The merged dataset of Section 4 (256×256×128 anatomy + function).
+MERGED_VOLUME = (128, 256, 256)
+
+
+@dataclass
+class RemoteDisplayReport:
+    """Achievable frame rate of the AVOCADO remote-display pipeline."""
+
+    render_fps: float
+    network_fps: float
+
+    @property
+    def achieved_fps(self) -> float:
+        """Rendering and shipping pipeline: the slower stage rules."""
+        return min(self.render_fps, self.network_fps)
+
+    @property
+    def network_bound(self) -> bool:
+        return self.network_fps < self.render_fps
+
+
+def remote_display_fps(
+    net: Network,
+    render_host: str = "onyx2-gmd",
+    display_host: str = "onyx2-juelich",
+    platform: RenderPlatform = ONYX2_PIPE,
+    volume_shape: tuple[int, int, int] = MERGED_VOLUME,
+    spec: WorkbenchSpec | None = None,
+    ip: ClassicalIP | None = None,
+) -> RemoteDisplayReport:
+    """The planned setup: render at the GMD, display in Jülich.
+
+    The Onyx 2 renders the workbench's four views per frame; the
+    finished frame set crosses the testbed to the Jülich frame buffer.
+    """
+    spec = spec or WorkbenchSpec()
+    ip = ip or ClassicalIP(TESTBED_MTU)
+    render_fps = platform.fps(volume_shape, views=spec.images_per_frame)
+    goodput = tcp_steady_throughput(net, render_host, display_host, ip)
+    network_fps = goodput / spec.frame_bits
+    return RemoteDisplayReport(render_fps=render_fps, network_fps=network_fps)

@@ -1,0 +1,83 @@
+"""The Responsive Workbench and its remote-display bandwidth problem.
+
+Paper: "the workbench has two projection planes, each of them displays
+stereo images of 1024x768 true color (24 Bit) pixels.  This means that
+less than 8 frames/second can be transferred over a 622 Mbit/s ATM
+network using classical IP."
+
+The planned AVOCADO extension renders on the Onyx 2 in Sankt Augustin
+and ships finished frames across the testbed to the Workbench in Jülich
+(frame buffer: the 2-processor Onyx 2 there).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.netsim.core import Network
+from repro.netsim.ip import ClassicalIP, TESTBED_MTU
+from repro.netsim.sdh import STM4
+from repro.netsim.tcp import tcp_steady_throughput
+
+
+@dataclass(frozen=True)
+class WorkbenchSpec:
+    """Responsive Workbench display geometry."""
+
+    planes: int = 2  #: projection planes
+    stereo: bool = True  #: stereo pairs per plane
+    width: int = 1024
+    height: int = 768
+    bytes_per_pixel: int = 3  #: 24-bit true color
+
+    @property
+    def images_per_frame(self) -> int:
+        """Rendered images per workbench frame."""
+        return self.planes * (2 if self.stereo else 1)
+
+    @property
+    def frame_bytes(self) -> int:
+        """Bytes per complete workbench frame (all planes, both eyes)."""
+        return self.images_per_frame * self.width * self.height * self.bytes_per_pixel
+
+    @property
+    def frame_bits(self) -> int:
+        return self.frame_bytes * 8
+
+
+def workbench_fps(
+    spec: WorkbenchSpec | None = None,
+    link_payload_rate: float = STM4.payload_rate,
+    ip: ClassicalIP | None = None,
+) -> float:
+    """Frames/s over a link, accounting for classical-IP-over-ATM overhead.
+
+    With the defaults this is the paper's in-text computation: a 622
+    Mbit/s ATM link carries < 8 workbench frames per second.
+    """
+    spec = spec or WorkbenchSpec()
+    ip = ip or ClassicalIP(TESTBED_MTU)
+    goodput = link_payload_rate * ip.goodput_fraction()
+    return goodput / spec.frame_bits
+
+
+def workbench_fps_over_path(
+    net: Network,
+    src: str,
+    dst: str,
+    spec: WorkbenchSpec | None = None,
+    ip: ClassicalIP | None = None,
+) -> float:
+    """Frames/s over an actual testbed path (Onyx2 GMD → Onyx2 Jülich)."""
+    spec = spec or WorkbenchSpec()
+    ip = ip or ClassicalIP(TESTBED_MTU)
+    goodput = tcp_steady_throughput(net, src, dst, ip)
+    return goodput / spec.frame_bits
+
+
+def required_rate_for_fps(fps: float, spec: WorkbenchSpec | None = None) -> float:
+    """Application bit/s needed for a target interactive frame rate."""
+    spec = spec or WorkbenchSpec()
+    if fps <= 0:
+        raise ValueError("fps must be positive")
+    return fps * spec.frame_bits

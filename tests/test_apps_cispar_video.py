@@ -1,0 +1,178 @@
+"""Tests for the MetaCISPAR coupling interface + FSI demo and the D1
+video streaming application (E6)."""
+
+import numpy as np
+import pytest
+
+from repro.apps.cispar import (
+    ChannelFlow,
+    Cocolib,
+    CouplingSurface,
+    ElasticBeam,
+    run_fsi,
+)
+from repro.apps.cispar.cocolib import interpolate_field
+from repro.apps.video import D1Format, D1_RATE, stream_video
+from repro.netsim import build_testbed
+
+
+class TestCocolib:
+    def test_surface_validation(self):
+        with pytest.raises(ValueError):
+            CouplingSurface("bad", np.array([0.0]))
+        with pytest.raises(ValueError):
+            CouplingSurface("bad", np.array([0.0, 0.5, 0.4]))
+
+    def test_register_and_lookup(self):
+        lib = Cocolib()
+        lib.register(CouplingSurface("s", np.linspace(0, 1, 5)))
+        assert lib.surface("s").n_nodes == 5
+        with pytest.raises(KeyError):
+            lib.surface("t")
+
+    def test_duplicate_registration_rejected(self):
+        lib = Cocolib()
+        lib.register(CouplingSurface("s", np.linspace(0, 1, 5)))
+        with pytest.raises(ValueError):
+            lib.register(CouplingSurface("s", np.linspace(0, 1, 3)))
+
+    def test_interpolation_exact_for_linear_fields(self):
+        src = CouplingSurface("a", np.linspace(0, 1, 11))
+        dst = CouplingSurface("b", np.linspace(0, 1, 7))
+        values = 2.0 * src.coordinates + 1.0
+        out = interpolate_field(src, dst, values)
+        np.testing.assert_allclose(out, 2.0 * dst.coordinates + 1.0)
+
+    def test_put_get_roundtrip_same_mesh(self):
+        lib = Cocolib()
+        mesh = np.linspace(0, 1, 9)
+        lib.register(CouplingSurface("a", mesh))
+        lib.register(CouplingSurface("b", mesh))
+        values = np.sin(mesh)
+        lib.put("a", "load", values)
+        out = lib.get("a", "load", "b")
+        np.testing.assert_allclose(out, values)
+
+    def test_missing_field(self):
+        lib = Cocolib()
+        lib.register(CouplingSurface("a", np.linspace(0, 1, 3)))
+        with pytest.raises(KeyError):
+            lib.get("a", "nothing", "a")
+
+    def test_field_length_checked(self):
+        lib = Cocolib()
+        lib.register(CouplingSurface("a", np.linspace(0, 1, 5)))
+        with pytest.raises(ValueError):
+            lib.put("a", "f", np.zeros(4))
+
+    def test_volume_accounting(self):
+        lib = Cocolib()
+        lib.register(CouplingSurface("a", np.linspace(0, 1, 8)))
+        lib.register(CouplingSurface("b", np.linspace(0, 1, 4)))
+        lib.put("a", "f", np.zeros(8))
+        lib.get("a", "f", "b")
+        assert lib.exchanges == 2
+        assert lib.bytes_exchanged == 8 * 8 + 4 * 8
+
+
+class TestBeamAndFlow:
+    def test_beam_clamped_ends(self):
+        beam = ElasticBeam(n_nodes=21)
+        w = beam.solve(np.full(21, 0.1))
+        assert w[0] == pytest.approx(0.0, abs=1e-12)
+        assert w[-1] == pytest.approx(0.0, abs=1e-12)
+
+    def test_beam_deflects_toward_load(self):
+        beam = ElasticBeam(n_nodes=21)
+        w = beam.solve(np.full(21, 0.1))
+        assert w[10] > 0
+
+    def test_beam_linear_in_load(self):
+        beam = ElasticBeam(n_nodes=21)
+        w1 = beam.solve(np.full(21, 0.1))
+        w2 = beam.solve(np.full(21, 0.2))
+        np.testing.assert_allclose(w2, 2 * w1, rtol=1e-9)
+
+    def test_beam_min_nodes(self):
+        with pytest.raises(ValueError):
+            ElasticBeam(n_nodes=3)
+
+    def test_flow_suction_at_throat(self):
+        flow = ChannelFlow()
+        p = flow.solve(np.zeros(flow.n_nodes))
+        mid = flow.n_nodes // 2
+        assert p[mid] < 0  # accelerated flow = suction
+        assert p[0] == pytest.approx(0.0, abs=1e-9)
+
+    def test_flow_height_floor(self):
+        flow = ChannelFlow()
+        p = flow.solve(np.full(flow.n_nodes, 10.0))  # absurd deflection
+        assert np.isfinite(p).all()
+
+    def test_bump_bounds(self):
+        with pytest.raises(ValueError):
+            ChannelFlow(bump=0.9)
+
+
+class TestFsi:
+    def test_converges(self):
+        rep = run_fsi()
+        assert rep.converged
+        assert rep.iterations < 60
+
+    def test_residuals_decrease(self):
+        rep = run_fsi()
+        hist = rep.residual_history
+        assert hist[-1] < hist[0]
+
+    def test_two_way_coupling_moves_panel(self):
+        rep = run_fsi()
+        assert rep.max_displacement > 1e-3
+
+    def test_stiffer_panel_deflects_less(self):
+        soft = run_fsi(beam=ElasticBeam(stiffness=0.02))
+        stiff = run_fsi(beam=ElasticBeam(stiffness=0.2))
+        assert stiff.max_displacement < soft.max_displacement
+
+    def test_exchange_volume_tracked(self):
+        rep = run_fsi()
+        assert rep.bytes_exchanged > 0
+
+
+class TestVideo:
+    def test_d1_rate_is_270_mbit(self):
+        assert D1_RATE == 270e6
+        fmt = D1Format()
+        assert fmt.frame_bytes == pytest.approx(270e6 / 25 / 8, abs=1)
+
+    def test_bytes_for_duration(self):
+        fmt = D1Format()
+        assert fmt.bytes_for(2.0) == int(270e6 * 2 / 8)
+        with pytest.raises(ValueError):
+            fmt.bytes_for(-1.0)
+
+    def test_d1_exceeds_bwin_155(self):
+        """The paper's motivation: 270 Mbit/s cannot fit the 155 Mbit/s
+        B-WiN access capacity."""
+        assert D1_RATE > 155.52e6
+
+    def test_stream_over_622_is_broadcast_quality(self):
+        tb = build_testbed()
+        rep = stream_video(tb.net, "onyx2-gmd", "onyx2-juelich", duration=1.0)
+        assert rep.frames_lost == 0
+        assert rep.jitter < 1e-3
+        assert rep.delivered_rate == pytest.approx(D1_RATE, rel=0.02)
+        assert rep.broadcast_quality
+
+    def test_stream_over_155_attachment_fails(self):
+        """A 155 Mbit/s attached endpoint cannot absorb D1."""
+        tb = build_testbed()
+        rep = stream_video(tb.net, "onyx2-gmd", "frontend", duration=1.0)
+        assert rep.frames_lost > 0
+        assert rep.delivered_rate < 160e6
+        assert not rep.broadcast_quality
+
+    def test_loss_fraction(self):
+        tb = build_testbed()
+        rep = stream_video(tb.net, "onyx2-gmd", "frontend", duration=0.8)
+        assert 0.0 < rep.loss_fraction < 1.0

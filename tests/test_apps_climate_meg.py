@@ -1,0 +1,276 @@
+"""Tests for the climate coupling and the MEG/pmusic application (E6)."""
+
+import numpy as np
+import pytest
+
+from repro.apps.climate import (
+    AtmosphereModel,
+    FluxCoupler,
+    OceanModel,
+    regrid_bilinear,
+    run_coupled_climate,
+)
+from repro.apps.climate.coupler import regrid_conservative
+from repro.apps.meg import (
+    HeterogeneousCostModel,
+    SensorArray,
+    dipole_field,
+    gain_matrix,
+    music_localize,
+    run_pmusic,
+)
+from repro.apps.meg.forward import synthetic_recording
+from repro.apps.meg.music import default_grid, signal_subspace, subspace_correlation
+from repro.util.units import MBYTE
+
+
+class TestOcean:
+    def test_initial_sst_warm_equator(self):
+        ocean = OceanModel(shape=(20, 40))
+        equator = ocean.sst[10].mean()
+        pole = ocean.sst[0].mean()
+        assert equator > pole + 10
+
+    def test_flux_warms_surface(self):
+        ocean = OceanModel(shape=(20, 40))
+        before = ocean.mean_sst
+        ocean.step(np.full((20, 40), 200.0), dt=86400 * 5)
+        assert ocean.mean_sst > before
+
+    def test_ice_forms_when_cold(self):
+        ocean = OceanModel(shape=(20, 40))
+        ocean.step(np.full((20, 40), -800.0), dt=86400 * 30)
+        assert ocean.ice.any()
+        assert ocean.sst.min() >= -3.8  # capped near freezing
+
+    def test_flux_shape_checked(self):
+        ocean = OceanModel(shape=(20, 40))
+        with pytest.raises(ValueError):
+            ocean.step(np.zeros((10, 10)))
+
+
+class TestAtmosphere:
+    def test_fluxes_respond_to_sst_contrast(self):
+        atm = AtmosphereModel(shape=(10, 20))
+        warm = atm.fluxes(atm.temperature + 5.0)
+        cold = atm.fluxes(atm.temperature - 5.0)
+        assert warm.sensible.mean() > cold.sensible.mean()
+
+    def test_net_flux_definition(self):
+        atm = AtmosphereModel(shape=(10, 20))
+        fx = atm.fluxes(atm.temperature)
+        np.testing.assert_allclose(fx.net, fx.radiative - fx.sensible)
+
+    def test_step_moves_temperature_sensibly(self):
+        atm = AtmosphereModel(shape=(10, 20))
+        t0 = atm.mean_temperature
+        for _ in range(10):
+            atm.step(atm.temperature + 2.0)
+        assert np.isfinite(atm.temperature).all()
+        assert abs(atm.mean_temperature - t0) < 30
+
+    def test_grid_mismatch_rejected(self):
+        atm = AtmosphereModel(shape=(10, 20))
+        with pytest.raises(ValueError):
+            atm.fluxes(np.zeros((5, 5)))
+
+
+class TestCoupler:
+    def test_bilinear_constant_field(self):
+        out = regrid_bilinear(np.full((10, 20), 3.0), (25, 50))
+        np.testing.assert_allclose(out, 3.0, atol=1e-9)
+        assert out.shape == (25, 50)
+
+    def test_conservative_preserves_mean(self):
+        rng = np.random.default_rng(0)
+        field = rng.normal(size=(20, 40))
+        out = regrid_conservative(field, (10, 20))
+        assert out.mean() == pytest.approx(field.mean(), abs=1e-12)
+
+    def test_conservative_falls_back_for_noninteger(self):
+        out = regrid_conservative(np.ones((9, 9)), (4, 4))
+        assert out.shape == (4, 4)
+
+    def test_routing_and_accounting(self):
+        coupler = FluxCoupler((20, 40), (10, 20))
+        sst = np.full((20, 40), 15.0)
+        out = coupler.ocean_to_atmosphere(sst)
+        assert out.shape == (10, 20)
+        flux = np.zeros((10, 20))
+        back = coupler.atmosphere_to_ocean(flux)
+        assert back.shape == (20, 40)
+        assert coupler.exchanges == 2
+        assert coupler.bytes_exchanged > 0
+
+    def test_wrong_grid_rejected(self):
+        coupler = FluxCoupler((20, 40), (10, 20))
+        with pytest.raises(ValueError):
+            coupler.ocean_to_atmosphere(np.zeros((10, 20)))
+
+
+class TestCoupledClimate:
+    def test_run_is_stable_and_bounded(self):
+        rep = run_coupled_climate(
+            ocean_shape=(20, 40), atmosphere_shape=(10, 20), steps=6
+        )
+        assert rep.sst_drift < 5.0  # no runaway
+        assert -10 < rep.mean_airt_end < 40
+
+    def test_burst_size_production_grids_near_1mbyte(self):
+        """E6: 'up to 1 MByte in short bursts' — at the production grid
+        (360×180 ocean) SST+flux per step is ~1 MByte."""
+        ocean = (180, 360)
+        sst_bytes = 180 * 360 * 8
+        flux_bytes = 180 * 360 * 8  # flux regridded onto the ocean grid
+        assert 0.9 * MBYTE < sst_bytes + flux_bytes < 1.2 * MBYTE
+
+    def test_coupler_bookkeeping_reported(self):
+        rep = run_coupled_climate(
+            ocean_shape=(20, 40), atmosphere_shape=(10, 20), steps=4
+        )
+        assert rep.total_bytes > 0
+        assert rep.burst_bytes > 0
+        assert rep.elapsed_virtual > 0
+
+
+class TestMegForward:
+    def test_radial_dipole_silent(self):
+        """A radial dipole in a sphere produces no external field (Sarvas)."""
+        arr = SensorArray(n_sensors=32)
+        r0 = np.array([0.0, 0.0, 0.05])
+        radial_q = np.array([0.0, 0.0, 1e-8])  # along r0
+        tangential_q = np.array([1e-8, 0.0, 0.0])
+        silent = np.abs(arr.measure(r0, radial_q)).max()
+        loud = np.abs(arr.measure(r0, tangential_q)).max()
+        assert silent < 1e-3 * loud
+
+    def test_field_decays_with_depth(self):
+        arr = SensorArray(n_sensors=32)
+        q = np.array([1e-8, 0.0, 0.0])
+        shallow = np.abs(arr.measure(np.array([0.0, 0.03, 0.07]), q)).max()
+        deep = np.abs(arr.measure(np.array([0.0, 0.01, 0.02]), q)).max()
+        assert shallow > deep
+
+    def test_linearity_in_moment(self):
+        arr = SensorArray(n_sensors=16)
+        r0 = np.array([0.02, 0.0, 0.05])
+        b1 = arr.measure(r0, np.array([1e-8, 0, 0]))
+        b2 = arr.measure(r0, np.array([2e-8, 0, 0]))
+        np.testing.assert_allclose(b2, 2 * b1, rtol=1e-9)
+
+    def test_gain_matrix_columns(self):
+        arr = SensorArray(n_sensors=16)
+        g = gain_matrix(arr, np.array([0.02, 0.01, 0.05]))
+        assert g.shape == (16, 3)
+        np.testing.assert_allclose(
+            g[:, 1], arr.measure(np.array([0.02, 0.01, 0.05]), np.eye(3)[1])
+        )
+
+    def test_dipole_at_origin_rejected(self):
+        arr = SensorArray(n_sensors=8)
+        with pytest.raises(ValueError):
+            dipole_field(np.zeros(3), np.ones(3), arr.positions() * 0)
+
+    def test_sensors_on_helmet(self):
+        arr = SensorArray(n_sensors=64, radius=0.12)
+        pos = arr.positions()
+        np.testing.assert_allclose(np.linalg.norm(pos, axis=1), 0.12)
+        assert np.all(pos[:, 2] > 0)  # upper hemisphere
+
+
+class TestMusic:
+    @pytest.fixture(scope="class")
+    def recording(self):
+        arr = SensorArray(n_sensors=48)
+        t = np.linspace(0, 1, 150)
+        d1 = (
+            np.array([0.03, 0.02, 0.06]),
+            np.array([0.0, 8e-9, 0.0]),
+            np.sin(2 * np.pi * 10 * t),
+        )
+        d2 = (
+            np.array([-0.04, 0.0, 0.05]),
+            np.array([6e-9, 0.0, 0.0]),
+            np.sin(2 * np.pi * 17 * t),
+        )
+        data = synthetic_recording(arr, [d1, d2], n_samples=150)
+        return arr, data, (d1[0], d2[0])
+
+    def test_subspace_dimensions(self, recording):
+        arr, data, _ = recording
+        sub = signal_subspace(data, rank=2)
+        assert sub.shape == (48, 2)
+        np.testing.assert_allclose(sub.T @ sub, np.eye(2), atol=1e-10)
+
+    def test_subspace_correlation_bounds(self, recording):
+        arr, data, truths = recording
+        sub = signal_subspace(data, rank=2)
+        c = subspace_correlation(gain_matrix(arr, truths[0]), sub)
+        assert 0.0 <= c <= 1.0
+        assert c > 0.9  # true source location correlates strongly
+
+    def test_localizes_both_dipoles(self, recording):
+        arr, data, truths = recording
+        res = music_localize(arr, data, rank=2, grid=default_grid(spacing=0.02))
+        peaks = res.peaks(2, min_separation=0.04)
+        for truth in truths:
+            err = np.linalg.norm(peaks - truth, axis=1).min()
+            assert err < 0.025  # within ~grid spacing
+
+    def test_spectrum_peaks_at_sources(self, recording):
+        arr, data, truths = recording
+        grid = default_grid(spacing=0.02)
+        res = music_localize(arr, data, rank=2, grid=grid)
+        near = np.linalg.norm(grid - truths[0], axis=1) < 0.02
+        far = np.linalg.norm(grid - truths[0], axis=1) > 0.05
+        far &= np.linalg.norm(grid - truths[1], axis=1) > 0.05
+        assert res.spectrum[near].max() > res.spectrum[far].mean() + 0.05
+
+
+class TestPmusic:
+    def test_distributed_matches_localization(self):
+        arr = SensorArray(n_sensors=32)
+        t = np.linspace(0, 1, 100)
+        truth = np.array([0.03, 0.02, 0.06])
+        data = synthetic_recording(
+            arr,
+            [(truth, np.array([0.0, 8e-9, 0.0]), np.sin(2 * np.pi * 9 * t))],
+            n_samples=100,
+        )
+        rep = run_pmusic(data, arr, rank_signal=1, n_sources=1, ranks=3)
+        err = np.linalg.norm(rep.estimated_positions[0] - truth)
+        assert err < 0.025
+
+    def test_low_volume_communication(self):
+        """E6: the MEG coupling is low volume (well under a MByte)."""
+        arr = SensorArray(n_sensors=32)
+        t = np.linspace(0, 1, 100)
+        data = synthetic_recording(
+            arr,
+            [(np.array([0.0, 0.02, 0.06]), np.array([8e-9, 0, 0]),
+              np.sin(2 * np.pi * 9 * t))],
+            n_samples=100,
+        )
+        rep = run_pmusic(data, arr, rank_signal=1, n_sources=1, ranks=3)
+        assert rep.message_bytes < MBYTE / 4
+
+    def test_heterogeneous_superlinear(self):
+        """E6: MPP + vector split beats both parts — the paper's
+        'superlinear speedup'."""
+        model = HeterogeneousCostModel()
+        s_mpp, s_vec, s_het = model.superlinear()
+        assert s_het > s_mpp + s_vec
+
+    def test_latency_sensitivity(self):
+        """E6: the communication is latency-sensitive — WAN latency shows
+        up 1:1 in the runtime because volume is negligible."""
+        model = HeterogeneousCostModel()
+        from repro.machines import CRAY_T3E_600, CRAY_T90
+
+        fast = model.time_heterogeneous(
+            CRAY_T3E_600, 64, CRAY_T90, wan_latency=1e-3
+        )
+        slow = model.time_heterogeneous(
+            CRAY_T3E_600, 64, CRAY_T90, wan_latency=50e-3
+        )
+        assert slow - fast == pytest.approx(49e-3 * 6, rel=0.01)

@@ -1,0 +1,151 @@
+"""Tests for the TRACE/PARTRACE groundwater coupling (part of E6)."""
+
+import numpy as np
+import pytest
+
+from repro.apps.groundwater import (
+    ParticleTracker,
+    TraceSolver,
+    field_bytes,
+    required_bandwidth,
+    run_coupled,
+)
+from repro.apps.groundwater.partrace import trilinear
+from repro.apps.groundwater.trace_flow import layered_conductivity
+from repro.util.units import MBYTE
+
+SHAPE = (6, 10, 20)
+
+
+class TestTrace:
+    def test_head_between_boundaries(self):
+        solver = TraceSolver(shape=SHAPE)
+        head = solver.solve()
+        assert head.max() <= solver.head_in + 1e-6
+        assert head.min() >= solver.head_out - 1e-6
+
+    def test_head_monotone_along_flow_homogeneous(self):
+        solver = TraceSolver(shape=SHAPE)
+        head = solver.solve()
+        profile = head.mean(axis=(0, 1))
+        assert np.all(np.diff(profile) < 0)
+
+    def test_linear_profile_homogeneous(self):
+        solver = TraceSolver(shape=SHAPE)
+        head = solver.solve(tolerance=1e-10)
+        profile = head.mean(axis=(0, 1))
+        # Interior gradient is constant for constant K.
+        grads = np.diff(profile)[2:-2]
+        assert np.std(grads) < 0.02 * abs(np.mean(grads))
+
+    def test_velocity_points_downstream(self):
+        solver = TraceSolver(shape=SHAPE)
+        vz, vy, vx = solver.velocity(solver.solve())
+        assert vx.mean() > 0
+        assert abs(vy.mean()) < 0.1 * vx.mean()
+
+    def test_source_raises_local_head(self):
+        solver = TraceSolver(shape=SHAPE)
+        base = solver.solve(tolerance=1e-10)
+        src = np.zeros(SHAPE)
+        src[3, 5, 10] = 1e-3
+        pumped = solver.solve(src, tolerance=1e-10)
+        assert pumped[3, 5, 10] > base[3, 5, 10]
+
+    def test_heterogeneous_field_accepted(self):
+        k = layered_conductivity(SHAPE)
+        solver = TraceSolver(shape=SHAPE, conductivity=k)
+        head = solver.solve()
+        assert np.isfinite(head).all()
+
+    def test_invalid_conductivity(self):
+        with pytest.raises(ValueError):
+            TraceSolver(shape=SHAPE, conductivity=-1.0)
+        with pytest.raises(ValueError):
+            TraceSolver(shape=SHAPE, conductivity=np.ones((2, 2, 2)))
+
+
+class TestPartrace:
+    def test_trilinear_exact_on_nodes(self):
+        field = np.arange(27, dtype=float).reshape(3, 3, 3)
+        val = trilinear(field, np.array([[1.0, 2.0, 0.0]]))
+        # positions are clamped a hair inside the grid, hence approx
+        assert val[0] == pytest.approx(field[1, 2, 0], abs=1e-4)
+
+    def test_trilinear_interpolates_midpoint(self):
+        field = np.zeros((2, 2, 2))
+        field[1] = 1.0
+        val = trilinear(field, np.array([[0.5, 0.5, 0.5]]))
+        assert val[0] == pytest.approx(0.5)
+
+    def test_uniform_flow_advects_cloud(self):
+        tracker = ParticleTracker(n_particles=100, dispersion=0.0)
+        tracker.seed_particles(SHAPE)
+        v = (np.zeros(SHAPE), np.zeros(SHAPE), np.full(SHAPE, 0.5))
+        x0 = tracker.positions[:, 2].mean()
+        tracker.step(v, dt=2.0)
+        assert tracker.positions[tracker.active][:, 2].mean() == pytest.approx(
+            x0 + 1.0, abs=0.05
+        )
+
+    def test_breakthrough_detection(self):
+        tracker = ParticleTracker(n_particles=50, dispersion=0.0)
+        tracker.seed_particles(SHAPE)
+        v = (np.zeros(SHAPE), np.zeros(SHAPE), np.full(SHAPE, 2.0))
+        for _ in range(15):
+            tracker.step(v, dt=1.0)
+        assert tracker.breakthrough_fraction == 1.0
+        assert len(tracker.breakthrough_times) == 50
+
+    def test_requires_seeding(self):
+        tracker = ParticleTracker()
+        with pytest.raises(RuntimeError):
+            tracker.step((np.zeros(SHAPE),) * 3, dt=1.0)
+
+    def test_concentration_histogram_counts_actives(self):
+        tracker = ParticleTracker(n_particles=30, dispersion=0.0)
+        tracker.seed_particles(SHAPE)
+        conc = tracker.concentration(SHAPE)
+        assert conc.sum() == 30
+
+    def test_dispersion_spreads_cloud(self):
+        t1 = ParticleTracker(n_particles=300, dispersion=0.0)
+        t2 = ParticleTracker(n_particles=300, dispersion=0.5)
+        still = (np.zeros(SHAPE),) * 3
+        for t in (t1, t2):
+            t.seed_particles(SHAPE)
+            for _ in range(5):
+                t.step(still, dt=1.0)
+        assert t2.positions[:, 1].std() > t1.positions[:, 1].std()
+
+
+class TestCoupling:
+    def test_field_bytes(self):
+        assert field_bytes((64, 128, 128)) == 64 * 128 * 128 * 3 * 8
+
+    def test_paper_bandwidth_band(self):
+        """E6: production grids need tens of MByte/s, within the paper's
+        'up to 30 MByte/s'."""
+        bw = required_bandwidth((64, 128, 128), dt_wall=1.0)
+        assert 20 * MBYTE < bw <= 30 * MBYTE
+
+    def test_bandwidth_validation(self):
+        with pytest.raises(ValueError):
+            required_bandwidth(SHAPE, dt_wall=0.0)
+
+    def test_coupled_run_end_to_end(self):
+        report = run_coupled(
+            shape=SHAPE, steps=3, n_particles=100, dt=3.0, velocity_scale=3e4
+        )
+        assert report.steps == 3
+        assert report.bytes_per_step == field_bytes(SHAPE)
+        assert report.mean_head_drop > 0
+        assert report.elapsed_virtual > 0
+        # particles actually moved and some broke through at this scale
+        assert report.breakthrough_fraction > 0
+
+    def test_coupled_deterministic(self):
+        r1 = run_coupled(shape=SHAPE, steps=2, n_particles=50, dt=1.0)
+        r2 = run_coupled(shape=SHAPE, steps=2, n_particles=50, dt=1.0)
+        assert r1.breakthrough_fraction == r2.breakthrough_fraction
+        assert r1.mean_head_drop == r2.mean_head_drop

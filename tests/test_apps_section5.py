@@ -1,0 +1,246 @@
+"""Tests for the Section-5 extension projects: distributed traffic
+simulation, virtual TV production, multiscale molecular dynamics, and
+lithospheric fluids."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.apps.lithosphere import HydrothermalCell, run_hydrothermal
+from repro.apps.moldyn import ElasticContinuum, LennardJonesChain, run_multiscale
+from repro.apps.moldyn.lj import R_EQ, lj_force
+from repro.apps.traffic import (
+    NagelSchreckenberg,
+    fundamental_diagram,
+    run_distributed_traffic,
+)
+from repro.apps.tvproduction import (
+    chroma_key,
+    composite_program,
+    plan_production,
+    render_virtual_set,
+    run_production,
+)
+from repro.apps.tvproduction.compositing import STUDIO_GREEN, synthetic_camera_frame
+from repro.netsim.qos import AdmissionError
+
+
+class TestNagelSchreckenberg:
+    def test_car_count_conserved(self):
+        sim = NagelSchreckenberg(n_cells=200, density=0.3)
+        n0 = sim.n_cars
+        sim.run(100)
+        assert sim.n_cars == n0
+
+    def test_velocities_bounded(self):
+        sim = NagelSchreckenberg(n_cells=200, density=0.3, v_max=5)
+        sim.run(50)
+        vels = sim.road[sim.road != -1]
+        assert vels.min() >= 0 and vels.max() <= 5
+
+    def test_free_flow_at_low_density(self):
+        sim = NagelSchreckenberg(n_cells=500, density=0.05, p_dawdle=0.0)
+        sim.run(100)
+        # every car reaches v_max in free flow
+        assert sim.road[sim.road != -1].min() == 5
+
+    def test_jammed_at_high_density(self):
+        sim = NagelSchreckenberg(n_cells=500, density=0.85)
+        sim.run(100)
+        sim._moved = sim._car_steps = 0
+        sim.run(50)
+        assert sim.mean_velocity < 0.5
+
+    def test_fundamental_diagram_shape(self):
+        """Flow rises on the free branch and falls on the congested one."""
+        d, f = fundamental_diagram(
+            np.array([0.05, 0.15, 0.5, 0.8]), steps=150, warmup=80
+        )
+        assert f[1] > f[0] * 1.5 or f[1] > 0.3  # rising into the peak
+        assert f[3] < f[1]  # falling congested branch
+        assert np.argmax(f) in (0, 1, 2)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            NagelSchreckenberg(density=0.0)
+        with pytest.raises(ValueError):
+            NagelSchreckenberg(v_max=0)
+        with pytest.raises(ValueError):
+            NagelSchreckenberg(p_dawdle=1.0)
+
+    @given(density=st.floats(0.05, 0.9), seed=st.integers(0, 50))
+    @settings(max_examples=15, deadline=None)
+    def test_no_collisions_property(self, density, seed):
+        """Property: no two cars ever occupy one cell (implied by the
+        array representation) and every gap rule is respected."""
+        sim = NagelSchreckenberg(
+            n_cells=120, density=density, seed=seed
+        )
+        n0 = sim.n_cars
+        for _ in range(30):
+            sim.step()
+            assert sim.n_cars == n0
+
+
+class TestDistributedTraffic:
+    def test_cars_conserved_across_ranks(self):
+        rep = run_distributed_traffic(
+            n_cells=200, density=0.2, steps=20, ranks=4, wallclock_timeout=60
+        )
+        assert rep.cars_conserved
+
+    def test_deterministic_equivalence_to_serial(self):
+        """With p_dawdle=0 the distributed run is cell-exact vs serial."""
+        rep = run_distributed_traffic(
+            n_cells=120, density=0.25, steps=15, ranks=3,
+            p_dawdle=0.0, seed=5, wallclock_timeout=60,
+        )
+        serial = NagelSchreckenberg(
+            n_cells=120, density=0.25, p_dawdle=0.0, seed=5
+        )
+        serial.run(15)
+        np.testing.assert_array_equal(rep.final_road, serial.road)
+
+    def test_visualization_stream_received(self):
+        rep = run_distributed_traffic(
+            n_cells=200, density=0.2, steps=20, ranks=3,
+            viz_every=5, wallclock_timeout=60,
+        )
+        assert rep.viz_frames == 4
+        assert rep.viz_bytes_per_frame == 200  # bool per cell
+
+    def test_flow_plausible(self):
+        rep = run_distributed_traffic(
+            n_cells=300, density=0.15, steps=40, ranks=3, wallclock_timeout=60
+        )
+        assert 0.1 < rep.flow < 1.0
+
+
+class TestTvProduction:
+    def test_chroma_key_replaces_green(self):
+        fg = synthetic_camera_frame((24, 32))
+        bg = render_virtual_set((24, 32))
+        out = chroma_key(fg, bg)
+        green = np.linalg.norm(fg - STUDIO_GREEN, axis=-1) < 0.25
+        np.testing.assert_allclose(out[green], bg[green])
+        np.testing.assert_allclose(out[~green], fg[~green])
+
+    def test_chroma_key_shape_checked(self):
+        with pytest.raises(ValueError):
+            chroma_key(np.zeros((4, 4, 3)), np.zeros((4, 5, 3)))
+
+    def test_virtual_set_animates(self):
+        a = render_virtual_set((24, 32), t=0.0)
+        b = render_virtual_set((24, 32), t=0.5)
+        assert np.abs(a - b).max() > 0.05
+
+    def test_composite_layouts(self):
+        frames = [synthetic_camera_frame((24, 32), seed=i) for i in range(2)]
+        bg = render_virtual_set((24, 32))
+        row = composite_program(frames, bg, layout="row")
+        stack = composite_program(frames, bg, layout="stack")
+        assert row.shape == (24, 64, 3)
+        assert stack.shape == (48, 32, 3)
+        with pytest.raises(ValueError):
+            composite_program(frames, bg, layout="diagonal")
+        with pytest.raises(ValueError):
+            composite_program([], bg)
+
+    def test_plan_reserves_all_vcs(self):
+        plan = plan_production()
+        assert plan.n_cameras == 2
+        assert plan.total_reserved == pytest.approx(3 * 270e6)
+
+    def test_third_camera_rejected(self):
+        with pytest.raises(AdmissionError):
+            plan_production(
+                camera_sites=("uni-cologne", "dlr", "media-arts-cologne")
+            )
+
+    def test_production_run(self):
+        rep = run_production(n_cameras=2, n_frames=3, frame_shape=(24, 32))
+        assert rep.frames == 3
+        assert rep.program_shape == (24, 64, 3)
+        assert 0.5 < rep.keyed_fraction < 1.0  # mostly green screen
+        assert rep.elapsed_virtual > 0
+
+
+class TestMolDyn:
+    def test_lattice_is_equilibrium(self):
+        chain = LennardJonesChain(n_atoms=32)
+        # Perfect lattice: near-zero forces on interior atoms.
+        assert np.abs(chain._f[2:-2]).max() < 0.5
+
+    def test_energy_conserved_free_dynamics(self):
+        chain = LennardJonesChain(n_atoms=32, temperature=0.02, dt=0.002)
+        e0 = chain.total_energy
+        chain.run(500)
+        assert chain.total_energy == pytest.approx(e0, abs=0.05 * max(abs(e0), 1))
+
+    def test_pulse_propagates(self):
+        chain = LennardJonesChain(n_atoms=64)
+        chain.x[:4] += 0.1
+        chain.run(300)
+        disp = chain.displacement_field()
+        # The pulse has moved beyond the first quarter of the chain.
+        assert np.abs(disp[16:]).max() > 1e-3
+
+    def test_lj_force_signs(self):
+        assert lj_force(np.array([0.9 * R_EQ]))[0] > 0  # repulsive
+        assert lj_force(np.array([1.2 * R_EQ]))[0] < 0  # attractive
+        assert lj_force(np.array([R_EQ]))[0] == pytest.approx(0.0, abs=1e-10)
+
+    def test_continuum_wave_and_clamp(self):
+        bar = ElasticContinuum(n_nodes=50)
+        bar.run(200, interface_force=0.5)
+        assert bar.u[0] != 0.0
+        assert bar.u[-1] == 0.0  # clamped end
+
+    def test_continuum_validation(self):
+        with pytest.raises(ValueError):
+            ElasticContinuum(n_nodes=2)
+
+    def test_multiscale_coupling(self):
+        rep = run_multiscale(coupling_steps=15, md_substeps=8)
+        assert rep.exchanges == 30
+        assert rep.bytes_per_exchange == 8  # low volume, like the paper says
+        assert rep.max_continuum_displacement > 0  # wave crossed the interface
+        assert rep.energy_drift < 1.0  # no blowup
+        assert rep.elapsed_virtual > 0
+
+
+class TestLithosphere:
+    def test_subcritical_stays_conductive(self):
+        """Below the critical Rayleigh number (4π² ≈ 39.5) perturbations
+        decay: pure conduction, Nu = 1."""
+        rep = run_hydrothermal(rayleigh=15.0, steps=300)
+        assert rep.nusselt == pytest.approx(1.0, abs=0.1)
+        assert not rep.convecting
+
+    def test_supercritical_convects(self):
+        rep = run_hydrothermal(rayleigh=300.0, steps=400)
+        assert rep.convecting
+        assert rep.nusselt > 1.5
+        assert rep.max_velocity > 5.0
+
+    def test_nusselt_grows_with_rayleigh(self):
+        weak = run_hydrothermal(rayleigh=200.0, steps=400)
+        strong = run_hydrothermal(rayleigh=500.0, steps=400)
+        assert strong.nusselt > weak.nusselt
+
+    def test_boundary_conditions_held(self):
+        cell = HydrothermalCell(nz=16, nx=32, rayleigh=300.0)
+        cell.run(100)
+        np.testing.assert_allclose(cell.T[0], 1.0)
+        np.testing.assert_allclose(cell.T[-1], 0.0)
+        np.testing.assert_allclose(cell.psi[:, 0], 0.0)
+        np.testing.assert_allclose(cell.psi[0, :], 0.0)
+
+    def test_temperature_stays_bounded(self):
+        cell = HydrothermalCell(nz=16, nx=32, rayleigh=300.0)
+        cell.run(200)
+        assert cell.T.min() > -0.2 and cell.T.max() < 1.2
+
+    def test_grid_validation(self):
+        with pytest.raises(ValueError):
+            HydrothermalCell(nz=4, nx=4)

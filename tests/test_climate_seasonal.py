@@ -1,0 +1,74 @@
+"""Tests for the seasonal-forcing extension of the climate component."""
+
+import numpy as np
+import pytest
+
+from repro.apps.climate import AtmosphereModel, OceanModel
+from repro.apps.climate.atmosphere import YEAR
+from repro.apps.climate.coupler import FluxCoupler
+
+
+class TestSeasonalInsolation:
+    def test_disabled_by_default(self):
+        atm = AtmosphereModel(shape=(20, 40))
+        i0 = atm.insolation_now()
+        atm.time = YEAR / 2
+        np.testing.assert_array_equal(atm.insolation_now(), i0)
+
+    def test_hemispheres_antiphase(self):
+        atm = AtmosphereModel(shape=(20, 40), seasonal=True)
+        summer = atm.insolation_now()
+        atm.time = YEAR / 2
+        winter = atm.insolation_now()
+        north = slice(14, 20)
+        south = slice(0, 6)
+        assert summer[north].mean() > winter[north].mean()
+        assert summer[south].mean() < winter[south].mean()
+
+    def test_annual_period(self):
+        atm = AtmosphereModel(shape=(20, 40), seasonal=True)
+        i0 = atm.insolation_now()
+        atm.time = YEAR
+        np.testing.assert_allclose(atm.insolation_now(), i0, rtol=1e-12)
+
+    def test_global_mean_roughly_preserved(self):
+        """The modulation is antisymmetric: the global mean moves little."""
+        atm = AtmosphereModel(shape=(40, 40), seasonal=True)
+        base = atm.insolation_now().mean()
+        atm.time = YEAR / 4
+        assert atm.insolation_now().mean() == pytest.approx(base, rel=0.1)
+
+
+class TestSeasonalResponse:
+    """Atmosphere-only (fixed SST), so spin-up drift cannot mask the
+    seasonal signal: two model years, northern midlatitude mean."""
+
+    def _run_year(self, seasonal: bool) -> np.ndarray:
+        atm = AtmosphereModel(
+            shape=(20, 40), seasonal=seasonal, seasonal_amplitude=0.5
+        )
+        fixed_sst = atm.temperature + 2.0
+        north = slice(14, 19)
+        series = []
+        for _ in range(72):  # two model years, 10-day steps
+            atm.step(fixed_sst, dt=10 * 86400.0)
+            series.append(float(atm.temperature[north].mean()))
+        return np.array(series)
+
+    def test_midlatitude_temperature_cycles(self):
+        """With seasonal forcing the second-year temperature oscillates
+        with the annual period (max and min well separated in time)."""
+        series = self._run_year(seasonal=True)[36:]
+        spread = series.max() - series.min()
+        assert spread > 1.0
+        # Peak and trough roughly half a year apart.
+        lag = abs(int(np.argmax(series)) - int(np.argmin(series)))
+        assert 12 <= lag <= 24
+
+    def test_no_seasonal_forcing_is_flat(self):
+        """Without seasonal forcing the second year is near steady."""
+        steady = self._run_year(seasonal=False)[36:]
+        cyclic = self._run_year(seasonal=True)[36:]
+        assert steady.max() - steady.min() < 0.2 * (
+            cyclic.max() - cyclic.min()
+        )

@@ -1,0 +1,266 @@
+"""Tests for metacomputer orchestration: registry, RPC delegation, and
+simultaneous co-allocation."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.core import (
+    AllocationRequest,
+    CoAllocator,
+    Metacomputer,
+    RpcClient,
+    RpcError,
+    RpcServer,
+    Site,
+    serve_rpc,
+)
+from repro.machines import CRAY_T3E_600, SGI_ONYX2_GMD
+from repro.metampi import MetaMPI
+
+
+class TestMetacomputer:
+    @pytest.fixture(scope="class")
+    def meta(self):
+        return Metacomputer()
+
+    def test_sites_populated(self, meta):
+        juelich = {m.name for m in meta.at_site(Site.JUELICH)}
+        gmd = {m.name for m in meta.at_site(Site.GMD)}
+        assert "Cray T3E-600" in juelich and "Cray T90" in juelich
+        assert "IBM SP2" in gmd and "SGI Onyx 2 (GMD)" in gmd
+
+    def test_unknown_machine(self, meta):
+        with pytest.raises(KeyError):
+            meta.machine("ENIAC")
+
+    def test_total_peak(self, meta):
+        assert meta.total_peak_gflops > 900  # two 512-node T3Es dominate
+
+    def test_summary_text(self, meta):
+        text = meta.summary()
+        assert "juelich" in text and "gmd" in text
+        assert "Cray T3E-600" in text
+
+    def test_session_runs_on_testbed(self, meta):
+        mc = meta.session({"Cray T3E-600": 2, "IBM SP2": 1})
+
+        def main(comm):
+            return comm.allreduce(comm.rank)
+
+        results = mc.run(main)
+        assert [r.value for r in results] == [3, 3, 3]
+        assert mc.elapsed > 0
+
+
+class TestRpc:
+    def run_pair(self, register, calls, timeout=30):
+        """Server on T3E rank 0, client on Onyx2 rank 1."""
+        out = {}
+
+        def main(comm):
+            if comm.rank == 0:
+                server = RpcServer(comm, peer=1)
+                register(server)
+                return server.serve()
+            client = RpcClient(comm, peer=0)
+            try:
+                out["result"] = calls(client)
+            finally:
+                client.shutdown()
+            return None
+
+        mc = MetaMPI(wallclock_timeout=timeout)
+        mc.add_machine(CRAY_T3E_600, ranks=1)
+        mc.add_machine(SGI_ONYX2_GMD, ranks=1)
+        results = mc.run(main)
+        return out.get("result"), results[0].value  # (client result, calls served)
+
+    def test_basic_call(self):
+        def register(server):
+            server.register("add", lambda a, b: a + b)
+
+        result, served = self.run_pair(register, lambda c: c.call("add", 2, 3))
+        assert result == 5
+        assert served == 1
+
+    def test_proxy_attribute_call(self):
+        def register(server):
+            server.register("scale", lambda arr, k: (np.asarray(arr) * k).tolist())
+
+        result, _ = self.run_pair(register, lambda c: c.scale([1, 2, 3], k=10))
+        assert result == [10, 20, 30]
+
+    def test_remote_exception_travels(self):
+        def register(server):
+            @server.handler("boom")
+            def boom():
+                raise ValueError("remote failure")
+
+        def calls(client):
+            with pytest.raises(RpcError, match="remote failure"):
+                client.boom()
+            return "survived"
+
+        result, _ = self.run_pair(register, calls)
+        assert result == "survived"
+
+    def test_unknown_procedure_is_rpc_error(self):
+        def calls(client):
+            with pytest.raises(RpcError):
+                client.call("no_such_proc")
+            return True
+
+        result, _ = self.run_pair(lambda s: None, calls)
+        assert result is True
+
+    def test_multiple_sequential_calls(self):
+        def register(server):
+            state = {"n": 0}
+
+            @server.handler("bump")
+            def bump():
+                state["n"] += 1
+                return state["n"]
+
+        def calls(client):
+            return [client.bump() for _ in range(4)]
+
+        result, served = self.run_pair(register, calls)
+        assert result == [1, 2, 3, 4]
+        assert served == 4
+
+    def test_serve_rpc_helper(self):
+        def main(comm):
+            if comm.rank == 0:
+                return serve_rpc(comm, {"neg": lambda x: -x}, peer=1)
+            client = RpcClient(comm, peer=0)
+            v = client.neg(9)
+            client.shutdown()
+            return v
+
+        mc = MetaMPI(wallclock_timeout=30)
+        mc.add_machine(CRAY_T3E_600, ranks=2)
+        results = mc.run(main)
+        assert results[1].value == -9
+
+    def test_reserved_names_rejected(self):
+        class FakeComm:
+            pass
+
+        server = RpcServer.__new__(RpcServer)
+        server._handlers = {}
+        with pytest.raises(ValueError):
+            server.register("__shutdown__", lambda: None)
+
+
+class TestCoAllocation:
+    def caps(self):
+        return {"t3e": 512, "scanner": 1, "workbench": 1, "onyx2": 12}
+
+    def test_parallel_when_capacity_allows(self):
+        alloc = CoAllocator(self.caps())
+        r1 = alloc.submit(
+            AllocationRequest("a", {"t3e": 128}, duration=100)
+        )
+        r2 = alloc.submit(
+            AllocationRequest("b", {"t3e": 128}, duration=100)
+        )
+        assert r1.start == 0.0 and r2.start == 0.0
+
+    def test_scarce_resource_serializes(self):
+        """The fMRI scenario: two sessions both need the single scanner."""
+        alloc = CoAllocator(self.caps())
+        fmri = {"t3e": 256, "scanner": 1, "onyx2": 12, "workbench": 1}
+        r1 = alloc.submit(AllocationRequest("s1", fmri, duration=3600))
+        r2 = alloc.submit(AllocationRequest("s2", fmri, duration=3600))
+        assert r1.start == 0.0
+        assert r2.start == 3600.0
+
+    def test_all_or_nothing(self):
+        """Co-allocation: plenty of T3E left, but the scanner gates the
+        whole request."""
+        alloc = CoAllocator(self.caps())
+        alloc.submit(
+            AllocationRequest("hog", {"scanner": 1}, duration=500)
+        )
+        r = alloc.submit(
+            AllocationRequest("fmri", {"t3e": 8, "scanner": 1}, duration=100)
+        )
+        assert r.start == 500.0
+
+    def test_backfill_around_gaps(self):
+        alloc = CoAllocator(self.caps())
+        alloc.submit(AllocationRequest("big", {"t3e": 512}, duration=100))
+        r = alloc.submit(
+            AllocationRequest("after", {"t3e": 512}, duration=50)
+        )
+        small = alloc.submit(
+            AllocationRequest("small-scanner", {"scanner": 1}, duration=10)
+        )
+        assert r.start == 100.0
+        assert small.start == 0.0  # independent resource: no wait
+
+    def test_earliest_start_respected(self):
+        alloc = CoAllocator(self.caps())
+        r = alloc.submit(
+            AllocationRequest(
+                "later", {"t3e": 1}, duration=10, earliest_start=42.0
+            )
+        )
+        assert r.start == 42.0
+
+    def test_release_frees_capacity(self):
+        alloc = CoAllocator(self.caps())
+        r1 = alloc.submit(AllocationRequest("a", {"scanner": 1}, duration=100))
+        alloc.release(r1)
+        r2 = alloc.submit(AllocationRequest("b", {"scanner": 1}, duration=100))
+        assert r2.start == 0.0
+
+    def test_unknown_resource(self):
+        alloc = CoAllocator(self.caps())
+        with pytest.raises(KeyError):
+            alloc.submit(AllocationRequest("x", {"cray-4": 1}, duration=10))
+
+    def test_impossible_capacity(self):
+        alloc = CoAllocator(self.caps())
+        with pytest.raises(RuntimeError):
+            alloc.earliest_start(
+                AllocationRequest("x", {"t3e": 1024}, duration=10)
+            )
+
+    def test_request_validation(self):
+        with pytest.raises(ValueError):
+            AllocationRequest("x", {}, duration=10)
+        with pytest.raises(ValueError):
+            AllocationRequest("x", {"t3e": 1}, duration=0)
+        with pytest.raises(ValueError):
+            AllocationRequest("x", {"t3e": -1}, duration=10)
+
+    def test_utilization(self):
+        alloc = CoAllocator({"t3e": 100})
+        alloc.submit(AllocationRequest("a", {"t3e": 50}, duration=100))
+        assert alloc.utilization("t3e", horizon=100) == pytest.approx(0.5)
+
+    def test_usage_at(self):
+        alloc = CoAllocator(self.caps())
+        alloc.submit(AllocationRequest("a", {"t3e": 10}, duration=50))
+        assert alloc.usage_at("t3e", 25) == 10
+        assert alloc.usage_at("t3e", 75) == 0
+
+    @given(
+        needs=st.lists(
+            st.integers(1, 60), min_size=1, max_size=12
+        )
+    )
+    @settings(max_examples=30, deadline=None)
+    def test_never_oversubscribed_property(self, needs):
+        """Property: at no sampled time does usage exceed capacity."""
+        alloc = CoAllocator({"r": 100})
+        for i, n in enumerate(needs):
+            alloc.submit(AllocationRequest(f"q{i}", {"r": n}, duration=10))
+        ends = [r.end for r in alloc.reservations]
+        starts = [r.start for r in alloc.reservations]
+        for t in sorted(set(starts + ends)):
+            assert alloc.usage_at("r", t) <= 100
+            assert alloc.usage_at("r", t + 0.5) <= 100

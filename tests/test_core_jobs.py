@@ -1,0 +1,155 @@
+"""Tests for the UNICORE-style job scheduler over the metacomputer."""
+
+import numpy as np
+import pytest
+
+from repro.core import JobDescription, JobScheduler
+from repro.metampi import SUM
+
+
+def sum_program(comm):
+    return comm.allreduce(comm.rank + 1, op=SUM)
+
+
+def args_program(comm, factor):
+    return comm.rank * factor
+
+
+class TestJobDescription:
+    def test_needs_merges_extras(self):
+        job = JobDescription(
+            name="fmri",
+            program=sum_program,
+            ranks={"Cray T3E-600": 256},
+            duration=3600,
+            extra_resources={"scanner": 1},
+        )
+        assert job.needs() == {"Cray T3E-600": 256, "scanner": 1}
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            JobDescription("x", sum_program, ranks={}, duration=10)
+        with pytest.raises(ValueError):
+            JobDescription(
+                "x", sum_program, ranks={"Cray T3E-600": 0}, duration=10
+            )
+
+
+class TestJobScheduler:
+    def scheduler(self):
+        return JobScheduler(extra_capacities={"scanner": 1})
+
+    def test_submit_and_run(self):
+        sched = self.scheduler()
+        rec = sched.submit(
+            JobDescription(
+                "sum", sum_program, ranks={"Cray T3E-600": 3}, duration=100
+            )
+        )
+        assert rec.state == "queued"
+        sched.run(rec)
+        assert rec.state == "done"
+        assert [r.value for r in rec.results] == [6, 6, 6]
+
+    def test_unknown_machine_rejected_at_submit(self):
+        sched = self.scheduler()
+        with pytest.raises(KeyError):
+            sched.submit(
+                JobDescription(
+                    "bad", sum_program, ranks={"Cray-4": 2}, duration=10
+                )
+            )
+
+    def test_conflicting_jobs_serialized_by_scanner(self):
+        sched = self.scheduler()
+        a = sched.submit(
+            JobDescription(
+                "fmri-a", sum_program, ranks={"Cray T3E-600": 128},
+                duration=600, extra_resources={"scanner": 1},
+            )
+        )
+        b = sched.submit(
+            JobDescription(
+                "fmri-b", sum_program, ranks={"Cray T3E-600": 128},
+                duration=600, extra_resources={"scanner": 1},
+            )
+        )
+        assert a.start == 0.0
+        assert b.start == 600.0
+
+    def test_job_clock_offset_by_reservation(self):
+        """A job granted a later slot sees virtual time from its start."""
+        sched = self.scheduler()
+        a = sched.submit(
+            JobDescription(
+                "first", sum_program, ranks={"Cray T3E-600": 512},
+                duration=1000,
+            )
+        )
+        b = sched.submit(
+            JobDescription(
+                "second", lambda comm: comm.wtime(),
+                ranks={"Cray T3E-600": 512}, duration=100,
+            )
+        )
+        sched.run_all()
+        assert all(v.value >= 1000.0 for v in b.results)
+
+    def test_args_passed_through(self):
+        sched = self.scheduler()
+        rec = sched.submit(
+            JobDescription(
+                "scaled", args_program, ranks={"IBM SP2": 2},
+                duration=10, args=(7,),
+            )
+        )
+        sched.run(rec)
+        assert [r.value for r in rec.results] == [0, 7]
+
+    def test_double_run_rejected(self):
+        sched = self.scheduler()
+        rec = sched.submit(
+            JobDescription(
+                "once", sum_program, ranks={"IBM SP2": 2}, duration=10
+            )
+        )
+        sched.run(rec)
+        with pytest.raises(RuntimeError):
+            sched.run(rec)
+
+    def test_failed_job_marked(self):
+        from repro.metampi import RankFailed
+
+        def boom(comm):
+            raise RuntimeError("job crashed")
+
+        sched = self.scheduler()
+        rec = sched.submit(
+            JobDescription("boom", boom, ranks={"IBM SP2": 1}, duration=10)
+        )
+        with pytest.raises(RankFailed):
+            sched.run(rec)
+        assert rec.state == "failed"
+
+    def test_schedule_report(self):
+        sched = self.scheduler()
+        sched.submit(
+            JobDescription(
+                "fmri", sum_program, ranks={"Cray T3E-600": 256},
+                duration=3600, extra_resources={"scanner": 1},
+            )
+        )
+        text = sched.schedule_report()
+        assert "fmri" in text and "scanner:1" in text
+
+    def test_cross_site_job(self):
+        sched = self.scheduler()
+        rec = sched.submit(
+            JobDescription(
+                "meta", sum_program,
+                ranks={"Cray T3E-600": 2, "IBM SP2": 2}, duration=60,
+            )
+        )
+        sched.run(rec)
+        assert [r.value for r in rec.results] == [10, 10, 10, 10]
+        assert rec.elapsed_virtual > 0

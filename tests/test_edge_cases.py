@@ -1,0 +1,126 @@
+"""Edge-case coverage across packages: inputs at the boundaries and the
+interactions of competing traffic."""
+
+import numpy as np
+import pytest
+
+from repro.fire import HeadPhantom, ScannerConfig, SimulatedScanner
+from repro.fire.decomposition import slab_bounds
+from repro.machines.t3e_model import default_model
+from repro.metampi import FortranArray, MetaMPI
+from repro.machines import CRAY_T3E_600
+from repro.netsim import BulkTransfer, CbrFlow, ClassicalIP, build_testbed
+from repro.netsim.ip import TESTBED_MTU
+from repro.viz import WorkbenchSpec, slice_mosaic
+
+MB = 2**20
+IP64K = ClassicalIP(TESTBED_MTU)
+
+
+class TestCbrUnderLoad:
+    def test_video_jitter_grows_under_competing_bulk(self):
+        """A D1 stream sharing the Onyx2's 622 attachment with a bulk
+        transfer picks up jitter it does not have alone."""
+        tb = build_testbed()
+        clean = CbrFlow(
+            tb.net, "onyx2-gmd", "onyx2-juelich",
+            frame_bytes=1_350_000, interval=0.04, n_frames=25,
+        ).run()
+
+        tb2 = build_testbed()
+        flow = CbrFlow(
+            tb2.net, "onyx2-gmd", "onyx2-juelich",
+            frame_bytes=1_350_000, interval=0.04, n_frames=25,
+        )
+        BulkTransfer(tb2.net, "onyx2-gmd", "e500-gmd", 30 * MB, ip=IP64K)
+        tb2.env.run(until=flow.done)
+        assert flow.jitter > clean.jitter
+        assert flow.frames_received == 25  # no loss, just delay variation
+
+
+class TestDegenerateGeometries:
+    def test_single_slice_volume(self):
+        ph = HeadPhantom(shape=(1, 32, 32))
+        anat = ph.anatomy()
+        assert anat.shape == (1, 32, 32)
+        mosaic = slice_mosaic(anat, np.zeros_like(anat), columns=4)
+        assert mosaic.shape == (32, 32, 3)
+
+    def test_one_voxel_per_rank_decomposition(self):
+        n = 7
+        sizes = [
+            (lambda b: b[1] - b[0])(slab_bounds(n, n, p)) for p in range(n)
+        ]
+        assert sizes == [1] * n
+
+    def test_model_single_voxel_image(self):
+        model = default_model()
+        t = model.total_time(1, voxels=1)
+        assert 0 < t < model.total_time(1)
+
+    def test_scanner_single_frame_stimulus(self):
+        """One-frame runs are rejected cleanly (no reference vector)."""
+        ph = HeadPhantom()
+        with pytest.raises(ValueError):
+            SimulatedScanner(
+                ph, ScannerConfig(n_frames=1), stimulus=np.array([0.0])
+            )
+
+    def test_workbench_zero_stereo_geometry(self):
+        spec = WorkbenchSpec(planes=1, stereo=False, width=640, height=480)
+        assert spec.images_per_frame == 1
+        assert spec.frame_bytes == 640 * 480 * 3
+
+
+class TestInteropEdges:
+    def test_fortran_array_1d(self):
+        fa = FortranArray(np.arange(5.0))
+        assert fa.get(1) == 0.0
+        fa.set(5, 99.0)
+        assert fa.data[4] == 99.0
+
+    def test_roundtrip_preserves_non_contiguous(self):
+        base = np.arange(24.0).reshape(4, 6)
+        view = base[::2, ::3]  # non-contiguous
+        fa = FortranArray(view)
+        np.testing.assert_array_equal(fa.to_c(), view)
+
+
+class TestRuntimeEdges:
+    def test_size_one_world_collectives(self):
+        def main(comm):
+            return (
+                comm.bcast("x", root=0),
+                comm.allreduce(5),
+                comm.gather(7, root=0),
+                comm.alltoall([9]),
+            )
+
+        mc = MetaMPI(wallclock_timeout=15)
+        mc.add_machine(CRAY_T3E_600, ranks=1)
+        [res] = mc.run(main)
+        assert res.value == ("x", 5, [7], [9])
+
+    def test_self_send_receive(self):
+        def main(comm):
+            comm.send("loopback", comm.rank, tag=1)
+            return comm.recv(source=comm.rank, tag=1)
+
+        mc = MetaMPI(wallclock_timeout=15)
+        mc.add_machine(CRAY_T3E_600, ranks=1)
+        [res] = mc.run(main)
+        assert res.value == "loopback"
+
+    def test_zero_byte_buffer(self):
+        def main(comm):
+            if comm.rank == 0:
+                comm.Send(np.empty(0), 1)
+                return None
+            buf = np.empty(0)
+            comm.Recv(buf, source=0)
+            return buf.size
+
+        mc = MetaMPI(wallclock_timeout=15)
+        mc.add_machine(CRAY_T3E_600, ranks=2)
+        results = mc.run(main)
+        assert results[1].value == 0

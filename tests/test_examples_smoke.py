@@ -1,0 +1,72 @@
+"""Smoke tests: the lighter example scripts must run to completion.
+
+(The heavy renders — realtime_fmri_session, render_gallery,
+testbed_extensions — are exercised piecewise by the unit and
+integration tests; running them here would dominate the suite's
+wall time.)
+"""
+
+import importlib
+import sys
+from pathlib import Path
+
+import pytest
+
+EXAMPLES_DIR = Path(__file__).resolve().parent.parent / "examples"
+
+
+@pytest.fixture(autouse=True)
+def examples_on_path(monkeypatch):
+    monkeypatch.syspath_prepend(str(EXAMPLES_DIR))
+    yield
+    for name in list(sys.modules):
+        if name in {
+            "quickstart",
+            "network_characterization",
+            "job_scheduling",
+            "vampir_trace_demo",
+            "meg_music_localization",
+            "climate_coupling",
+        }:
+            del sys.modules[name]
+
+
+def run_example(name: str, capsys) -> str:
+    module = importlib.import_module(name)
+    module.main()
+    return capsys.readouterr().out
+
+
+def test_quickstart(capsys):
+    out = run_example("quickstart", capsys)
+    assert "Table 1" in out
+    assert "throughput period" in out
+
+
+def test_network_characterization(capsys):
+    out = run_example("network_characterization", capsys)
+    assert "HiPPI" in out
+    assert "bottleneck: sp2.iobus" in out
+
+
+def test_job_scheduling(capsys):
+    out = run_example("job_scheduling", capsys)
+    assert "fmri-morning" in out
+    assert "done" in out
+
+
+def test_vampir_trace_demo(capsys):
+    out = run_example("vampir_trace_demo", capsys)
+    assert "timeline" in out
+    assert "load imbalance" in out
+
+
+def test_meg_music_localization(capsys):
+    out = run_example("meg_music_localization", capsys)
+    assert "localization error" in out
+    assert "superlinear" in out.lower() or "combined" in out
+
+
+def test_climate_coupling(capsys):
+    out = run_example("climate_coupling", capsys)
+    assert "mean SST" in out

@@ -1,0 +1,142 @@
+"""Tests for the FIRE control-panel model (the Figure-3 lower panel)."""
+
+import numpy as np
+import pytest
+
+from repro.fire import HeadPhantom
+from repro.fire.gui import ControlPanel, RoiSpec
+
+
+@pytest.fixture()
+def panel():
+    return ControlPanel(n_frames=40, tr=2.0)
+
+
+class TestClipLevel:
+    def test_default_and_set(self, panel):
+        assert panel.clip_level == 0.5
+        panel.set_clip_level(0.7)
+        assert panel.clip_level == 0.7
+
+    def test_bounds(self, panel):
+        with pytest.raises(ValueError):
+            panel.set_clip_level(0.0)
+        with pytest.raises(ValueError):
+            panel.set_clip_level(1.5)
+
+
+class TestHemodynamics:
+    def test_manual_adjustment(self, panel):
+        panel.set_hemodynamics(delay=7.5, dispersion=1.4)
+        assert panel.hrf.delay == 7.5
+        ref = panel.reference()
+        assert len(ref) == 40
+        assert np.linalg.norm(ref) == pytest.approx(1.0)
+
+    def test_invalid_rejected_and_state_kept(self, panel):
+        with pytest.raises(ValueError):
+            panel.set_hemodynamics(delay=-1.0, dispersion=1.0)
+        assert panel.hrf.delay == 6.0  # untouched
+
+
+class TestStimulus:
+    def test_block_design_edit(self, panel):
+        panel.set_stimulus_blocks(period_on=8, period_off=8, start_off=4)
+        stim = panel.stimulus
+        assert stim[:4].sum() == 0
+        assert stim[4:12].sum() == 8
+
+    def test_custom_course(self, panel):
+        course = np.sin(np.linspace(0, 4 * np.pi, 40))
+        panel.set_stimulus(course)
+        np.testing.assert_array_equal(panel.stimulus, course)
+
+    def test_custom_course_validated(self, panel):
+        with pytest.raises(ValueError):
+            panel.set_stimulus(np.ones(40))  # no variation
+        with pytest.raises(ValueError):
+            panel.set_stimulus(np.ones(10))  # wrong length
+
+    def test_block_design_validated(self, panel):
+        with pytest.raises(ValueError):
+            panel.set_stimulus_blocks(period_on=0, period_off=5)
+
+
+class TestModuleToggles:
+    def test_toggle_each_module(self, panel):
+        for module in ("median", "motion", "detrend", "rvo", "smoothing"):
+            panel.toggle(module, False)
+            assert getattr(panel.flags, module) is False
+            panel.toggle(module, True)
+            assert getattr(panel.flags, module) is True
+
+    def test_unknown_module(self, panel):
+        with pytest.raises(KeyError):
+            panel.toggle("warp", True)
+
+    def test_toggles_reach_t3e_module_set(self, panel):
+        panel.toggle("rvo", False)
+        panel.toggle("motion", False)
+        assert panel.flags.t3e_modules() == ("filter",)
+
+
+class TestRois:
+    def test_add_and_remove(self):
+        panel = ControlPanel(n_frames=20, shape=(16, 64, 64))
+        ph = HeadPhantom()
+        panel.add_roi("site-0", ph.sites[0].mask(ph.shape))
+        assert "site-0" in panel.rois
+        panel.remove_roi("site-0")
+        assert panel.rois == {}
+
+    def test_duplicate_rejected(self):
+        panel = ControlPanel(n_frames=20, shape=(16, 64, 64))
+        ph = HeadPhantom()
+        panel.add_roi("a", ph.sites[0].mask(ph.shape))
+        with pytest.raises(ValueError):
+            panel.add_roi("a", ph.sites[1].mask(ph.shape))
+
+    def test_shape_checked(self):
+        panel = ControlPanel(n_frames=20, shape=(16, 64, 64))
+        with pytest.raises(ValueError):
+            panel.add_roi("bad", np.ones((4, 4, 4), dtype=bool))
+
+    def test_empty_roi_rejected(self):
+        with pytest.raises(ValueError):
+            RoiSpec("empty", np.zeros((2, 2, 2), dtype=bool))
+
+    def test_nonbool_roi_rejected(self):
+        with pytest.raises(ValueError):
+            RoiSpec("ints", np.ones((2, 2, 2), dtype=int))
+
+    def test_remove_unknown(self):
+        panel = ControlPanel(n_frames=20)
+        with pytest.raises(KeyError):
+            panel.remove_roi("ghost")
+
+
+class TestEventLogAndSnapshot:
+    def test_events_recorded_in_order(self, panel):
+        panel.set_clip_level(0.6)
+        panel.toggle("rvo", False)
+        panel.set_hemodynamics(5.0, 1.0)
+        assert panel.events == [
+            "clip_level=0.60",
+            "module rvo=off",
+            "hrf delay=5.00 dispersion=1.00",
+        ]
+
+    def test_snapshot_roundtrip(self, panel):
+        panel.set_clip_level(0.8)
+        panel.toggle("smoothing", True)
+        snap = panel.snapshot()
+        assert snap["clip_level"] == 0.8
+        assert snap["modules"]["smoothing"] is True
+        assert snap["hrf"] == (6.0, 1.0)
+        assert snap["n_events"] == 2
+
+    def test_constructor_validation(self):
+        with pytest.raises(ValueError):
+            ControlPanel(n_frames=1)
+        with pytest.raises(ValueError):
+            ControlPanel(tr=0.0)

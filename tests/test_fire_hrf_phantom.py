@@ -1,0 +1,201 @@
+"""Tests for HRF models, reference vectors, the head phantom, and the
+simulated scanner."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.fire import (
+    ActivationSite,
+    HeadPhantom,
+    ScannerConfig,
+    SimulatedScanner,
+    boxcar_stimulus,
+    reference_vector,
+)
+from repro.fire.hrf import HrfModel, reference_bank
+
+
+class TestHrf:
+    def test_peak_at_delay(self):
+        hrf = HrfModel(delay=6.0, dispersion=1.0)
+        t = np.linspace(0, 30, 3001)
+        h = hrf.sample(t)
+        assert t[np.argmax(h)] == pytest.approx(6.0, abs=0.05)
+        assert h.max() == pytest.approx(1.0, abs=1e-6)
+
+    def test_zero_before_onset(self):
+        hrf = HrfModel(delay=6.0, dispersion=1.0)
+        assert hrf.sample(np.array([0.0]))[0] == pytest.approx(0.0, abs=1e-6)
+
+    def test_dispersion_broadens(self):
+        t = np.linspace(0, 30, 3001)
+        narrow = HrfModel(6.0, 0.7).sample(t)
+        broad = HrfModel(6.0, 1.8).sample(t)
+        width = lambda h: np.count_nonzero(h > 0.5)
+        assert width(broad) > width(narrow)
+
+    def test_invalid_parameters(self):
+        with pytest.raises(ValueError):
+            HrfModel(delay=0.0)
+        with pytest.raises(ValueError):
+            HrfModel(delay=6.0, dispersion=-1.0)
+
+    @given(
+        delay=st.floats(2.0, 10.0), dispersion=st.floats(0.5, 2.0)
+    )
+    @settings(max_examples=25, deadline=None)
+    def test_kernel_nonnegative_property(self, delay, dispersion):
+        kern = HrfModel(delay, dispersion).kernel(tr=2.0)
+        assert np.all(kern >= 0)
+        assert kern.max() <= 1.0 + 1e-9
+
+
+class TestStimulus:
+    def test_boxcar_structure(self):
+        stim = boxcar_stimulus(40, period_on=10, period_off=10, start_off=5)
+        assert stim[:5].sum() == 0
+        assert stim[5:15].sum() == 10
+        assert stim[15:25].sum() == 0
+
+    def test_boxcar_needs_frames(self):
+        with pytest.raises(ValueError):
+            boxcar_stimulus(0)
+
+    def test_reference_vector_normalized(self):
+        ref = reference_vector(boxcar_stimulus(60), HrfModel())
+        assert ref.mean() == pytest.approx(0.0, abs=1e-12)
+        assert np.linalg.norm(ref) == pytest.approx(1.0)
+
+    def test_reference_lags_stimulus(self):
+        """Hemodynamics delay the response behind the stimulus."""
+        stim = boxcar_stimulus(60, period_on=15, period_off=15)
+        ref = reference_vector(stim, HrfModel(delay=6.0), tr=2.0)
+        lag = np.argmax(
+            [np.dot(np.roll(stim - stim.mean(), k), ref) for k in range(10)]
+        )
+        assert 1 <= lag <= 6
+
+    def test_degenerate_stimulus_rejected(self):
+        with pytest.raises(ValueError):
+            reference_vector(np.zeros(40), HrfModel())
+
+    def test_reference_bank_shape_and_rows(self):
+        bank = reference_bank(
+            boxcar_stimulus(40), delays=[4, 6, 8], dispersions=[0.8, 1.2]
+        )
+        assert bank.shape == (6, 40)
+        norms = np.linalg.norm(bank, axis=1)
+        np.testing.assert_allclose(norms, 1.0)
+
+
+class TestPhantom:
+    def test_geometry(self):
+        ph = HeadPhantom()
+        assert ph.anatomy().shape == (16, 64, 64)
+        assert ph.shape == (16, 64, 64)
+
+    def test_anatomy_structure(self):
+        ph = HeadPhantom()
+        anat = ph.anatomy()
+        brain = ph.brain_mask()
+        assert anat[brain].mean() > 2 * anat[~brain].mean()
+        # corners are air
+        assert anat[0, 0, 0] == 0.0
+
+    def test_sites_inside_brain(self):
+        ph = HeadPhantom()
+        act = ph.activation_mask()
+        assert act.any()
+        assert (act & ~ph.brain_mask()).sum() == 0
+
+    def test_amplitude_map(self):
+        ph = HeadPhantom()
+        amp = ph.activation_amplitude()
+        assert amp.max() == pytest.approx(0.04)
+        assert amp[~ph.activation_mask()].max() == 0.0
+
+    def test_custom_sites(self):
+        site = ActivationSite(center=(8, 32, 32), radius=3, amplitude=0.1)
+        ph = HeadPhantom(sites=(site,))
+        assert ph.activation_amplitude().max() == pytest.approx(0.1)
+        assert ph.site_parameters().shape == (1, 2)
+
+    def test_highres_anatomy(self):
+        ph = HeadPhantom()
+        hr = ph.highres_anatomy((32, 64, 64))
+        assert hr.shape == (32, 64, 64)
+        assert hr.max() > 0
+
+    def test_deterministic(self):
+        a1 = HeadPhantom(seed=3).anatomy()
+        a2 = HeadPhantom(seed=3).anatomy()
+        np.testing.assert_array_equal(a1, a2)
+
+
+class TestScanner:
+    def mk(self, **kw):
+        cfg = ScannerConfig(n_frames=24, **kw)
+        return SimulatedScanner(HeadPhantom(), cfg)
+
+    def test_frame_geometry_and_bytes(self):
+        sc = self.mk()
+        assert sc.frame(0).shape == (16, 64, 64)
+        # 64*64*16 voxels at 2 bytes = 128 KByte raw
+        assert sc.image_bytes == 64 * 64 * 16 * 2
+
+    def test_frame_bounds_checked(self):
+        sc = self.mk()
+        with pytest.raises(IndexError):
+            sc.frame(24)
+
+    def test_bold_signal_in_active_voxels(self):
+        sc = self.mk(noise_sigma=0.0, drift_per_frame=0.0, drift_amplitude=0.0)
+        ph = sc.phantom
+        act = ph.sites[0].mask(ph.shape)
+        stim_on = int(np.argmax(sc.stimulus)) + 4  # allow hemodynamic lag
+        base = sc.frame(0)[act].mean()
+        active = sc.frame(min(stim_on, 23))[act].mean()
+        assert active > base * 1.005
+
+    def test_drift_raises_baseline(self):
+        sc = self.mk(noise_sigma=0.0)
+        ph = sc.phantom
+        quiet = ph.brain_mask() & ~ph.activation_mask()
+        early = sc.frame(0)[quiet].mean()
+        late = sc.frame(23)[quiet].mean()
+        assert late > early + 3.0
+
+    def test_motion_injection(self):
+        still = self.mk(noise_sigma=0.0)
+        moving = SimulatedScanner(
+            HeadPhantom(),
+            ScannerConfig(n_frames=24, noise_sigma=0.0, motion_amplitude=2.0),
+        )
+        np.testing.assert_array_equal(moving.true_motion(0), [0, 0, 0])
+        assert np.linalg.norm(moving.true_motion(6)) > 0.5
+        diff = np.abs(moving.frame(6) - still.frame(6)).mean()
+        assert diff > 1.0
+
+    def test_frames_iterator_timing(self):
+        sc = self.mk()
+        frames = list(sc.frames())
+        assert len(frames) == 24
+        assert frames[3][1] == pytest.approx(3 * sc.config.tr)
+
+    def test_deterministic_frames(self):
+        a = self.mk().frame(5)
+        b = self.mk().frame(5)
+        np.testing.assert_array_equal(a, b)
+
+    def test_stimulus_length_validated(self):
+        with pytest.raises(ValueError):
+            SimulatedScanner(
+                HeadPhantom(), ScannerConfig(n_frames=10), stimulus=np.ones(5)
+            )
+
+    def test_config_validation(self):
+        with pytest.raises(ValueError):
+            ScannerConfig(n_frames=0)
+        with pytest.raises(ValueError):
+            ScannerConfig(tr=0)

@@ -1,0 +1,131 @@
+"""Tests for the k-space acquisition/reconstruction layer."""
+
+import numpy as np
+import pytest
+
+from repro.fire import HeadPhantom
+from repro.fire.kspace import (
+    acquire_kspace,
+    acquisition_time,
+    partial_fourier_mask,
+    reconstruct,
+    reconstruct_partial_fourier,
+)
+
+
+@pytest.fixture(scope="module")
+def head():
+    return HeadPhantom().anatomy()
+
+
+class TestRoundTrip:
+    def test_noiseless_reconstruction_exact(self, head):
+        k = acquire_kspace(head)
+        img = reconstruct(k)
+        np.testing.assert_allclose(img, head, atol=1e-8)
+
+    def test_shapes_preserved(self, head):
+        k = acquire_kspace(head)
+        assert k.shape == head.shape
+        assert np.iscomplexobj(k)
+        assert reconstruct(k).shape == head.shape
+
+    def test_dimension_validation(self):
+        with pytest.raises(ValueError):
+            acquire_kspace(np.zeros((4, 4)))
+        with pytest.raises(ValueError):
+            reconstruct(np.zeros((4, 4), dtype=complex))
+
+    def test_dc_line_carries_slice_sum(self, head):
+        k = acquire_kspace(head)
+        np.testing.assert_allclose(
+            k[:, 0, 0].real, head.sum(axis=(1, 2)), rtol=1e-10
+        )
+
+
+class TestNoise:
+    def test_image_channel_noise_calibrated(self):
+        """σ in image units: a zero object reconstructs to Rayleigh noise
+        with the mean of a Rayleigh(σ) ≈ 1.25 σ."""
+        rng = np.random.default_rng(7)
+        zero = np.zeros((8, 64, 64))
+        img = reconstruct(acquire_kspace(zero, noise_sigma=5.0, rng=rng))
+        assert img.mean() == pytest.approx(5.0 * np.sqrt(np.pi / 2), rel=0.05)
+
+    def test_rician_background_floor(self, head):
+        """Air around the head is non-zero in a magnitude image."""
+        rng = np.random.default_rng(8)
+        img = reconstruct(acquire_kspace(head, noise_sigma=6.0, rng=rng))
+        corner = img[:, :5, :5]
+        assert corner.mean() > 3.0  # Rician floor, not ~0
+
+    def test_signal_dominates_in_brain(self, head):
+        rng = np.random.default_rng(9)
+        img = reconstruct(acquire_kspace(head, noise_sigma=6.0, rng=rng))
+        brain = HeadPhantom().brain_mask()
+        assert img[brain].mean() == pytest.approx(head[brain].mean(), rel=0.05)
+
+    def test_noise_deterministic_with_rng(self, head):
+        a = reconstruct(
+            acquire_kspace(head, 4.0, rng=np.random.default_rng(3))
+        )
+        b = reconstruct(
+            acquire_kspace(head, 4.0, rng=np.random.default_rng(3))
+        )
+        np.testing.assert_array_equal(a, b)
+
+
+class TestPartialFourier:
+    def test_mask_keeps_low_frequencies(self):
+        mask = partial_fourier_mask((64, 64), fraction=0.625)
+        assert mask[0].all()  # DC row kept
+        assert mask.sum() == 40 * 64
+
+    def test_fraction_bounds(self):
+        with pytest.raises(ValueError):
+            partial_fourier_mask((64, 64), fraction=0.4)
+        with pytest.raises(ValueError):
+            partial_fourier_mask((64, 64), fraction=1.1)
+
+    def test_zero_filled_recon_close_but_blurred(self, head):
+        k = acquire_kspace(head)
+        mask = partial_fourier_mask(head.shape[1:], fraction=0.7)
+        partial = reconstruct_partial_fourier(k, mask)
+        full = reconstruct(k)
+        rel_err = np.abs(partial - full).mean() / full.mean()
+        assert 0.001 < rel_err < 0.5  # degraded, but recognizably the head
+
+    def test_full_mask_is_exact(self, head):
+        k = acquire_kspace(head)
+        mask = partial_fourier_mask(head.shape[1:], fraction=1.0)
+        np.testing.assert_allclose(
+            reconstruct_partial_fourier(k, mask), reconstruct(k), atol=1e-10
+        )
+
+    def test_mask_shape_checked(self, head):
+        k = acquire_kspace(head)
+        with pytest.raises(ValueError):
+            reconstruct_partial_fourier(k, np.ones((4, 4), dtype=bool))
+
+
+class TestAcquisitionTime:
+    def test_epi_volume_fits_2s_tr(self):
+        """64x64x16 at ~800 lines/s fits the paper's 2 s repetition."""
+        t = acquisition_time((16, 64, 64))
+        assert 1.0 < t < 2.0
+
+    def test_partial_fourier_accelerates(self):
+        full = acquisition_time((16, 64, 64), fraction=1.0)
+        fast = acquisition_time((16, 64, 64), fraction=0.625)
+        assert fast == pytest.approx(0.625 * full, rel=0.02)
+
+    def test_larger_matrices_slower(self):
+        """'larger matrices can be measured at correspondingly lower
+        temporal resolution' (paper §4)."""
+        small = acquisition_time((16, 64, 64))
+        big = acquisition_time((16, 128, 128))
+        assert big == pytest.approx(2 * small)
+
+    def test_rate_validated(self):
+        with pytest.raises(ValueError):
+            acquisition_time((16, 64, 64), lines_per_second=0)

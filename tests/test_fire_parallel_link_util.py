@@ -1,0 +1,121 @@
+"""Tests for the parallel FIRE modules and link utilization accounting."""
+
+import numpy as np
+import pytest
+
+from repro.fire import HeadPhantom, ScannerConfig, SimulatedScanner
+from repro.fire.hrf import HrfModel, reference_vector
+from repro.fire.modules import correlation_map, detrend_timeseries, rvo_raster
+from repro.fire.parallel import parallel_detrend_correlate, parallel_rvo
+from repro.machines import CRAY_T3E_600
+from repro.metampi import MetaMPI
+from repro.netsim import BulkTransfer, ClassicalIP, build_testbed
+from repro.netsim.ip import TESTBED_MTU
+
+
+@pytest.fixture(scope="module")
+def session():
+    ph = HeadPhantom()
+    sc = SimulatedScanner(ph, ScannerConfig(n_frames=36, noise_sigma=3.0))
+    ts = sc.timeseries()
+    return ph, sc, ts
+
+
+def run_ranks(fn, ranks=4, timeout=60):
+    mc = MetaMPI(wallclock_timeout=timeout)
+    mc.add_machine(CRAY_T3E_600, ranks=ranks)
+    return mc.run(fn)
+
+
+class TestParallelRvo:
+    @pytest.mark.parametrize("ranks", [1, 3, 4])
+    def test_matches_serial(self, session, ranks):
+        ph, sc, ts = session
+        dts = detrend_timeseries(ts)
+        mask = ph.brain_mask()
+        serial = rvo_raster(dts, sc.stimulus, tr=sc.config.tr, mask=mask)
+        out = {}
+
+        def main(comm):
+            res = parallel_rvo(
+                comm,
+                dts if comm.rank == 0 else None,
+                sc.stimulus if comm.rank == 0 else None,
+                tr=sc.config.tr,
+                mask=mask if comm.rank == 0 else None,
+            )
+            if comm.rank == 0:
+                out["res"] = res
+
+        run_ranks(main, ranks=ranks)
+        res = out["res"]
+        np.testing.assert_allclose(res.delay, serial.delay)
+        np.testing.assert_allclose(res.dispersion, serial.dispersion)
+        np.testing.assert_allclose(res.correlation, serial.correlation, atol=1e-12)
+        assert res.work_units == serial.work_units
+
+    def test_nonroot_gets_none(self, session):
+        ph, sc, ts = session
+
+        def main(comm):
+            return parallel_rvo(
+                comm,
+                ts if comm.rank == 0 else None,
+                sc.stimulus if comm.rank == 0 else None,
+                tr=sc.config.tr,
+            )
+
+        results = run_ranks(main, ranks=3)
+        assert results[0].value is not None
+        assert results[1].value is None
+
+
+class TestParallelDetrendCorrelate:
+    def test_matches_serial_pair(self, session):
+        ph, sc, ts = session
+        ref = reference_vector(sc.stimulus, HrfModel(), sc.config.tr)
+        serial = correlation_map(detrend_timeseries(ts), ref)
+        out = {}
+
+        def main(comm):
+            res = parallel_detrend_correlate(
+                comm,
+                ts if comm.rank == 0 else None,
+                ref if comm.rank == 0 else None,
+            )
+            if comm.rank == 0:
+                out["map"] = res
+
+        run_ranks(main, ranks=4)
+        np.testing.assert_allclose(out["map"], serial, atol=1e-10)
+
+
+class TestLinkUtilization:
+    def test_busy_fraction_of_bottleneck_near_one(self):
+        """During a saturating transfer the bottleneck direction is busy
+        almost continuously."""
+        tb = build_testbed()
+        BulkTransfer(
+            tb.net, "onyx2-gmd", "onyx2-juelich", 20 * 2**20,
+            ip=ClassicalIP(TESTBED_MTU),
+        ).run()
+        link = tb.net.nodes["onyx2-gmd"].link_to("sw-gmd")
+        assert link.utilization("onyx2-gmd") > 0.85
+        # reverse direction only carries ACKs
+        assert link.utilization("sw-gmd") < 0.05
+
+    def test_packet_counters(self):
+        tb = build_testbed()
+        ip = ClassicalIP(TESTBED_MTU)
+        nbytes = 5 * 2**20
+        BulkTransfer(tb.net, "t3e-600", "t3e-1200", nbytes, ip=ip).run()
+        link = tb.net.nodes["t3e-600"].link_to("hippi-sw-juelich")
+        assert link.tx_packets["t3e-600"] == len(ip.segments(nbytes))
+
+    def test_idle_link_zero_utilization(self):
+        tb = build_testbed()
+        BulkTransfer(
+            tb.net, "t3e-600", "t3e-1200", 2**20, ip=ClassicalIP(TESTBED_MTU)
+        ).run()
+        wan = tb.net.nodes["sw-juelich"].link_to("sw-gmd")
+        assert wan.utilization("sw-juelich") == 0.0

@@ -1,0 +1,124 @@
+"""Tests for FireSession (real compute + virtual time in lockstep) and
+the future-MRI sizing analysis."""
+
+import numpy as np
+import pytest
+
+from repro.fire import HeadPhantom, ModuleFlags, ScannerConfig, SimulatedScanner
+from repro.fire.session import FireSession, required_pes_for_realtime
+from repro.machines.t3e_model import REF_VOXELS
+
+
+def make_session(pes=256, tr=3.0, n_frames=30, **scan_kw):
+    ph = HeadPhantom()
+    sc = SimulatedScanner(ph, ScannerConfig(n_frames=n_frames, tr=tr, **scan_kw))
+    return ph, FireSession(sc, pes=pes)
+
+
+class TestFireSession:
+    def test_delay_matches_stage_budget(self):
+        _, session = make_session()
+        res = session.run(6)
+        expected = (
+            session.config.delivery_delay
+            + session.config.comm_time
+            + session.t3e_time
+            + session.config.display_time
+        )
+        for rec in res.records:
+            assert rec.total_delay == pytest.approx(expected, abs=0.01)
+
+    def test_real_analysis_converges_during_session(self):
+        """The ROI correlation grows as evidence accumulates — the display
+        genuinely shows the brain activating."""
+        _, session = make_session(n_frames=30)
+        res = session.run(12)
+        rois = [r.roi_correlation for r in res.records]
+        assert rois[-1] > 0.5
+        assert rois[-1] > rois[0] + 0.3
+
+    def test_detection_latency_reported(self):
+        _, session = make_session(n_frames=30)
+        res = session.run(12)
+        assert res.detection_latency is not None
+        assert res.detection_latency > res.records[0].display_time - 1e-9
+
+    def test_records_track_scan_progression(self):
+        _, session = make_session()
+        res = session.run(5)
+        indices = [r.index for r in res.records]
+        assert indices == sorted(indices)
+        assert len(set(indices)) == len(indices)  # never reprocess a scan
+
+    def test_session_ends_with_measurement(self):
+        from repro.fire import boxcar_stimulus
+
+        ph = HeadPhantom()
+        sc = SimulatedScanner(
+            ph,
+            ScannerConfig(n_frames=8, tr=3.0),
+            stimulus=boxcar_stimulus(8, period_on=3, period_off=3, start_off=1),
+        )
+        session = FireSession(sc, pes=256)
+        res = session.run(50)  # asks for more than the scanner produces
+        assert len(res.records) <= 8
+
+    def test_final_correlation_localizes_activation(self):
+        ph, session = make_session(n_frames=30)
+        res = session.run(15)
+        corr = res.final_correlation
+        act = ph.activation_mask()
+        quiet = ph.brain_mask() & ~act
+        assert corr[act].mean() > 2 * np.abs(corr[quiet]).mean()
+
+    def test_motion_recorded_when_subject_moves(self):
+        ph = HeadPhantom()
+        sc = SimulatedScanner(
+            ph, ScannerConfig(n_frames=10, tr=3.0, motion_amplitude=1.0)
+        )
+        session = FireSession(sc, pes=256, flags=ModuleFlags(rvo=False))
+        res = session.run(6)
+        assert max(r.motion_magnitude for r in res.records) > 0.1
+
+    def test_slow_partition_skips_scans(self):
+        """16 PEs with the full module set (RVO: 6.9 s) cannot keep a 3 s
+        TR: scan indices jump."""
+        ph = HeadPhantom()
+        sc = SimulatedScanner(ph, ScannerConfig(n_frames=30, tr=3.0))
+        session = FireSession(sc, pes=16, flags=ModuleFlags())
+        res = session.run(5)
+        indices = [r.index for r in res.records]
+        gaps = np.diff(indices)
+        assert gaps.max() >= 2
+
+
+class TestFutureMri:
+    def test_paper_configuration_needs_256(self):
+        """Sequential FIRE at TR=3 s and 64x64x16 needs the 256-PE
+        partition the paper used."""
+        assert required_pes_for_realtime(REF_VOXELS, 3.0) == 256
+
+    def test_pipelining_reduces_requirement(self):
+        seq = required_pes_for_realtime(REF_VOXELS, 3.0)
+        pipe = required_pes_for_realtime(REF_VOXELS, 3.0, pipelined=True)
+        assert pipe < seq
+
+    def test_order_of_magnitude_data_breaks_the_t3e(self):
+        """The paper's closing remark: ~10x data rates are 'a challenging
+        task for a supercomputer again' — sequential FIRE cannot keep up
+        at any partition size."""
+        assert required_pes_for_realtime(8 * REF_VOXELS, 3.0) is None
+        assert required_pes_for_realtime(16 * REF_VOXELS, 3.0, pipelined=True) is None
+
+    def test_requirement_monotone_in_data_rate(self):
+        reqs = [
+            required_pes_for_realtime(s * REF_VOXELS, 3.0, pipelined=True)
+            for s in (1, 2, 4)
+        ]
+        assert all(r is not None for r in reqs)
+        assert reqs == sorted(reqs)
+
+    def test_faster_tr_needs_more_pes(self):
+        slow = required_pes_for_realtime(REF_VOXELS, 4.0, pipelined=True)
+        fast = required_pes_for_realtime(REF_VOXELS, 2.0, pipelined=True)
+        assert fast >= slow

@@ -1,0 +1,204 @@
+"""Cross-package integration tests: whole scenarios end to end."""
+
+import os
+
+import numpy as np
+import pytest
+
+from repro.core import Metacomputer, RpcClient, RpcServer
+from repro.fire import (
+    FirePipeline,
+    HeadPhantom,
+    ModuleFlags,
+    PipelineConfig,
+    RTClient,
+    RTServer,
+    ScannerConfig,
+    SimulatedScanner,
+)
+from repro.fire.gui import ControlPanel
+from repro.fire.modules import rvo_raster
+from repro.fire.session import FireSession
+from repro.machines import CRAY_T3E_600, SGI_ONYX2_GMD
+from repro.metampi import MetaMPI
+from repro.trace import Tracer, message_matrix, render_timeline
+from repro.util.images import read_pnm, write_ppm
+from repro.viz import merge_functional, render_frame, slice_mosaic, workbench_fps
+
+
+class TestFullFmriScenario:
+    """The complete Section-4 scenario in one test: scanner → RT chain →
+    delegated RVO over RPC → Figure-3 and Figure-4 renderings on disk →
+    workbench feasibility."""
+
+    @pytest.fixture(scope="class")
+    def artifacts(self, tmp_path_factory):
+        out = tmp_path_factory.mktemp("fmri")
+        phantom = HeadPhantom()
+        scanner = SimulatedScanner(
+            phantom, ScannerConfig(n_frames=24, noise_sigma=3.0)
+        )
+        client = RTClient(RTServer(scanner), flags=ModuleFlags(rvo=False))
+        frames = client.run()
+
+        ts = np.stack(client.processed)
+        mask = phantom.brain_mask()
+        outcome = {}
+
+        def program(comm):
+            if comm.rank == 0:
+                rpc = RpcServer(comm, peer=1)
+                rpc.register(
+                    "rvo",
+                    lambda: rvo_raster(ts, scanner.stimulus, tr=2.0, mask=mask),
+                )
+                return rpc.serve()
+            proxy = RpcClient(comm, peer=0)
+            outcome["rvo"] = proxy.rvo()
+            proxy.shutdown()
+            return None
+
+        mc = MetaMPI(wallclock_timeout=120)
+        mc.add_machine(CRAY_T3E_600, ranks=1)
+        mc.add_machine(SGI_ONYX2_GMD, ranks=1)
+        mc.run(program)
+
+        corr = frames[-1].correlation
+        fig3 = out / "fig3.ppm"
+        write_ppm(fig3, slice_mosaic(phantom.anatomy(), corr, 0.45))
+        anat, func = merge_functional(
+            phantom.highres_anatomy((24, 48, 48)), corr, 0.45
+        )
+        fig4 = out / "fig4.ppm"
+        write_ppm(fig4, render_frame(anat, func, azimuth_deg=20.0))
+        return phantom, frames, outcome["rvo"], fig3, fig4
+
+    def test_activation_found(self, artifacts):
+        phantom, frames, _, _, _ = artifacts
+        corr = frames[-1].correlation
+        assert corr[phantom.activation_mask()].mean() > 0.4
+
+    def test_rvo_delegation_recovers_hemodynamics(self, artifacts):
+        phantom, _, rvo, _, _ = artifacts
+        site = phantom.sites[0]
+        d, _ = rvo.best_site_parameters(site.mask(phantom.shape))
+        assert d == pytest.approx(site.delay, abs=1.5)
+
+    def test_images_written_and_readable(self, artifacts):
+        _, _, _, fig3, fig4 = artifacts
+        for path in (fig3, fig4):
+            img = read_pnm(path)
+            assert img.ndim == 3 and img.shape[2] == 3
+            assert img.max() > 0
+
+    def test_workbench_feasibility_closes_the_loop(self, artifacts):
+        assert workbench_fps() < 8.0  # the paper's remote-display limit
+
+
+class TestGuiDrivenSession:
+    """The control panel drives a session: module toggles and clip level
+    changes take effect mid-measurement."""
+
+    def test_panel_settings_flow_into_client(self):
+        panel = ControlPanel(n_frames=16, tr=2.0)
+        panel.toggle("motion", False)
+        panel.toggle("rvo", False)
+        panel.set_clip_level(0.4)
+        panel.set_hemodynamics(delay=5.0, dispersion=0.9)
+
+        phantom = HeadPhantom()
+        scanner = SimulatedScanner(
+            phantom,
+            ScannerConfig(n_frames=16, noise_sigma=3.0),
+            stimulus=panel.stimulus,
+        )
+        client = RTClient(
+            RTServer(scanner),
+            hrf=panel.hrf,
+            flags=panel.flags,
+            clip_level=panel.clip_level,
+        )
+        frames = client.run()
+        assert client.motion_track == []  # motion disabled via the panel
+        assert frames[-1].active_voxels > 0
+
+    def test_stimulus_edit_changes_reference(self):
+        panel = ControlPanel(n_frames=30)
+        ref_a = panel.reference()
+        panel.set_stimulus_blocks(period_on=5, period_off=5)
+        ref_b = panel.reference()
+        assert not np.allclose(ref_a, ref_b)
+
+
+class TestMetacomputerSessionWithTrace:
+    """core + metampi + trace together: a traced session on the real
+    testbed topology, with island-aware behaviour visible in the trace."""
+
+    def test_traced_cross_site_session(self):
+        tracer = Tracer()
+        meta = Metacomputer()
+        mc = meta.session(
+            {"Cray T3E-600": 2, "IBM SP2": 2}, tracer=tracer,
+            wallclock_timeout=60,
+        )
+
+        def main(comm):
+            with tracer.region(comm, "halo"):
+                peer = (comm.rank + 2) % 4  # cross-site partner
+                comm.sendrecv(
+                    np.zeros(5000).tobytes(), dest=peer, source=peer
+                )
+            comm.barrier()
+            return comm.wtime()
+
+        results = mc.run(main)
+        clocks = [r.value for r in results]
+        assert len(set(np.round(clocks, 12))) == 1  # barrier aligned
+
+        tl = tracer.timeline()
+        text = render_timeline(tl, width=40)
+        assert "rank 3" in text
+        mat = message_matrix(tl)
+        # cross-site traffic dominates: ranks 0<->2 and 1<->3
+        assert mat.bytes[0, 2] > 0 and mat.bytes[2, 0] > 0
+
+    def test_scheduler_then_session(self):
+        """Co-allocate the fMRI resource set, then run on the granted
+        machines — the clinical-operations flow the conclusions call for."""
+        from repro.core import AllocationRequest, CoAllocator
+
+        alloc = CoAllocator({"Cray T3E-600": 512, "SGI Onyx 2 (GMD)": 12,
+                             "scanner": 1})
+        grant = alloc.submit(
+            AllocationRequest(
+                "fmri", {"Cray T3E-600": 256, "SGI Onyx 2 (GMD)": 12,
+                         "scanner": 1},
+                duration=1800,
+            )
+        )
+        assert grant.start == 0.0
+        meta = Metacomputer()
+        mc = meta.session({"Cray T3E-600": 2, "SGI Onyx 2 (GMD)": 1},
+                          wallclock_timeout=60)
+        results = mc.run(lambda comm: comm.allreduce(1))
+        assert all(r.value == 3 for r in results)
+
+
+class TestSessionAgainstPipelineModel:
+    """FireSession (real data) and FirePipeline (pure timing) must agree
+    on the timing they both model."""
+
+    def test_delays_consistent(self):
+        ph = HeadPhantom()
+        sc = SimulatedScanner(ph, ScannerConfig(n_frames=20, tr=3.0))
+        session = FireSession(sc, pes=256, flags=ModuleFlags())
+        res = session.run(6)
+        pipeline = FirePipeline(
+            PipelineConfig(
+                pes=256, n_images=6, repetition_time=3.0,
+                modules=ModuleFlags().t3e_modules(),
+            )
+        ).run()
+        assert res.mean_delay == pytest.approx(
+            pipeline.mean_total_delay, abs=0.05
+        )

@@ -1,0 +1,208 @@
+"""Tests for Cartesian topologies, exscan/reduce_scatter, and the
+cell-exact ATM validation."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.machines import CRAY_T3E_600, IBM_SP2
+from repro.metampi import MetaMPI, SUM, MAX
+from repro.metampi.cart import CartComm, cart_create, dims_create
+from repro.netsim.atm import aal5_wire_bytes
+from repro.netsim.cellsim import (
+    CellLink,
+    interleaved_vc_transfer,
+    transfer_time_cell_exact,
+)
+from repro.sim import Environment
+
+
+def run(fn, ranks=4, timeout=30):
+    mc = MetaMPI(wallclock_timeout=timeout)
+    mc.add_machine(CRAY_T3E_600, ranks=ranks)
+    return [r.value for r in mc.run(fn)]
+
+
+class TestDimsCreate:
+    def test_perfect_square(self):
+        assert dims_create(16, 2) == [4, 4]
+
+    def test_prime_count(self):
+        assert dims_create(7, 2) == [7, 1]
+
+    def test_three_dims(self):
+        dims = dims_create(24, 3)
+        assert np.prod(dims) == 24
+        assert dims == sorted(dims, reverse=True)
+        assert max(dims) - min(dims) <= 2
+
+    def test_single_dim(self):
+        assert dims_create(12, 1) == [12]
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            dims_create(0, 2)
+
+    @given(n=st.integers(1, 256), d=st.integers(1, 4))
+    def test_product_property(self, n, d):
+        dims = dims_create(n, d)
+        assert len(dims) == d
+        assert int(np.prod(dims)) == n
+
+
+class TestCartComm:
+    def test_coords_roundtrip(self):
+        def main(comm):
+            cart = cart_create(comm, dims=(2, 3))
+            me = cart.coords()
+            return (me, cart.rank_at(me) == comm.rank)
+
+        vals = run(main, ranks=6)
+        assert all(ok for _, ok in vals)
+        assert vals[0][0] == (0, 0)
+        assert vals[5][0] == (1, 2)
+
+    def test_dims_mismatch_rejected(self):
+        def main(comm):
+            cart_create(comm, dims=(3, 3))
+
+        from repro.metampi import RankFailed
+
+        with pytest.raises(RankFailed):
+            run(main, ranks=4)
+
+    def test_shift_nonperiodic_boundaries(self):
+        def main(comm):
+            cart = cart_create(comm, dims=(4,), periods=(False,))
+            return cart.shift(0)
+
+        vals = run(main, ranks=4)
+        assert vals[0] == (None, 1)
+        assert vals[1] == (0, 2)
+        assert vals[3] == (2, None)
+
+    def test_shift_periodic_wraps(self):
+        def main(comm):
+            cart = cart_create(comm, dims=(4,), periods=(True,))
+            return cart.shift(0)
+
+        vals = run(main, ranks=4)
+        assert vals[0] == (3, 1)
+        assert vals[3] == (2, 0)
+
+    def test_halo_exchange_ring(self):
+        def main(comm):
+            cart = cart_create(comm, dims=(4,), periods=(True,))
+            down, up = cart.halo_exchange(
+                0, send_down=f"d{comm.rank}", send_up=f"u{comm.rank}"
+            )
+            return (down, up)
+
+        vals = run(main, ranks=4)
+        # rank 1 receives rank 0's up-message and rank 2's down-message
+        assert vals[1] == ("u0", "d2")
+
+    def test_halo_exchange_open_boundary(self):
+        def main(comm):
+            cart = cart_create(comm, dims=(4,), periods=(False,))
+            return cart.halo_exchange(0, send_down=comm.rank, send_up=comm.rank)
+
+        vals = run(main, ranks=4)
+        assert vals[0][0] is None  # nothing below rank 0
+        assert vals[3][1] is None  # nothing above rank 3
+
+    def test_2d_decomposition_neighbor_sum(self):
+        """Classic stencil pattern: sum over the four neighbors."""
+        def main(comm):
+            cart = cart_create(comm, dims=(2, 2), periods=(True, True))
+            total = 0
+            for dim in (0, 1):
+                down, up = cart.halo_exchange(
+                    0 if dim == 0 else 1,
+                    send_down=comm.rank, send_up=comm.rank, tag=90 + 10 * dim,
+                )
+                total += down + up
+            return total
+
+        vals = run(main, ranks=4)
+        # 2x2 periodic: each neighbor pair contributes both directions
+        assert all(isinstance(v, int) for v in vals)
+        assert sum(vals) == 2 * 2 * sum(range(4))
+
+
+class TestExtraCollectives:
+    def test_exscan(self):
+        def main(comm):
+            return comm.exscan(comm.rank + 1, op=SUM)
+
+        vals = run(main, ranks=4)
+        assert vals == [None, 1, 3, 6]
+
+    def test_reduce_scatter(self):
+        def main(comm):
+            values = [10 * comm.rank + d for d in range(comm.size)]
+            return comm.reduce_scatter(values, op=SUM)
+
+        vals = run(main, ranks=3)
+        # item d = sum over ranks of (10*r + d) = 30 + 3d
+        assert vals == [30, 33, 36]
+
+    def test_reduce_scatter_max(self):
+        def main(comm):
+            values = [comm.rank * (d + 1) for d in range(comm.size)]
+            return comm.reduce_scatter(values, op=MAX)
+
+        vals = run(main, ranks=3)
+        assert vals == [2, 4, 6]
+
+    def test_reduce_scatter_wrong_length(self):
+        from repro.metampi import RankFailed
+
+        def main(comm):
+            comm.reduce_scatter([1], op=SUM)
+
+        with pytest.raises(RankFailed):
+            run(main, ranks=3)
+
+
+class TestCellExact:
+    def test_matches_packet_model(self):
+        """Last-cell arrival equals the packet model's wire time."""
+        for payload in (40, 1000, 9188, 65552):
+            rate = 149.76e6
+            got = transfer_time_cell_exact(payload, rate)
+            expected = aal5_wire_bytes(payload) * 8 / rate
+            assert got == pytest.approx(expected, rel=1e-9)
+
+    def test_propagation_added_once(self):
+        rate = 149.76e6
+        base = transfer_time_cell_exact(1000, rate)
+        with_prop = transfer_time_cell_exact(1000, rate, propagation=1e-3)
+        assert with_prop == pytest.approx(base + 1e-3)
+
+    def test_reassembly_of_stream(self):
+        env = Environment()
+        link = CellLink(env, rate=149.76e6)
+        from repro.netsim.atm import AAL5Frame
+
+        for pdu in range(3):
+            link.send_frame(AAL5Frame(payload_bytes=500, pdu_id=pdu))
+        env.run()
+        assert sorted(link.pdu_complete_times) == [0, 1, 2]
+        assert link.reassembler.errors == 0
+
+    def test_interleaving_delays_every_vc(self):
+        """Two PDUs sharing the link each finish later than alone."""
+        rate = 149.76e6
+        alone = transfer_time_cell_exact(4800, rate)
+        times = interleaved_vc_transfer([4800, 4800], rate)
+        assert len(times) == 2
+        for t in times.values():
+            assert t > alone
+        # Total occupancy conserved: last completion = sum of both.
+        assert max(times.values()) == pytest.approx(2 * alone, rel=1e-9)
+
+    def test_invalid_rate(self):
+        env = Environment()
+        with pytest.raises(ValueError):
+            CellLink(env, rate=0)

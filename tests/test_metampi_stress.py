@@ -1,0 +1,213 @@
+"""Stress and property tests of the metampi runtime: randomized
+communication patterns must deliver every message, collectives must
+match NumPy references, virtual clocks must behave."""
+
+import numpy as np
+import pytest
+from hypothesis import HealthCheck, given, settings, strategies as st
+
+from repro.machines import CRAY_T3E_600, CRAY_T90, IBM_SP2
+from repro.metampi import MAX, MIN, MetaMPI, PROD, SUM
+
+SLOW = settings(
+    max_examples=10,
+    deadline=None,
+    suppress_health_check=[HealthCheck.too_slow],
+)
+
+
+def run(fn, ranks=4, timeout=30, machines=None):
+    mc = MetaMPI(wallclock_timeout=timeout)
+    if machines is None:
+        mc.add_machine(CRAY_T3E_600, ranks=ranks)
+    else:
+        for spec, n in machines:
+            mc.add_machine(spec, ranks=n)
+    return [r.value for r in mc.run(fn)]
+
+
+class TestRandomPatterns:
+    @given(
+        pattern=st.lists(
+            st.tuples(st.integers(0, 3), st.integers(0, 3), st.integers(0, 9)),
+            min_size=1,
+            max_size=25,
+        )
+    )
+    @SLOW
+    def test_every_message_delivered_property(self, pattern):
+        """Property: for any (src, dst, tag) schedule known to all ranks,
+        every sent message is received exactly once with correct payload."""
+        def main(comm):
+            me = comm.rank
+            for i, (src, dst, tag) in enumerate(pattern):
+                if src == dst:
+                    continue
+                if me == src:
+                    comm.send((i, src, tag), dst, tag=tag)
+            received = []
+            for i, (src, dst, tag) in enumerate(pattern):
+                if src == dst:
+                    continue
+                if me == dst:
+                    received.append(comm.recv(source=src, tag=tag))
+            return received
+
+        vals = run(main, ranks=4)
+        expected_total = sum(1 for s, d, _ in pattern if s != d)
+        got_total = sum(len(v) for v in vals)
+        assert got_total == expected_total
+        for rank, msgs in enumerate(vals):
+            for (i, src, tag) in msgs:
+                assert pattern[i][0] == src
+                assert pattern[i][1] == rank
+
+    @given(seed=st.integers(0, 1000))
+    @SLOW
+    def test_random_allreduce_matches_numpy_property(self, seed):
+        rng = np.random.default_rng(seed)
+        data = rng.integers(-100, 100, size=(4, 6))
+
+        def main(comm):
+            row = data[comm.rank]
+            return (
+                comm.allreduce(int(row.sum()), op=SUM),
+                comm.allreduce(int(row.max()), op=MAX),
+                comm.allreduce(int(row.min()), op=MIN),
+            )
+
+        vals = run(main, ranks=4)
+        expect = (
+            int(data.sum()),
+            int(data.max(axis=1).max()),
+            int(data.min(axis=1).min()),
+        )
+        assert all(v == expect for v in vals)
+
+    @given(
+        sizes=st.lists(st.integers(1, 2000), min_size=1, max_size=6),
+        seed=st.integers(0, 99),
+    )
+    @SLOW
+    def test_buffer_stream_integrity_property(self, sizes, seed):
+        """Property: a stream of random-size buffers arrives in order and
+        bit-exact."""
+        rng = np.random.default_rng(seed)
+        payloads = [rng.standard_normal(n) for n in sizes]
+
+        def main(comm):
+            if comm.rank == 0:
+                for p in payloads:
+                    comm.Send(p, 1, tag=3)
+                return None
+            out = []
+            for p in payloads:
+                buf = np.empty_like(p)
+                comm.Recv(buf, source=0, tag=3)
+                out.append(buf.copy())
+            return out
+
+        vals = run(main, ranks=2)
+        for got, sent in zip(vals[1], payloads):
+            np.testing.assert_array_equal(got, sent)
+
+
+class TestClockInvariants:
+    def test_clocks_never_decrease_through_p2p(self):
+        def main(comm):
+            stamps = [comm.wtime()]
+            other = 1 - comm.rank
+            for k in range(5):
+                comm.sendrecv(k, dest=other, source=other, sendtag=k, recvtag=k)
+                stamps.append(comm.wtime())
+            return stamps
+
+        vals = run(main, ranks=2)
+        for stamps in vals:
+            assert stamps == sorted(stamps)
+
+    def test_barrier_clocks_exactly_equal(self):
+        def main(comm):
+            comm.advance(0.01 * (comm.rank + 1))
+            comm.barrier()
+            return comm.wtime()
+
+        vals = run(main, ranks=4, machines=((CRAY_T3E_600, 2), (IBM_SP2, 2)))
+        assert len(set(vals)) == 1
+
+    def test_barrier_cost_positive(self):
+        """Since the fix: the barrier itself costs virtual time."""
+        def main(comm):
+            t0 = comm.wtime()
+            comm.barrier()
+            return comm.wtime() - t0
+
+        vals = run(main, ranks=2, machines=((CRAY_T3E_600, 1), (IBM_SP2, 1)))
+        assert all(v > 0 for v in vals)
+
+    def test_heterogeneous_three_machine_consistency(self):
+        def main(comm):
+            total = comm.allreduce(comm.rank + 1, op=SUM)
+            comm.barrier()
+            return (total, comm.wtime())
+
+        vals = run(
+            main,
+            machines=((CRAY_T3E_600, 2), (CRAY_T90, 2), (IBM_SP2, 2)),
+        )
+        totals = {v[0] for v in vals}
+        clocks = {round(v[1], 12) for v in vals}
+        assert totals == {21}
+        assert len(clocks) == 1
+
+
+class TestConcurrentTraffic:
+    def test_all_pairs_simultaneous_exchange(self):
+        """Everyone sends to everyone at once — no deadlock, all data
+        correct (the buffered runtime's guarantee)."""
+        def main(comm):
+            me = comm.rank
+            for d in range(comm.size):
+                if d != me:
+                    comm.send(f"{me}->{d}", d, tag=me)
+            got = {}
+            for s in range(comm.size):
+                if s != me:
+                    got[s] = comm.recv(source=s, tag=s)
+            return got
+
+        vals = run(main, ranks=6, timeout=60)
+        for me, got in enumerate(vals):
+            assert got == {
+                s: f"{s}->{me}" for s in range(6) if s != me
+            }
+
+    def test_many_small_messages_throughput(self):
+        def main(comm):
+            if comm.rank == 0:
+                for i in range(300):
+                    comm.send(i, 1, tag=0)
+                return None
+            return sum(comm.recv(source=0, tag=0) for _ in range(300))
+
+        vals = run(main, ranks=2, timeout=60)
+        assert vals[1] == sum(range(300))
+
+    def test_fan_in_any_source(self):
+        """Rank 0 drains messages from all workers with ANY_SOURCE."""
+        from repro.metampi import ANY_SOURCE, Status
+
+        def main(comm):
+            if comm.rank == 0:
+                seen = []
+                for _ in range(3 * (comm.size - 1)):
+                    st_ = Status()
+                    comm.recv(source=ANY_SOURCE, tag=5, status=st_)
+                    seen.append(st_.source)
+                return sorted(set(seen))
+            for _ in range(3):
+                comm.send(comm.rank, 0, tag=5)
+            return None
+
+        vals = run(main, ranks=5, timeout=60)
+        assert vals[0] == [1, 2, 3, 4]

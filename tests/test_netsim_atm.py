@@ -1,0 +1,129 @@
+"""Tests for ATM cells and AAL5 segmentation/reassembly."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.netsim.atm import (
+    AAL5Frame,
+    AAL5Reassembler,
+    AAL5_TRAILER_BYTES,
+    ATM_CELL_BYTES,
+    ATM_PAYLOAD_BYTES,
+    aal5_cells,
+    aal5_efficiency,
+    aal5_padding,
+    aal5_wire_bytes,
+)
+
+
+def test_cell_geometry():
+    assert ATM_CELL_BYTES == 53
+    assert ATM_PAYLOAD_BYTES == 48
+
+
+def test_single_cell_for_tiny_payload():
+    # 40 payload + 8 trailer = 48: exactly one cell.
+    assert aal5_cells(40) == 1
+
+
+def test_trailer_forces_second_cell():
+    # 41 + 8 = 49 > 48: two cells.
+    assert aal5_cells(41) == 2
+
+
+def test_zero_payload_still_one_cell():
+    assert aal5_cells(0) == 1
+
+
+def test_negative_payload_rejected():
+    with pytest.raises(ValueError):
+        aal5_cells(-1)
+
+
+def test_wire_bytes_9180_mtu_datagram():
+    # Classical IP default MTU + LLC/SNAP: 9180+8=9188; +8 trailer = 9196;
+    # ceil(9196/48) = 192 cells.
+    assert aal5_cells(9188) == 192
+    assert aal5_wire_bytes(9188) == 192 * 53
+
+
+def test_large_payload_efficiency_near_48_53():
+    eff = aal5_efficiency(65536)
+    assert 0.89 < eff < 48 / 53 + 0.001
+
+
+def test_small_payload_efficiency_poor():
+    assert aal5_efficiency(40) == pytest.approx(40 / 53)
+
+
+@given(payload=st.integers(min_value=0, max_value=200_000))
+def test_aal5_invariants_property(payload):
+    """PDU fits exactly: payload + pad + trailer == cells * 48."""
+    cells = aal5_cells(payload)
+    pad = aal5_padding(payload)
+    assert 0 <= pad < ATM_PAYLOAD_BYTES
+    assert payload + pad + AAL5_TRAILER_BYTES == cells * ATM_PAYLOAD_BYTES
+    assert aal5_wire_bytes(payload) == cells * ATM_CELL_BYTES
+
+
+@given(payload=st.integers(min_value=1, max_value=100_000))
+def test_efficiency_bounded_property(payload):
+    eff = aal5_efficiency(payload)
+    assert 0.0 < eff <= 48 / 53
+
+
+def test_frame_segmentation_cell_count_and_flags():
+    frame = AAL5Frame(payload_bytes=1000, pdu_id=7)
+    cells = list(frame.segment())
+    assert len(cells) == frame.n_cells == aal5_cells(1000)
+    assert all(not c.last for c in cells[:-1])
+    assert cells[-1].last
+    assert [c.seq for c in cells] == list(range(len(cells)))
+    assert all(c.pdu_id == 7 for c in cells)
+
+
+def test_reassembly_roundtrip():
+    rx = AAL5Reassembler()
+    for pdu in range(3):
+        frame = AAL5Frame(payload_bytes=500, pdu_id=pdu)
+        done = None
+        for cell in frame.segment():
+            done = rx.push(cell)
+        assert done == pdu
+    assert rx.completed == [0, 1, 2]
+    assert rx.errors == 0
+
+
+def test_reassembly_detects_lost_cell():
+    rx = AAL5Reassembler()
+    frame = AAL5Frame(payload_bytes=500, pdu_id=1)
+    cells = list(frame.segment())
+    assert len(cells) > 2
+    for cell in cells[:3] + cells[4:]:  # drop cell #3
+        rx.push(cell)
+    assert rx.errors >= 1
+    assert 1 not in rx.completed
+
+
+def test_reassembly_interleaved_vcs_independent():
+    rx = AAL5Reassembler()
+    f1 = AAL5Frame(payload_bytes=200, vci=32, pdu_id=1)
+    f2 = AAL5Frame(payload_bytes=200, vci=33, pdu_id=2)
+    c1, c2 = list(f1.segment()), list(f2.segment())
+    # interleave the two VCs cell by cell
+    for a, b in zip(c1, c2):
+        rx.push(a)
+        rx.push(b)
+    assert sorted(rx.completed) == [1, 2]
+    assert rx.errors == 0
+
+
+@given(payloads=st.lists(st.integers(1, 5000), min_size=1, max_size=10))
+def test_reassembly_lossless_sequence_property(payloads):
+    """Property: without loss, every PDU on one VC reassembles, in order."""
+    rx = AAL5Reassembler()
+    for i, p in enumerate(payloads):
+        for cell in AAL5Frame(payload_bytes=p, pdu_id=i).segment():
+            rx.push(cell)
+    assert rx.completed == list(range(len(payloads)))
+    assert rx.errors == 0

@@ -1,0 +1,58 @@
+"""Tests of concurrent traffic sharing the testbed: fairness at a
+bottleneck and non-interference on disjoint paths."""
+
+import pytest
+
+from repro.netsim import BulkTransfer, ClassicalIP, build_testbed
+from repro.netsim.ip import TESTBED_MTU
+from repro.sim import Environment
+
+IP64K = ClassicalIP(TESTBED_MTU)
+MB = 2**20
+
+
+class TestSharedBottleneck:
+    def test_two_flows_into_one_host_share_its_bus(self):
+        """Two senders into the SP2: the microchannel serializes them, so
+        each gets roughly half of the ~265 Mbit/s single-flow rate."""
+        tb = build_testbed()
+        a = BulkTransfer(tb.net, "t3e-600", "sp2", 20 * MB, ip=IP64K)
+        b = BulkTransfer(tb.net, "t3e-1200", "sp2", 20 * MB, ip=IP64K)
+        tb.env.run(until=tb.env.all_of([a.done, b.done]))
+        for flow in (a, b):
+            assert 100e6 < flow.throughput < 200e6
+
+    def test_aggregate_preserved_at_bottleneck(self):
+        tb = build_testbed()
+        a = BulkTransfer(tb.net, "t3e-600", "sp2", 20 * MB, ip=IP64K)
+        b = BulkTransfer(tb.net, "t3e-1200", "sp2", 20 * MB, ip=IP64K)
+        tb.env.run(until=tb.env.all_of([a.done, b.done]))
+        total_bytes = 40 * MB
+        elapsed = max(a.end_time, b.end_time) - min(a.start_time, b.start_time)
+        aggregate = total_bytes * 8 / elapsed
+        # Aggregate approaches the single-flow bottleneck rate.
+        assert 230e6 < aggregate < 290e6
+
+    def test_disjoint_paths_do_not_interfere(self):
+        """A local Jülich transfer and a GMD-side transfer never share a
+        link: both run at their solo rates."""
+        tb = build_testbed()
+        solo = BulkTransfer(
+            tb.net, "t3e-600", "t3e-1200", 20 * MB, ip=IP64K
+        ).run()
+
+        tb2 = build_testbed()
+        local = BulkTransfer(tb2.net, "t3e-600", "t3e-1200", 20 * MB, ip=IP64K)
+        remote = BulkTransfer(tb2.net, "onyx2-gmd", "e500-gmd", 20 * MB, ip=IP64K)
+        tb2.env.run(until=tb2.env.all_of([local.done, remote.done]))
+        assert local.throughput == pytest.approx(solo, rel=0.02)
+
+    def test_wan_capacity_absorbs_parallel_site_pairs(self):
+        """OC-48 has room: two simultaneous cross-WAN flows between
+        different host pairs both beat 200 Mbit/s."""
+        tb = build_testbed()
+        a = BulkTransfer(tb.net, "onyx2-juelich", "onyx2-gmd", 20 * MB, ip=IP64K)
+        b = BulkTransfer(tb.net, "t3e-600", "e500-gmd", 20 * MB, ip=IP64K)
+        tb.env.run(until=tb.env.all_of([a.done, b.done]))
+        assert a.throughput > 200e6
+        assert b.throughput > 200e6

@@ -1,0 +1,139 @@
+"""Tests for SDH levels, classical IP accounting, and HiPPI framing."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.netsim.hippi import (
+    HIPPI_BURST_BYTES,
+    HIPPI_RATE,
+    HippiChannel,
+    hippi_efficiency,
+    hippi_wire_bytes,
+    raw_block_throughput,
+)
+from repro.netsim.ip import (
+    ClassicalIP,
+    DEFAULT_ATM_MTU,
+    ETHERNET_MTU,
+    IP_HEADER,
+    TCP_HEADER,
+    TESTBED_MTU,
+)
+from repro.netsim.sdh import SDH_LEVELS, STM1, STM4, STM16, atm_cell_rate, level_for
+
+
+class TestSdh:
+    def test_standard_line_rates(self):
+        assert STM1.line_mbit == 155.52
+        assert STM4.line_mbit == 622.08
+        assert STM16.line_mbit == 2488.32
+
+    def test_payload_below_line(self):
+        for lvl in (STM1, STM4, STM16):
+            assert lvl.payload_mbit < lvl.line_mbit
+            assert 0.02 < lvl.overhead_fraction < 0.05
+
+    def test_lookup_by_both_names(self):
+        assert level_for("STM-4") is STM4
+        assert level_for("OC-12") is STM4
+        assert level_for("OC-48") is STM16
+
+    def test_unknown_level(self):
+        with pytest.raises(KeyError):
+            level_for("OC-192000")
+
+    def test_oc48_is_the_2_4_gbit_link(self):
+        assert STM16.line_rate == pytest.approx(2.48832e9)
+
+    def test_cell_rate(self):
+        # OC-12 payload 599.04 Mbit/s over 424-bit cells ≈ 1.41 Mcell/s
+        assert atm_cell_rate(STM4) == pytest.approx(599.04e6 / 424)
+
+
+class TestClassicalIP:
+    def test_testbed_mtu_is_64k(self):
+        assert TESTBED_MTU == 65536
+
+    def test_mss_excludes_headers(self):
+        ip = ClassicalIP(DEFAULT_ATM_MTU)
+        assert ip.max_segment == 9180 - 40
+
+    def test_segments_exact_split(self):
+        ip = ClassicalIP(1040)  # MSS 1000
+        assert ip.segments(2500) == [1000, 1000, 500]
+
+    def test_segments_empty_transfer(self):
+        assert ClassicalIP().segments(0) == []
+
+    def test_segments_negative_rejected(self):
+        with pytest.raises(ValueError):
+            ClassicalIP().segments(-5)
+
+    def test_mtu_too_small_rejected(self):
+        with pytest.raises(ValueError):
+            ClassicalIP(40)
+
+    def test_mtu_over_ipv4_limit_rejected(self):
+        with pytest.raises(ValueError):
+            ClassicalIP(65537)
+
+    def test_goodput_fraction_ordering(self):
+        """Bigger MTU -> better protocol efficiency."""
+        f1500 = ClassicalIP(ETHERNET_MTU).goodput_fraction()
+        f9180 = ClassicalIP(DEFAULT_ATM_MTU).goodput_fraction()
+        f64k = ClassicalIP(TESTBED_MTU).goodput_fraction()
+        assert f1500 < f9180 < f64k < 48 / 53
+
+    def test_64k_goodput_fraction_value(self):
+        # 65496 payload / (1366 cells * 53 = 72398 wire) ≈ 0.9047
+        assert ClassicalIP(TESTBED_MTU).goodput_fraction() == pytest.approx(
+            0.9047, abs=2e-3
+        )
+
+    @given(nbytes=st.integers(1, 10_000_000), mtu=st.sampled_from(
+        [ETHERNET_MTU, DEFAULT_ATM_MTU, TESTBED_MTU]))
+    def test_segments_conserve_bytes_property(self, nbytes, mtu):
+        ip = ClassicalIP(mtu)
+        segs = ip.segments(nbytes)
+        assert sum(segs) == nbytes
+        assert all(0 < s <= ip.max_segment for s in segs)
+        # All but the last are full-size.
+        assert all(s == ip.max_segment for s in segs[:-1])
+
+    def test_ack_wire_bytes_is_two_cells(self):
+        # 40 + 8 LLC/SNAP + 8 trailer = 56 > 48: two cells.
+        assert ClassicalIP().ack_wire_bytes() == 2 * 53
+
+
+class TestHippi:
+    def test_rate_is_800_mbit(self):
+        assert HIPPI_RATE == 800e6
+
+    def test_wire_rounds_to_bursts(self):
+        assert hippi_wire_bytes(1) == HIPPI_BURST_BYTES
+        assert hippi_wire_bytes(HIPPI_BURST_BYTES) == 2 * HIPPI_BURST_BYTES
+
+    def test_negative_rejected(self):
+        with pytest.raises(ValueError):
+            hippi_wire_bytes(-1)
+
+    def test_large_block_efficiency_near_one(self):
+        assert hippi_efficiency(1024 * 1024) > 0.99
+
+    def test_zero_payload_efficiency(self):
+        assert hippi_efficiency(0) == 0.0
+
+    def test_peak_throughput_with_1mbyte_blocks(self):
+        """Paper: 'peak performance of 800 Mbit/s when a low-level protocol
+        and large transfer blocks (1 MByte or more) are used'."""
+        rate = raw_block_throughput(1024 * 1024)
+        assert 790e6 < rate < 800e6
+
+    def test_small_blocks_fall_well_below_peak(self):
+        assert raw_block_throughput(4096) < 0.75 * HIPPI_RATE
+
+    def test_channel_serialization_delay(self):
+        ch = HippiChannel("test")
+        one_mb = 1024 * 1024
+        t = ch.serialization_delay(one_mb)
+        assert t == pytest.approx(hippi_wire_bytes(one_mb) * 8 / 800e6)

@@ -1,0 +1,120 @@
+"""Tests for ATM QoS (CBR VC admission) and the Section-5 extended
+testbed topology."""
+
+import pytest
+
+from repro.netsim import build_testbed
+from repro.netsim.extensions import ExtendedTestbed, build_extended_testbed
+from repro.netsim.flows import PingFlow
+from repro.netsim.qos import AdmissionError, QosManager
+from repro.netsim.sdh import STM4
+from repro.util.units import MBIT
+
+
+class TestQos:
+    def test_reserve_and_release(self):
+        tb = build_testbed()
+        qos = QosManager(tb.net)
+        vc = qos.reserve("onyx2-gmd", "onyx2-juelich", 270 * MBIT)
+        assert vc.rate == 270e6
+        assert vc.path[0] == "onyx2-gmd" and vc.path[-1] == "onyx2-juelich"
+        qos.release(vc)
+        assert qos.reservations == {}
+
+    def test_admission_rejects_oversubscription(self):
+        tb = build_testbed()
+        qos = QosManager(tb.net)
+        qos.reserve("onyx2-gmd", "onyx2-juelich", 300 * MBIT)
+        with pytest.raises(AdmissionError):
+            qos.reserve("onyx2-gmd", "onyx2-juelich", 300 * MBIT)
+
+    def test_direction_independence(self):
+        """Full-duplex links: reservations in opposite directions do not
+        compete."""
+        tb = build_testbed()
+        qos = QosManager(tb.net)
+        qos.reserve("onyx2-gmd", "onyx2-juelich", 500 * MBIT)
+        # Reverse direction still has full capacity.
+        qos.reserve("onyx2-juelich", "onyx2-gmd", 500 * MBIT)
+
+    def test_headroom_enforced(self):
+        tb = build_testbed()
+        qos = QosManager(tb.net, headroom=0.5)
+        link = tb.net.nodes["onyx2-gmd"].link_to("sw-juelich") if False else None
+        avail = qos.path_available("onyx2-gmd", "onyx2-juelich")
+        assert avail <= 0.5 * STM4.payload_rate
+
+    def test_release_restores_capacity(self):
+        tb = build_testbed()
+        qos = QosManager(tb.net)
+        before = qos.path_available("onyx2-gmd", "onyx2-juelich")
+        vc = qos.reserve("onyx2-gmd", "onyx2-juelich", 100 * MBIT)
+        assert qos.path_available("onyx2-gmd", "onyx2-juelich") == pytest.approx(
+            before - 100e6
+        )
+        qos.release(vc)
+        assert qos.path_available("onyx2-gmd", "onyx2-juelich") == pytest.approx(
+            before
+        )
+
+    def test_shared_backbone_accounting(self):
+        """Two VCs between different host pairs share the WAN link."""
+        tb = build_testbed()
+        qos = QosManager(tb.net)
+        qos.reserve("onyx2-juelich", "onyx2-gmd", 400 * MBIT)
+        qos.reserve("frontend", "e500-gmd", 100 * MBIT)
+        assert qos.reserved_on("wan-oc48", "sw-juelich") == pytest.approx(500e6)
+
+    def test_invalid_inputs(self):
+        tb = build_testbed()
+        with pytest.raises(ValueError):
+            QosManager(tb.net, headroom=1.5)
+        qos = QosManager(tb.net)
+        with pytest.raises(ValueError):
+            qos.reserve("onyx2-gmd", "onyx2-juelich", 0.0)
+        with pytest.raises(KeyError):
+            qos.release(
+                type("FakeVc", (), {"vc_id": 999})()
+            )
+
+
+class TestExtendedTestbed:
+    @pytest.fixture(scope="class")
+    def ext(self):
+        return build_extended_testbed()
+
+    def test_new_sites_present(self, ext):
+        for host in ("dlr", "uni-cologne", "uni-bonn", "media-arts-cologne"):
+            assert host in ext.net.nodes
+
+    def test_base_topology_intact(self, ext):
+        assert "t3e-600" in ext.net.nodes
+        assert ext.net.shortest_path("t3e-600", "sp2")
+
+    def test_cologne_sites_behind_dark_fibre(self, ext):
+        path = ext.net.shortest_path("uni-cologne", "e500-gmd")
+        assert "sw-cologne" in path
+        assert "sw-gmd" in path
+
+    def test_bonn_link_is_622(self, ext):
+        link = ext.net.nodes["uni-bonn"].link_to("sw-gmd")
+        assert link.rate == pytest.approx(STM4.payload_rate)
+
+    def test_new_sites_reach_juelich(self, ext):
+        rtt = PingFlow(ext.net, "uni-bonn", "t3e-600", count=3).run()
+        assert 0 < rtt < 0.05
+
+    def test_dark_fibre_carries_two_d1_feeds(self, ext):
+        """The TV-production feasibility: two D1 cameras from Cologne to
+        the GMD fit; a third overruns the compositor's 622 attachment."""
+        qos = QosManager(ext.net)
+        qos.reserve("uni-cologne", "e500-gmd", 270 * MBIT)
+        qos.reserve("dlr", "e500-gmd", 270 * MBIT)
+        with pytest.raises(AdmissionError):
+            qos.reserve("media-arts-cologne", "e500-gmd", 270 * MBIT)
+
+    def test_oc12_variant(self):
+        ext = build_extended_testbed(oc48=False)
+        # backbone and dark fibre at OC-12 payload rates
+        wan = ext.net.nodes["sw-juelich"].link_to("sw-gmd")
+        assert wan.rate == pytest.approx(STM4.payload_rate)

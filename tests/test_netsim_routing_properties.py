@@ -1,0 +1,122 @@
+"""Property tests validating the network's routing against networkx on
+random topologies, plus conservation properties of the DES."""
+
+import networkx as nx
+import numpy as np
+import pytest
+from hypothesis import HealthCheck, given, settings, strategies as st
+
+from repro.netsim.core import Host, Network, PlainFraming
+from repro.netsim.flows import BulkTransfer
+from repro.netsim.ip import ClassicalIP
+from repro.sim import Environment
+
+SLOW = settings(
+    max_examples=20, deadline=None,
+    suppress_health_check=[HealthCheck.too_slow],
+)
+
+
+def random_connected_graph(n_nodes: int, extra_edges: int, seed: int) -> nx.Graph:
+    """A random connected graph: spanning tree + extra random edges."""
+    rng = np.random.default_rng(seed)
+    g = nx.Graph()
+    g.add_nodes_from(range(n_nodes))
+    order = rng.permutation(n_nodes)
+    for i in range(1, n_nodes):
+        g.add_edge(int(order[i]), int(order[rng.integers(0, i)]))
+    for _ in range(extra_edges):
+        a, b = rng.integers(0, n_nodes, size=2)
+        if a != b:
+            g.add_edge(int(a), int(b))
+    return g
+
+
+def build_network(g: nx.Graph) -> Network:
+    env = Environment()
+    net = Network(env)
+    for node in g.nodes:
+        net.add(Host(env, f"h{node}"))
+    for a, b in g.edges:
+        net.link(f"h{a}", f"h{b}", rate=1e9, framing=PlainFraming(0))
+    return net
+
+
+class TestRoutingAgainstNetworkx:
+    @given(
+        n=st.integers(3, 20),
+        extra=st.integers(0, 15),
+        seed=st.integers(0, 500),
+    )
+    @SLOW
+    def test_shortest_path_lengths_match_property(self, n, extra, seed):
+        """Property: our BFS path length equals networkx's on any
+        connected graph, for a random source/target pair."""
+        g = random_connected_graph(n, extra, seed)
+        net = build_network(g)
+        rng = np.random.default_rng(seed + 1)
+        src, dst = rng.choice(n, size=2, replace=False)
+        ours = net.shortest_path(f"h{src}", f"h{dst}")
+        theirs = nx.shortest_path_length(g, int(src), int(dst))
+        assert len(ours) - 1 == theirs
+
+    @given(n=st.integers(3, 15), seed=st.integers(0, 200))
+    @SLOW
+    def test_next_hop_consistency_property(self, n, seed):
+        """Property: following next_hop() step by step reaches the
+        destination in exactly the shortest-path length."""
+        g = random_connected_graph(n, 5, seed)
+        net = build_network(g)
+        src, dst = "h0", f"h{n - 1}"
+        expected = len(net.shortest_path(src, dst)) - 1
+        cur = src
+        hops = 0
+        while cur != dst:
+            cur = net.next_hop(cur, dst)
+            hops += 1
+            assert hops <= n  # no loops
+        assert hops == expected
+
+    def test_route_cache_consistent_after_new_links(self):
+        env = Environment()
+        net = Network(env)
+        for name in ("a", "b", "c"):
+            net.add(Host(env, name))
+        net.link("a", "b", 1e9)
+        net.link("b", "c", 1e9)
+        assert net.next_hop("a", "c") == "b"
+        net.link("a", "c", 1e9)  # direct shortcut invalidates the cache
+        assert net.next_hop("a", "c") == "c"
+
+
+class TestConservation:
+    @given(
+        nbytes=st.integers(1, 500_000),
+        mtu=st.sampled_from([1500, 9180, 65536]),
+    )
+    @SLOW
+    def test_transfer_byte_conservation_property(self, nbytes, mtu):
+        """Property: every application byte sent is received, once."""
+        env = Environment()
+        net = Network(env)
+        net.add(Host(env, "a"))
+        net.add(Host(env, "b"))
+        net.link("a", "b", rate=1e9, framing=PlainFraming(0))
+        bt = BulkTransfer(net, "a", "b", nbytes, ip=ClassicalIP(mtu))
+        bt.run()
+        assert bt._received == nbytes
+        assert bt._acked == nbytes
+
+    @given(nbytes=st.integers(1000, 200_000))
+    @SLOW
+    def test_wire_bytes_at_least_ip_bytes_property(self, nbytes):
+        env = Environment()
+        net = Network(env)
+        net.add(Host(env, "a"))
+        net.add(Host(env, "b"))
+        link = net.link("a", "b", rate=1e9, framing=PlainFraming(10))
+        ip = ClassicalIP(9180)
+        BulkTransfer(net, "a", "b", nbytes, ip=ip).run()
+        segments = ip.segments(nbytes)
+        min_wire = sum(ip.datagram_bytes(s) for s in segments)
+        assert link.tx_bytes["a"] >= min_wire

@@ -1,0 +1,122 @@
+"""Tests that the Figure-1 testbed reproduces the paper's Section-2
+measurements (experiment E2)."""
+
+import pytest
+
+from repro.netsim import BulkTransfer, ClassicalIP, PingFlow, build_testbed
+from repro.netsim.hippi import raw_block_throughput
+from repro.netsim.ip import DEFAULT_ATM_MTU, ETHERNET_MTU, TESTBED_MTU
+from repro.netsim.tcp import characterize_path, tcp_steady_throughput
+
+IP64K = ClassicalIP(TESTBED_MTU)
+
+
+@pytest.fixture()
+def tb():
+    return build_testbed()
+
+
+def test_topology_has_all_figure1_nodes(tb):
+    expected = {
+        "t3e-600", "t3e-1200", "t90", "gw-o200", "gw-ultra30",
+        "sw-juelich", "sw-gmd", "gw-e5000", "sp2", "onyx2-gmd",
+        "e500-gmd", "onyx2-juelich", "frontend", "hippi-sw-juelich",
+    }
+    assert expected <= set(tb.net.nodes)
+
+
+def test_wan_path_goes_through_both_switches_and_gateways(tb):
+    path = tb.net.shortest_path("t3e-600", "sp2")
+    assert path[0] == "t3e-600" and path[-1] == "sp2"
+    for required in ("sw-juelich", "sw-gmd", "gw-e5000"):
+        assert required in path
+
+
+def test_local_cray_tcp_over_430_mbit(tb):
+    """Paper: 'transfer rates of more than 430 Mbit/s are achieved within
+    the local Cray complex in Jülich when an MTU of 64 KByte is used'."""
+    bt = BulkTransfer(tb.net, "t3e-600", "t3e-1200", 40 * 1024 * 1024, ip=IP64K)
+    rate = bt.run()
+    assert 430e6 < rate < 470e6
+
+
+def test_wan_t3e_sp2_over_260_mbit(tb):
+    """Paper: 'a throughput of more than 260 Mbit/s between the Cray T3E in
+    Jülich and the IBM SP2 in Sankt Augustin'."""
+    bt = BulkTransfer(tb.net, "t3e-600", "sp2", 40 * 1024 * 1024, ip=IP64K)
+    rate = bt.run()
+    assert 260e6 < rate < 300e6
+
+
+def test_sp2_bottleneck_is_its_io_system(tb):
+    """Paper: the WAN limit is 'mainly due to the limitations of the
+    I/O-system of the microchannel-based SP-nodes'."""
+    char = characterize_path(tb.net, "t3e-600", "sp2", IP64K)
+    assert char.bottleneck_stage == "sp2.iobus"
+
+
+def test_hippi_peak_800_mbit_with_large_blocks():
+    rate = raw_block_throughput(1024 * 1024)
+    assert 0.98 * 800e6 < rate <= 800e6
+
+
+def test_622_workstation_path_protocol_ceiling(tb):
+    """Onyx2↔Onyx2 over 622 ATM: wire-limited near 599.04 * 48/53 * tcp
+    overhead ≈ 540 Mbit/s."""
+    rate = tcp_steady_throughput(tb.net, "onyx2-gmd", "onyx2-juelich", IP64K)
+    assert 500e6 < rate < 560e6
+
+
+def test_oc48_backbone_not_the_bottleneck(tb):
+    char = characterize_path(tb.net, "t3e-600", "sp2", IP64K)
+    wan_stage = [v for k, v in char.stages.items() if k.startswith("wan-")]
+    assert wan_stage and wan_stage[0] < char.per_packet_time
+
+
+def test_oc12_era_backbone_becomes_tighter():
+    """First-year OC-12 backbone: the WAN wire is ~4x slower than OC-48."""
+    tb48 = build_testbed(oc48=True)
+    tb12 = build_testbed(oc48=False)
+    c48 = characterize_path(tb48.net, "t3e-600", "sp2", IP64K)
+    c12 = characterize_path(tb12.net, "t3e-600", "sp2", IP64K)
+    w48 = [v for k, v in c48.stages.items() if k.startswith("wan-")][0]
+    w12 = [v for k, v in c12.stages.items() if k.startswith("wan-")][0]
+    assert w12 == pytest.approx(4 * w48, rel=0.01)
+
+
+def test_wan_rtt_dominated_by_distance(tb):
+    """100 km of fibre gives ≥1 ms round trip before protocol costs."""
+    rtt = PingFlow(tb.net, "frontend", "onyx2-gmd", count=4).run()
+    assert rtt > 1e-3
+    assert rtt < 10e-3
+
+
+def test_small_mtu_collapses_throughput(tb):
+    """The testbed's raison d'être for 64 KByte MTUs: per-packet host cost
+    dominates at small MTU."""
+    r64k = tcp_steady_throughput(tb.net, "t3e-600", "t3e-1200", IP64K)
+    r1500 = tcp_steady_throughput(
+        tb.net, "t3e-600", "t3e-1200", ClassicalIP(ETHERNET_MTU)
+    )
+    assert r1500 < r64k / 20
+
+
+def test_mtu_ordering_monotone(tb):
+    rates = [
+        tcp_steady_throughput(tb.net, "t3e-600", "t3e-1200", ClassicalIP(m))
+        for m in (ETHERNET_MTU, DEFAULT_ATM_MTU, TESTBED_MTU)
+    ]
+    assert rates == sorted(rates)
+
+
+def test_all_hosts_reach_all_hosts(tb):
+    hosts = tb.all_hosts
+    for src in hosts:
+        for dst in hosts:
+            if src != dst:
+                assert tb.net.shortest_path(src, dst)
+
+
+def test_frontend_attached_at_155(tb):
+    link = tb.net.nodes["frontend"].link_to("sw-juelich")
+    assert link.rate == pytest.approx(149.76e6)

@@ -1,0 +1,208 @@
+"""Tests for the VAMPIR-like tracer: events, timelines, statistics,
+rendering, and trace files."""
+
+import numpy as np
+import pytest
+
+from repro.machines import CRAY_T3E_600, IBM_SP2
+from repro.metampi import MetaMPI
+from repro.trace import (
+    EventKind,
+    Timeline,
+    TraceEvent,
+    Tracer,
+    message_matrix,
+    profile_regions,
+    read_trace,
+    render_timeline,
+    write_trace,
+)
+from repro.trace.render import render_legend
+from repro.trace.stats import region_totals
+
+
+def traced_run(fn, layout=((CRAY_T3E_600, 2), (IBM_SP2, 1))):
+    tracer = Tracer()
+    mc = MetaMPI(tracer=tracer, wallclock_timeout=20)
+    for spec, n in layout:
+        mc.add_machine(spec, ranks=n)
+    mc.run(fn, args=(tracer,))
+    return tracer
+
+
+def sample_program(comm, tracer):
+    with tracer.region(comm, "compute"):
+        comm.advance(0.2 * (comm.rank + 1))
+    if comm.rank == 0:
+        comm.send(np.zeros(500), 1, tag=1)
+    elif comm.rank == 1:
+        comm.recv(source=0, tag=1)
+    comm.barrier()
+
+
+class TestTracer:
+    def test_events_recorded(self):
+        tracer = traced_run(sample_program)
+        kinds = {e.kind for e in tracer.events}
+        assert EventKind.ENTER in kinds
+        assert EventKind.LEAVE in kinds
+        assert EventKind.SEND in kinds
+        assert EventKind.RECV in kinds
+        assert EventKind.COMPUTE in kinds
+        assert EventKind.FINISH in kinds
+
+    def test_region_intervals_reflect_advance(self):
+        tracer = traced_run(sample_program)
+        tl = tracer.timeline()
+        intervals = tl.region_intervals(0)
+        assert len(intervals) == 1
+        region, t0, t1 = intervals[0]
+        assert region == "compute"
+        assert t1 - t0 == pytest.approx(0.2)
+
+    def test_send_recv_pairing(self):
+        tracer = traced_run(sample_program)
+        tl = tracer.timeline()
+        msgs = [(s, d) for s, d, _, _ in tl.messages()]
+        assert (0, 1) in msgs
+
+    def test_clear(self):
+        tracer = traced_run(sample_program)
+        tracer.clear()
+        assert tracer.events == []
+
+    def test_finish_event_per_rank(self):
+        tracer = traced_run(sample_program)
+        finishes = tracer.timeline().of_kind(EventKind.FINISH)
+        assert {e.rank for e in finishes} == {0, 1, 2}
+
+
+class TestTimeline:
+    def mk(self):
+        return Timeline(
+            [
+                TraceEvent(rank=0, time=0.0, kind=EventKind.ENTER, region="a"),
+                TraceEvent(rank=0, time=1.0, kind=EventKind.LEAVE, region="a"),
+                TraceEvent(rank=1, time=0.5, kind=EventKind.ENTER, region="b"),
+                TraceEvent(rank=1, time=2.0, kind=EventKind.LEAVE, region="b"),
+                TraceEvent(
+                    rank=1, time=2.5, kind=EventKind.RECV, peer=0, nbytes=100
+                ),
+            ]
+        )
+
+    def test_ordering_and_span(self):
+        tl = self.mk()
+        assert tl.start == 0.0
+        assert tl.end == 2.5
+        assert tl.span == 2.5
+        assert tl.ranks == [0, 1]
+
+    def test_empty_timeline(self):
+        tl = Timeline([])
+        assert tl.start == 0.0 and tl.end == 0.0
+        assert tl.ranks == []
+
+    def test_nested_regions(self):
+        tl = Timeline(
+            [
+                TraceEvent(rank=0, time=0.0, kind=EventKind.ENTER, region="outer"),
+                TraceEvent(rank=0, time=1.0, kind=EventKind.ENTER, region="inner"),
+                TraceEvent(rank=0, time=2.0, kind=EventKind.LEAVE, region="inner"),
+                TraceEvent(rank=0, time=3.0, kind=EventKind.LEAVE, region="outer"),
+            ]
+        )
+        intervals = tl.region_intervals(0)
+        assert ("outer", 0.0, 3.0) in intervals
+        assert ("inner", 1.0, 2.0) in intervals
+
+    def test_merge(self):
+        tl1 = self.mk()
+        tl2 = Timeline(
+            [TraceEvent(rank=2, time=5.0, kind=EventKind.ENTER, region="c")]
+        )
+        merged = tl1.merge(tl2)
+        assert merged.ranks == [0, 1, 2]
+        assert merged.end == 5.0
+
+
+class TestStats:
+    def test_profile_regions(self):
+        tracer = traced_run(sample_program)
+        profs = profile_regions(tracer.timeline())
+        assert profs[("compute", 0)].total_time == pytest.approx(0.2)
+        assert profs[("compute", 2)].total_time == pytest.approx(0.6)
+        assert profs[("compute", 1)].calls == 1
+        assert profs[("compute", 1)].mean_time == pytest.approx(0.4)
+
+    def test_region_totals(self):
+        tracer = traced_run(sample_program)
+        totals = region_totals(tracer.timeline())
+        assert totals["compute"] == pytest.approx(0.2 + 0.4 + 0.6)
+
+    def test_message_matrix(self):
+        tracer = traced_run(sample_program)
+        mat = message_matrix(tracer.timeline())
+        assert mat.bytes[0, 1] >= 4000  # 500 float64
+        assert mat.counts[0, 1] >= 1
+        assert mat.total_bytes >= mat.bytes[0, 1]
+
+    def test_heaviest_pair(self):
+        tl = Timeline(
+            [
+                TraceEvent(rank=1, time=1.0, kind=EventKind.RECV, peer=0, nbytes=10),
+                TraceEvent(rank=2, time=1.0, kind=EventKind.RECV, peer=0, nbytes=99),
+            ]
+        )
+        assert message_matrix(tl).heaviest_pair() == (0, 2)
+
+
+class TestRender:
+    def test_render_contains_all_ranks(self):
+        tracer = traced_run(sample_program)
+        text = render_timeline(tracer.timeline(), width=40)
+        for r in (0, 1, 2):
+            assert f"rank {r}" in text
+
+    def test_render_marks_regions_and_messages(self):
+        tracer = traced_run(sample_program)
+        text = render_timeline(tracer.timeline(), width=40)
+        assert "c" in text  # 'compute' region bars
+        assert ">" in text and "<" in text
+
+    def test_render_empty(self):
+        assert render_timeline(Timeline([])) == "(empty trace)"
+
+    def test_legend(self):
+        tracer = traced_run(sample_program)
+        legend = render_legend(tracer.timeline())
+        assert "c = compute" in legend
+
+
+class TestIo:
+    def test_roundtrip(self, tmp_path):
+        tracer = traced_run(sample_program)
+        path = tmp_path / "run.jsonl"
+        n = write_trace(path, tracer.events)
+        assert n == len(tracer.events)
+        back = read_trace(path)
+        assert len(back.events) == n
+        assert back.ranks == tracer.timeline().ranks
+        assert back.end == pytest.approx(tracer.timeline().end)
+
+    def test_event_dict_roundtrip(self):
+        ev = TraceEvent(
+            rank=3, time=1.25, kind=EventKind.SEND, peer=1, tag=9, nbytes=512
+        )
+        assert TraceEvent.from_dict(ev.to_dict()) == ev
+
+    def test_merge_traces(self, tmp_path):
+        from repro.trace.io import merge_traces
+
+        t1 = [TraceEvent(rank=0, time=0.0, kind=EventKind.ENTER, region="x")]
+        t2 = [TraceEvent(rank=1, time=1.0, kind=EventKind.ENTER, region="y")]
+        p1, p2 = tmp_path / "a.jsonl", tmp_path / "b.jsonl"
+        write_trace(p1, t1)
+        write_trace(p2, t2)
+        merged = merge_traces(p1, p2)
+        assert merged.ranks == [0, 1]

@@ -1,0 +1,148 @@
+"""Tests for the trace performance-analysis module (the VAMPIR 'tuning'
+side)."""
+
+import numpy as np
+import pytest
+
+from repro.machines import CRAY_T3E_600, IBM_SP2
+from repro.metampi import MetaMPI
+from repro.trace import Tracer
+from repro.trace.analysis import (
+    load_imbalance,
+    summarize,
+    total_wait_by_rank,
+    traffic_profile,
+    utilization,
+    wait_times,
+)
+from repro.trace.events import EventKind, TraceEvent
+from repro.trace.timeline import Timeline
+
+
+def traced(fn, layout=((CRAY_T3E_600, 2),)):
+    tracer = Tracer()
+    mc = MetaMPI(tracer=tracer, wallclock_timeout=30)
+    for spec, n in layout:
+        mc.add_machine(spec, ranks=n)
+    mc.run(fn)
+    return tracer.timeline()
+
+
+class TestUtilization:
+    def test_busy_fraction(self):
+        def main(comm):
+            comm.advance(1.0)
+            comm.barrier()
+
+        tl = traced(main)
+        util = utilization(tl)
+        for rank in (0, 1):
+            assert util[rank].busy == pytest.approx(1.0)
+            assert 0.5 < util[rank].utilization <= 1.0
+
+    def test_imbalance_detected(self):
+        def main(comm):
+            comm.advance(1.0 if comm.rank == 0 else 0.2)
+            comm.barrier()
+
+        tl = traced(main)
+        assert load_imbalance(tl) > 1.5
+
+    def test_balanced_run(self):
+        def main(comm):
+            comm.advance(0.5)
+            comm.barrier()
+
+        tl = traced(main)
+        assert load_imbalance(tl) == pytest.approx(1.0, abs=0.01)
+
+
+class TestWaitTimes:
+    def test_late_sender_attributed(self):
+        """Rank 1 waits ~1 s for rank 0's late message."""
+        def main(comm):
+            if comm.rank == 0:
+                comm.advance(1.0)
+                comm.send("late", 1, tag=1)
+            else:
+                comm.recv(source=0, tag=1)
+
+        tl = traced(main)
+        waits = total_wait_by_rank(tl)
+        assert waits.get(1, 0.0) == pytest.approx(1.0, abs=0.05)
+        assert waits.get(0, 0.0) == pytest.approx(0.0, abs=0.01)
+
+    def test_no_wait_when_sender_early(self):
+        def main(comm):
+            if comm.rank == 0:
+                comm.send("early", 1, tag=1)
+            else:
+                comm.advance(1.0)
+                comm.recv(source=0, tag=1)
+
+        tl = traced(main)
+        recs = [w for w in wait_times(tl) if w.rank == 1]
+        assert all(w.wait < 0.01 for w in recs)
+
+    def test_wait_record_fields(self):
+        def main(comm):
+            if comm.rank == 0:
+                comm.advance(0.5)
+                comm.send(b"x", 1, tag=7)
+            else:
+                comm.recv(source=0, tag=7)
+
+        tl = traced(main)
+        rec = [w for w in wait_times(tl) if w.rank == 1][0]
+        assert rec.peer == 0
+        assert rec.tag == 7
+
+
+class TestTrafficProfile:
+    def test_volume_binned(self):
+        def main(comm):
+            if comm.rank == 0:
+                for _ in range(3):
+                    comm.advance(0.1)
+                    comm.Send(np.zeros(1000), 1)
+            else:
+                buf = np.empty(1000)
+                for _ in range(3):
+                    comm.Recv(buf, source=0)
+
+        tl = traced(main)
+        edges, volumes = traffic_profile(tl, n_bins=10)
+        assert len(edges) == 11
+        assert volumes.sum() >= 3 * 8000
+
+    def test_empty_profile(self):
+        edges, volumes = traffic_profile(Timeline([]), n_bins=5)
+        assert volumes.sum() == 0
+
+    def test_burstiness_visible(self):
+        """One big burst lands in few bins (the paper's 'short bursts')."""
+        def main(comm):
+            if comm.rank == 0:
+                comm.advance(1.0)
+                comm.Send(np.zeros(50_000), 1)
+            else:
+                buf = np.empty(50_000)
+                comm.Recv(buf, source=0)
+                comm.advance(1.0)
+
+        tl = traced(main)
+        _, volumes = traffic_profile(tl, n_bins=10)
+        assert (volumes > 0).sum() <= 2
+
+
+class TestSummary:
+    def test_summarize_text(self):
+        def main(comm):
+            comm.advance(0.3)
+            comm.barrier()
+
+        tl = traced(main, layout=((CRAY_T3E_600, 2), (IBM_SP2, 1)))
+        text = summarize(tl)
+        assert "rank" in text
+        assert "load imbalance" in text
+        assert text.count("\n") >= 4

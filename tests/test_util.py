@@ -1,0 +1,157 @@
+"""Tests for units, image writers, and running statistics."""
+
+import math
+
+import numpy as np
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.util import (
+    KBYTE,
+    MBYTE,
+    RunningStats,
+    pretty_rate,
+    pretty_size,
+    pretty_time,
+    write_pgm,
+    write_ppm,
+)
+from repro.util.images import read_pnm
+from repro.util.units import (
+    bits_to_bytes,
+    bytes_to_bits,
+    gbit_per_s,
+    mbit_per_s,
+    mbyte_per_s,
+    rate_in_mbit,
+    rate_in_mbyte,
+)
+
+
+class TestUnits:
+    def test_kbyte_is_binary(self):
+        assert KBYTE == 1024
+        assert MBYTE == 1024 * 1024
+
+    def test_bits_bytes_roundtrip(self):
+        assert bits_to_bytes(bytes_to_bits(123.0)) == 123.0
+
+    def test_mbit_per_s_decimal(self):
+        assert mbit_per_s(622.08) == 622.08e6
+
+    def test_gbit_per_s(self):
+        assert gbit_per_s(2.4) == 2.4e9
+
+    def test_mbyte_per_s_binary(self):
+        assert mbyte_per_s(30) == 30 * 1024 * 1024 * 8
+
+    def test_rate_roundtrips(self):
+        assert rate_in_mbit(mbit_per_s(155.52)) == pytest.approx(155.52)
+        assert rate_in_mbyte(mbyte_per_s(30.0)) == pytest.approx(30.0)
+
+    def test_pretty_rate(self):
+        assert pretty_rate(622.08e6) == "622.08 Mbit/s"
+        assert pretty_rate(2.4e9) == "2.40 Gbit/s"
+        assert pretty_rate(9600) == "9.60 kbit/s"
+        assert pretty_rate(100) == "100 bit/s"
+
+    def test_pretty_size(self):
+        assert pretty_size(64 * KBYTE) == "64.0 KByte"
+        assert pretty_size(30 * MBYTE) == "30.00 MByte"
+        assert pretty_size(100) == "100 Byte"
+
+    def test_pretty_time(self):
+        assert pretty_time(1.1) == "1.10 s"
+        assert pretty_time(0.0021) == "2.10 ms"
+        assert pretty_time(5e-6) == "5 µs"
+        assert pretty_time(5e-9) == "5 ns"
+
+
+class TestImages:
+    def test_pgm_roundtrip(self, tmp_path):
+        img = (np.arange(12, dtype=np.uint8) * 20).reshape(3, 4)
+        path = tmp_path / "t.pgm"
+        write_pgm(path, img)
+        back = read_pnm(path)
+        np.testing.assert_array_equal(back, img)
+
+    def test_ppm_roundtrip(self, tmp_path):
+        rng = np.random.default_rng(0)
+        img = rng.integers(0, 255, size=(5, 7, 3), dtype=np.uint8)
+        path = tmp_path / "t.ppm"
+        write_ppm(path, img)
+        back = read_pnm(path)
+        np.testing.assert_array_equal(back, img)
+
+    def test_float_images_scaled_from_unit_interval(self, tmp_path):
+        img = np.array([[0.0, 0.5, 1.0]])
+        path = tmp_path / "f.pgm"
+        write_pgm(path, img)
+        back = read_pnm(path)
+        np.testing.assert_array_equal(back, [[0, 127, 255]])
+
+    def test_float_values_clipped(self, tmp_path):
+        img = np.array([[-1.0, 2.0]])
+        path = tmp_path / "c.pgm"
+        write_pgm(path, img)
+        back = read_pnm(path)
+        np.testing.assert_array_equal(back, [[0, 255]])
+
+    def test_pgm_rejects_3d(self, tmp_path):
+        with pytest.raises(ValueError):
+            write_pgm(tmp_path / "x.pgm", np.zeros((2, 2, 3)))
+
+    def test_ppm_rejects_2d(self, tmp_path):
+        with pytest.raises(ValueError):
+            write_ppm(tmp_path / "x.ppm", np.zeros((2, 2)))
+
+
+class TestRunningStats:
+    def test_empty(self):
+        s = RunningStats()
+        assert s.n == 0
+        assert s.mean == 0.0
+        assert s.variance == 0.0
+
+    def test_single_sample(self):
+        s = RunningStats()
+        s.add(5.0)
+        assert s.mean == 5.0
+        assert s.stddev == 0.0
+        assert s.min == s.max == 5.0
+
+    def test_matches_numpy(self):
+        rng = np.random.default_rng(1)
+        xs = rng.normal(10, 3, size=500)
+        s = RunningStats()
+        for x in xs:
+            s.add(float(x))
+        assert s.mean == pytest.approx(np.mean(xs))
+        assert s.variance == pytest.approx(np.var(xs, ddof=1))
+        assert s.min == pytest.approx(xs.min())
+        assert s.max == pytest.approx(xs.max())
+        assert s.total == pytest.approx(xs.sum())
+
+    @given(
+        xs=st.lists(
+            st.floats(-1e6, 1e6, allow_nan=False), min_size=1, max_size=50
+        ),
+        ys=st.lists(
+            st.floats(-1e6, 1e6, allow_nan=False), min_size=1, max_size=50
+        ),
+    )
+    def test_merge_equals_union_property(self, xs, ys):
+        """Property: merge(A, B) equals stats over concatenated samples."""
+        a, b, u = RunningStats(), RunningStats(), RunningStats()
+        for x in xs:
+            a.add(x)
+            u.add(x)
+        for y in ys:
+            b.add(y)
+            u.add(y)
+        m = a.merge(b)
+        assert m.n == u.n
+        assert m.mean == pytest.approx(u.mean, rel=1e-9, abs=1e-6)
+        assert m.variance == pytest.approx(u.variance, rel=1e-6, abs=1e-4)
+        assert m.min == u.min
+        assert m.max == u.max

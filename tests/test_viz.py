@@ -1,0 +1,240 @@
+"""Tests for the visualization package: Figure 3 (2-D overlay), Figure 4
+(3-D rendering) and the Responsive Workbench (E4/E5)."""
+
+import numpy as np
+import pytest
+
+from repro.fire import HeadPhantom
+from repro.netsim import build_testbed
+from repro.viz import (
+    WorkbenchSpec,
+    hot_colormap,
+    merge_functional,
+    overlay_slice,
+    render_frame,
+    render_stereo_pair,
+    resample_to,
+    roi_timecourse,
+    slice_mosaic,
+    workbench_fps,
+)
+from repro.viz.colormap import cold_colormap, grayscale, normalize
+from repro.viz.overlay2d import percent_signal_change
+from repro.viz.render3d import mip, orbit
+from repro.viz.volume import functional_fraction
+from repro.viz.workbench import required_rate_for_fps, workbench_fps_over_path
+
+
+class TestColormaps:
+    def test_hot_endpoints(self):
+        lut = hot_colormap(np.array([0.0, 1.0]))
+        np.testing.assert_allclose(lut[0], [0, 0, 0])
+        np.testing.assert_allclose(lut[1], [1, 1, 1])
+
+    def test_hot_midrange_is_red_orange(self):
+        rgb = hot_colormap(np.array([0.4]))[0]
+        assert rgb[0] > rgb[1] > rgb[2]
+
+    def test_cold_is_blue_leaning(self):
+        rgb = cold_colormap(np.array([0.4]))[0]
+        assert rgb[2] > rgb[1] >= rgb[0]
+
+    def test_grayscale_shape(self):
+        out = grayscale(np.zeros((4, 5)))
+        assert out.shape == (4, 5, 3)
+
+    def test_normalize_range(self):
+        v = normalize(np.array([[-5.0, 0.0, 100.0]]))
+        assert v.min() == 0.0 and v.max() <= 1.0
+
+    def test_normalize_constant(self):
+        np.testing.assert_array_equal(normalize(np.full((3, 3), 7.0)), 0.0)
+
+
+class TestOverlay2d:
+    @pytest.fixture(scope="class")
+    def data(self):
+        ph = HeadPhantom()
+        anat = ph.anatomy()
+        corr = np.zeros(ph.shape)
+        corr[ph.activation_mask()] = 0.8
+        return ph, anat, corr
+
+    def test_overlay_colors_only_above_clip(self, data):
+        ph, anat, corr = data
+        sl = 8
+        img = overlay_slice(anat[sl], corr[sl], clip_level=0.5)
+        act = ph.activation_mask()[sl]
+        # activated pixels are colored (R > B), others gray (R == B)
+        assert np.all(img[act][:, 0] > img[act][:, 2])
+        quiet = ~act
+        np.testing.assert_allclose(img[quiet][:, 0], img[quiet][:, 2])
+
+    def test_clip_level_hides_weak_activation(self, data):
+        ph, anat, corr = data
+        img = overlay_slice(anat[8], corr[8], clip_level=0.9)
+        act = ph.activation_mask()[8]
+        np.testing.assert_allclose(img[act][:, 0], img[act][:, 2])  # gray
+
+    def test_negative_overlay_optional(self, data):
+        ph, anat, corr = data
+        img_off = overlay_slice(anat[8], -corr[8], clip_level=0.5)
+        img_on = overlay_slice(
+            anat[8], -corr[8], clip_level=0.5, show_negative=True
+        )
+        act = ph.activation_mask()[8]
+        np.testing.assert_allclose(img_off[act][:, 0], img_off[act][:, 2])
+        assert np.all(img_on[act][:, 2] > img_on[act][:, 0])
+
+    def test_invalid_clip(self, data):
+        _, anat, corr = data
+        with pytest.raises(ValueError):
+            overlay_slice(anat[0], corr[0], clip_level=0.0)
+
+    def test_shape_mismatch(self):
+        with pytest.raises(ValueError):
+            overlay_slice(np.zeros((4, 4)), np.zeros((4, 5)))
+
+    def test_mosaic_geometry(self, data):
+        _, anat, corr = data
+        mosaic = slice_mosaic(anat, corr, columns=4)
+        assert mosaic.shape == (4 * 64, 4 * 64, 3)
+
+    def test_roi_timecourse(self, data):
+        ph, _, _ = data
+        ts = np.arange(10)[:, None, None, None] * np.ones((1, *ph.shape))
+        tc = roi_timecourse(ts, ph.activation_mask())
+        np.testing.assert_allclose(tc, np.arange(10))
+
+    def test_roi_empty_rejected(self, data):
+        ph, _, _ = data
+        with pytest.raises(ValueError):
+            roi_timecourse(np.zeros((5, *ph.shape)), np.zeros(ph.shape, bool))
+
+    def test_percent_signal_change(self):
+        tc = np.array([100.0, 102.0, 98.0])
+        np.testing.assert_allclose(
+            percent_signal_change(tc), [0.0, 2.0, -2.0]
+        )
+
+
+class TestVolume:
+    def test_resample_shapes(self):
+        vol = np.random.default_rng(0).normal(size=(8, 16, 16))
+        out = resample_to(vol, (16, 32, 32))
+        assert out.shape == (16, 32, 32)
+
+    def test_resample_preserves_values_roughly(self):
+        vol = np.full((4, 4, 4), 3.5)
+        out = resample_to(vol, (8, 8, 8))
+        np.testing.assert_allclose(out, 3.5, atol=1e-9)
+
+    def test_resample_rejects_2d(self):
+        with pytest.raises(ValueError):
+            resample_to(np.zeros((4, 4)), (8, 8, 8))
+
+    def test_merge_clips_below_level(self):
+        ph = HeadPhantom()
+        hr = ph.highres_anatomy((32, 64, 64))
+        corr = np.zeros(ph.shape)
+        corr[ph.activation_mask()] = 0.7
+        _, func = merge_functional(hr, corr, clip_level=0.5)
+        assert func.shape == hr.shape
+        assert func.max() <= 0.7 + 1e-9
+        assert set(np.unique(func >= 0.5)) <= {False, True}
+        assert 0 < functional_fraction(func) < 0.2
+
+
+class TestRender3d:
+    @pytest.fixture(scope="class")
+    def volumes(self):
+        ph = HeadPhantom()
+        hr = ph.highres_anatomy((24, 48, 48))
+        corr = np.zeros(ph.shape)
+        corr[ph.activation_mask()] = 0.9
+        return merge_functional(hr, corr, clip_level=0.5)
+
+    def test_mip(self):
+        vol = np.zeros((3, 3, 3))
+        vol[1, 2, 0] = 5.0
+        assert mip(vol, axis=0).max() == 5.0
+
+    def test_render_shape_and_range(self, volumes):
+        anat, func = volumes
+        img = render_frame(anat, func)
+        assert img.ndim == 3 and img.shape[2] == 3
+        assert 0.0 <= img.min() and img.max() <= 1.0
+
+    def test_functional_highlights_visible(self, volumes):
+        """Figure 4's 'light areas': activated regions colored."""
+        anat, func = volumes
+        plain = render_frame(anat, None)
+        lit = render_frame(anat, func)
+        # color difference: red channel exceeds blue somewhere
+        assert np.any(lit[..., 0] - lit[..., 2] > 0.2)
+        np.testing.assert_allclose(plain[..., 0], plain[..., 2])
+
+    def test_rotation_changes_view(self, volumes):
+        anat, _ = volumes
+        a = render_frame(anat, None, azimuth_deg=0)
+        b = render_frame(anat, None, azimuth_deg=45)
+        assert np.abs(a - b).mean() > 1e-3
+
+    def test_output_shape_resize(self, volumes):
+        anat, func = volumes
+        img = render_frame(anat, func, output_shape=(96, 128))
+        assert img.shape == (96, 128, 3)
+
+    def test_stereo_pair_differs(self, volumes):
+        anat, func = volumes
+        left, right = render_stereo_pair(anat, func, eye_separation_deg=6.0)
+        assert left.shape == right.shape
+        assert np.abs(left - right).mean() > 1e-4
+
+    def test_grid_mismatch_rejected(self, volumes):
+        anat, _ = volumes
+        with pytest.raises(ValueError):
+            render_frame(anat, np.zeros((2, 2, 2)))
+
+    def test_orbit_frames(self, volumes):
+        anat, func = volumes
+        frames = orbit(anat, func, n_frames=4, output_shape=(32, 32))
+        assert len(frames) == 4
+
+
+class TestWorkbench:
+    def test_frame_geometry(self):
+        spec = WorkbenchSpec()
+        assert spec.images_per_frame == 4  # 2 planes x stereo
+        assert spec.frame_bytes == 4 * 1024 * 768 * 3  # 9 MByte
+
+    def test_paper_fps_bound(self):
+        """E5: 'less than 8 frames/second ... over a 622 Mbit/s ATM
+        network using classical IP'."""
+        fps = workbench_fps()
+        assert 6.5 < fps < 8.0
+
+    def test_raw_link_would_clear_8fps(self):
+        """Without the protocol overhead the raw 622.08 line would just
+        exceed 8 fps — the overhead is what pushes it under."""
+        spec = WorkbenchSpec()
+        assert 622.08e6 / spec.frame_bits > 8.0
+
+    def test_fps_over_testbed_path(self):
+        tb = build_testbed()
+        fps = workbench_fps_over_path(tb.net, "onyx2-gmd", "onyx2-juelich")
+        assert 6.5 < fps < 8.0
+
+    def test_mono_single_plane_is_4x_cheaper(self):
+        full = WorkbenchSpec()
+        mono = WorkbenchSpec(planes=1, stereo=False)
+        assert full.frame_bytes == 4 * mono.frame_bytes
+
+    def test_required_rate_inverse(self):
+        spec = WorkbenchSpec()
+        rate = required_rate_for_fps(25.0, spec)
+        assert rate == pytest.approx(25.0 * spec.frame_bits)
+
+    def test_required_rate_validates(self):
+        with pytest.raises(ValueError):
+            required_rate_for_fps(0.0)

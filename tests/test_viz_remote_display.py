@@ -1,0 +1,73 @@
+"""Tests for the rendering-platform model and the AVOCADO remote display
+pipeline (Section 4's AVS-prototype and planned-extension claims)."""
+
+import pytest
+
+from repro.netsim import build_testbed
+from repro.viz.remote_display import (
+    GRAPHICS_WORKSTATION,
+    INTERACTIVE_FPS,
+    MERGED_VOLUME,
+    ONYX2_PIPE,
+    RenderPlatform,
+    remote_display_fps,
+)
+from repro.viz.workbench import WorkbenchSpec
+
+
+class TestRenderPlatforms:
+    def test_workstation_updates_but_is_not_interactive(self):
+        """Paper: the AVS workstation prototype updates in seconds (fine
+        for the 2-D-GUI cadence) but is 'too slow for interactive
+        manipulations'."""
+        t_update = GRAPHICS_WORKSTATION.render_time(MERGED_VOLUME)
+        assert 0.1 < t_update < 2.0  # comparable to the 0.6 s display step
+        assert not GRAPHICS_WORKSTATION.interactive(MERGED_VOLUME)
+
+    def test_onyx2_is_interactive(self):
+        """The 12-processor Onyx 2 exists precisely because VR needs
+        interactive rates on the merged volume."""
+        assert ONYX2_PIPE.interactive(MERGED_VOLUME)
+        assert ONYX2_PIPE.fps(MERGED_VOLUME) > INTERACTIVE_FPS
+
+    def test_views_scale_cost(self):
+        t1 = ONYX2_PIPE.render_time(MERGED_VOLUME, views=1)
+        t4 = ONYX2_PIPE.render_time(MERGED_VOLUME, views=4)
+        assert t4 == pytest.approx(4 * t1)
+
+    def test_pipes_scale_rate(self):
+        single = RenderPlatform("one-pipe", 120.0, pipes=1)
+        double = RenderPlatform("two-pipe", 120.0, pipes=2)
+        assert double.fps(MERGED_VOLUME) == pytest.approx(
+            2 * single.fps(MERGED_VOLUME)
+        )
+
+
+class TestRemoteDisplay:
+    @pytest.fixture(scope="class")
+    def tb(self):
+        return build_testbed()
+
+    def test_pipeline_is_network_bound(self, tb):
+        """The whole point of the in-text bandwidth computation: the
+        Onyx 2 can render faster than 622 Mbit/s classical IP can ship."""
+        report = remote_display_fps(tb.net)
+        assert report.network_bound
+        assert report.achieved_fps == pytest.approx(report.network_fps)
+
+    def test_achieved_under_8_fps(self, tb):
+        report = remote_display_fps(tb.net)
+        assert report.achieved_fps < 8.0
+        assert report.achieved_fps > 6.0
+
+    def test_mono_single_plane_reaches_interactive(self, tb):
+        """Shrinking the frame set (1 plane, mono) quadruples the network
+        rate — enough for borderline interactivity."""
+        spec = WorkbenchSpec(planes=1, stereo=False)
+        report = remote_display_fps(tb.net, spec=spec)
+        assert report.achieved_fps > 3.5 * remote_display_fps(tb.net).achieved_fps
+
+    def test_workstation_renderer_would_be_render_bound(self, tb):
+        report = remote_display_fps(tb.net, platform=GRAPHICS_WORKSTATION)
+        assert not report.network_bound
+        assert report.achieved_fps < 1.0
