@@ -1,0 +1,94 @@
+"""E-fault — loss recovery on the Figure-1 testbed.
+
+Two experiments on the T3E-600 → SP2 WAN path:
+
+* goodput vs. injected loss rate, against the zero-loss pipeline
+  reference and the Mathis loss bound;
+* recovery time after a mid-transfer WAN link-down/up: how much longer
+  a transfer takes when the OC-48 backbone disappears for one second.
+"""
+
+import pytest
+
+from repro.netsim import BulkTransfer, ClassicalIP, FaultInjector, build_testbed
+from repro.netsim.ip import TESTBED_MTU
+from repro.netsim.tcp import tcp_loss_throughput_bound, tcp_steady_throughput
+from repro.util.units import MBYTE
+
+IP64K = ClassicalIP(TESTBED_MTU)
+LOSS_RATES = [0.0, 1e-4, 1e-3, 5e-3]
+OUTAGE_AT = 0.2  #: seconds into the transfer
+OUTAGE_LEN = 1.0  #: seconds of WAN downtime
+
+
+def wan_goodput(loss_rate: float, nbytes: int = 40 * MBYTE):
+    """One lossy WAN transfer; returns (goodput, retransmits, timeouts)."""
+    tb = build_testbed()
+    if loss_rate > 0.0:
+        FaultInjector(tb.net, seed=1).random_loss(
+            tb.wan_link, loss_rate, direction="sw-juelich"
+        )
+    bt = BulkTransfer(tb.net, "t3e-600", "sp2", nbytes, ip=IP64K)
+    rate = bt.run()
+    return rate, bt.retransmits, bt.timeouts
+
+
+def outage_run(inject: bool, nbytes: int = 40 * MBYTE):
+    """Transfer elapsed time, optionally with a mid-transfer WAN outage."""
+    tb = build_testbed()
+    if inject:
+        FaultInjector(tb.net).link_down(
+            tb.wan_link, at=OUTAGE_AT, duration=OUTAGE_LEN
+        )
+    bt = BulkTransfer(tb.net, "t3e-600", "sp2", nbytes, ip=IP64K)
+    bt.run()
+    return tb.net.env.now, bt.timeouts
+
+
+@pytest.fixture(scope="module")
+def goodput_curve():
+    return {p: wan_goodput(p) for p in LOSS_RATES}
+
+
+def test_goodput_vs_loss_report(report, goodput_curve, benchmark):
+    benchmark.pedantic(wan_goodput, args=(1e-3,), rounds=1, iterations=1)
+    tb = build_testbed()
+    zero_loss = tcp_steady_throughput(tb.net, "t3e-600", "sp2", IP64K)
+    rows = [
+        f"{'loss rate':>10} {'goodput':>14} {'bound':>14} "
+        f"{'rexmt':>6} {'RTOs':>5}"
+    ]
+    for p, (rate, rexmt, rtos) in goodput_curve.items():
+        bound = tcp_loss_throughput_bound(tb.net, "t3e-600", "sp2", IP64K, p)
+        rows.append(
+            f"{p:>10.0e} {rate / 1e6:>9.1f} Mb/s {bound / 1e6:>9.1f} Mb/s "
+            f"{rexmt:>6d} {rtos:>5d}"
+        )
+    report.add("E-fault: WAN goodput vs. loss rate (T3E-600 -> SP2)",
+               "\n".join(rows))
+
+    # Monotone degradation, anchored at the zero-loss reference.
+    rates = [goodput_curve[p][0] for p in LOSS_RATES]
+    assert rates[0] == pytest.approx(zero_loss, rel=0.05)
+    assert all(a >= b for a, b in zip(rates, rates[1:]))
+    assert goodput_curve[5e-3][1] > 0  # losses really forced retransmits
+    assert rates[-1] > 0
+
+
+def test_link_outage_recovery_report(report, benchmark):
+    benchmark.pedantic(outage_run, args=(True,), rounds=1, iterations=1)
+    clean, _ = outage_run(inject=False)
+    faulty, rtos = outage_run(inject=True)
+    overhead = faulty - clean
+    rows = [
+        f"{'clean transfer':<28} {clean:>8.3f} s",
+        f"{'with 1.0 s WAN outage':<28} {faulty:>8.3f} s",
+        f"{'recovery overhead':<28} {overhead:>8.3f} s  ({rtos} RTOs)",
+    ]
+    report.add("E-fault: recovery after mid-transfer WAN link-down/up",
+               "\n".join(rows))
+
+    # The transfer pays at least the outage and recovers promptly after:
+    # overhead is bounded by the outage plus RTO-backoff overshoot.
+    assert rtos > 0
+    assert OUTAGE_LEN <= overhead < OUTAGE_LEN + 4.0

@@ -41,8 +41,15 @@ def stream_video(
     fmt: Optional[D1Format] = None,
     ip: Optional[ClassicalIP] = None,
     queue_note: str = "",
+    playout_frames: int = 4,
 ) -> StreamReport:
-    """Stream ``duration`` seconds of uncompressed D1 from src to dst."""
+    """Stream ``duration`` seconds of uncompressed D1 from src to dst.
+
+    ``playout_frames`` sizes the receiver's playout buffer: frames whose
+    transit exceeds that many frame intervals miss their display slot and
+    count as lost (how an undersized attachment loses broadcast video
+    even when nothing is dropped on the wire).
+    """
     fmt = fmt or D1Format()
     ip = ip or ClassicalIP(TESTBED_MTU)
     n_frames = max(int(duration * fmt.fps), 1)
@@ -54,6 +61,7 @@ def stream_video(
         interval=fmt.frame_interval,
         n_frames=n_frames,
         ip=ip,
+        playout_deadline=playout_frames * fmt.frame_interval,
     ).run()
     return StreamReport(
         offered_rate=fmt.rate,

@@ -20,7 +20,7 @@ from typing import Any, Callable, Optional
 import numpy as np
 
 from repro.machines.spec import MachineSpec
-from repro.metampi.errors import MetaMpiError, RankFailed
+from repro.metampi.errors import MetaMpiError, RankFailed, TransportError
 from repro.metampi.message import Mailbox, Message
 from repro.metampi.transport import TransportModel
 
@@ -181,11 +181,20 @@ class Runtime:
     ) -> int:
         """Send path: cost accounting + delivery to the dest mailbox.
 
-        Returns payload size in bytes.
+        Returns payload size in bytes.  A send over a failed WAN path
+        raises :class:`~repro.metampi.errors.TransportError` (annotated
+        with the rank pair) once the transport's retry budget is spent,
+        so the failure surfaces through ``join`` as a ``RankFailed``
+        instead of deadlocking the peers.
         """
         dst = self.ranks[dst_world]
         nbytes = payload_nbytes(kind, data)
-        cost = self.transport.cost(src.machine, src.host, dst.machine, dst.host)
+        try:
+            cost = self.transport.cost(src.machine, src.host, dst.machine, dst.host)
+        except TransportError as exc:
+            exc.src_rank = src.world_rank
+            exc.dst_rank = dst_world
+            raise
         key = self.transport.channel_key(
             src.machine, src.host, dst.machine, dst.host
         )

@@ -13,13 +13,31 @@ a message depends on where its endpoints live:
 
 from __future__ import annotations
 
+import threading
 from dataclasses import dataclass
 from typing import Optional
 
 from repro.machines.spec import MachineSpec
+from repro.metampi.errors import TransportError
 from repro.netsim.core import Gateway, Host, Network
 from repro.netsim.ip import ClassicalIP, TESTBED_MTU
 from repro.netsim.tcp import characterize_path
+
+
+@dataclass(frozen=True)
+class RetryPolicy:
+    """How a WAN send behaves when the path is down.
+
+    Each failed route lookup advances the *network* simulation clock by
+    the current backoff before retrying, so a scheduled link-up or
+    gateway restart during the backoff window heals the send.  After
+    ``max_attempts`` failures the send raises
+    :class:`~repro.metampi.errors.TransportError` instead of hanging.
+    """
+
+    max_attempts: int = 3
+    backoff: float = 0.05  #: seconds of simulated time before the first retry
+    factor: float = 2.0  #: exponential backoff multiplier
 
 
 @dataclass(frozen=True)
@@ -69,11 +87,23 @@ class TransportModel:
         default_wan: LinkCost = LinkCost(
             latency=1e-3, bandwidth=30e6, sender_overhead=50e-6
         ),
+        retry: RetryPolicy = RetryPolicy(),
     ):
         self.net = net
         self.ip = ip or ClassicalIP(TESTBED_MTU)
         self.default_wan = default_wan
+        self.retry = retry
         self._wan_cache: dict[tuple[str, str], LinkCost] = {}
+        self._retry_lock = threading.Lock()
+        if net is not None:
+            # Stale WAN costs after a failure would route metacomputer
+            # runs over paths that no longer exist (or miss recovered
+            # capacity): drop the cache on any topology/state change.
+            net.add_invalidation_listener(self.invalidate)
+
+    def invalidate(self) -> None:
+        """Flush cached WAN costs (called on network state changes)."""
+        self._wan_cache.clear()
 
     # -- cost lookups ------------------------------------------------------
     def intra(self, spec: MachineSpec) -> LinkCost:
@@ -85,13 +115,17 @@ class TransportModel:
         )
 
     def wan(self, src_host: str, dst_host: str) -> LinkCost:
-        """Cost of a message between two testbed hosts."""
+        """Cost of a message between two testbed hosts.
+
+        Raises :class:`~repro.metampi.errors.TransportError` if no route
+        exists and the path does not recover within the retry budget.
+        """
         if self.net is None or not src_host or not dst_host:
             return self.default_wan
         key = (src_host, dst_host)
         cost = self._wan_cache.get(key)
         if cost is None:
-            char = characterize_path(self.net, src_host, dst_host, self.ip)
+            char = self._characterize_with_retry(src_host, dst_host)
             bw_bytes = char.pipeline_rate() / 8
             cost = LinkCost(
                 latency=one_way_latency(self.net, src_host, dst_host),
@@ -100,6 +134,32 @@ class TransportModel:
             )
             self._wan_cache[key] = cost
         return cost
+
+    def _characterize_with_retry(self, src_host: str, dst_host: str):
+        """Route lookup with the retry/backoff policy.
+
+        Between attempts the shared network clock is advanced by the
+        backoff, so faults scheduled to heal (link-up, gateway restart)
+        can restore the path mid-retry.
+        """
+        delay = self.retry.backoff
+        last_error: Optional[BaseException] = None
+        for attempt in range(1, self.retry.max_attempts + 1):
+            try:
+                return characterize_path(self.net, src_host, dst_host, self.ip)
+            except ValueError as exc:
+                last_error = exc
+                if attempt == self.retry.max_attempts:
+                    break
+                # Serialize: rank threads must not step the DES engine
+                # concurrently.
+                with self._retry_lock:
+                    env = self.net.env
+                    env.run(until=env.now + delay)
+                delay *= self.retry.factor
+        raise TransportError(
+            src_host, dst_host, self.retry.max_attempts
+        ) from last_error
 
     def cost(
         self,

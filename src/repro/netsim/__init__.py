@@ -11,7 +11,10 @@ Layers, bottom-up:
 * :mod:`repro.netsim.core` — packet-level discrete-event network: hosts,
   switches, HiPPI↔ATM gateways, links, static routing.
 * :mod:`repro.netsim.tcp` — window/RTT TCP throughput (analytic + DES flows).
-* :mod:`repro.netsim.flows` — bulk, request/response and CBR traffic.
+* :mod:`repro.netsim.flows` — bulk, request/response and CBR traffic,
+  with TCP-style loss recovery on the bulk flow.
+* :mod:`repro.netsim.faults` — deterministic fault injection (link
+  down/up windows, random wire loss, gateway crash/restart).
 * :mod:`repro.netsim.testbed` — the Figure-1 topology builder.
 """
 
@@ -36,8 +39,13 @@ from repro.netsim.core import (
     HippiFraming,
     PlainFraming,
 )
-from repro.netsim.tcp import TcpModel, tcp_steady_throughput
-from repro.netsim.flows import BulkTransfer, CbrFlow, PingFlow
+from repro.netsim.tcp import (
+    TcpModel,
+    tcp_loss_throughput_bound,
+    tcp_steady_throughput,
+)
+from repro.netsim.flows import BulkTransfer, CbrFlow, PingFlow, TransferStalled
+from repro.netsim.faults import FaultInjector
 from repro.netsim.testbed import GigabitTestbedWest, build_testbed
 
 __all__ = [
@@ -63,10 +71,13 @@ __all__ = [
     "HippiFraming",
     "PlainFraming",
     "TcpModel",
+    "tcp_loss_throughput_bound",
     "tcp_steady_throughput",
     "BulkTransfer",
     "CbrFlow",
     "PingFlow",
+    "TransferStalled",
+    "FaultInjector",
     "GigabitTestbedWest",
     "build_testbed",
 ]

@@ -17,6 +17,7 @@ Performance-relevant host effects of 1999 hardware are first-class:
 from __future__ import annotations
 
 import itertools
+import random
 from dataclasses import dataclass, field
 from typing import Any, Callable, Optional
 
@@ -95,6 +96,16 @@ class Link:
     process: serialization at ``rate`` (on framed wire bytes) followed by
     ``propagation`` seconds of flight.  ``queue_packets`` bounds the
     transmit queue; excess packets are dropped (counted per direction).
+
+    Failure model (driven by :class:`repro.netsim.faults.FaultInjector`):
+
+    * ``up`` — link state.  A down link refuses new packets at enqueue
+      (counted in ``drops``), flushes its transmit queues, and loses any
+      packet whose serialization completes while it is down (counted in
+      ``lost``).  State changes invalidate the owning network's routes.
+    * ``loss_rate`` — per-direction random wire loss probability, applied
+      after serialization with a caller-supplied (seeded) RNG so runs are
+      deterministic.  Lost packets are counted in ``lost``.
     """
 
     def __init__(
@@ -118,11 +129,17 @@ class Link:
         self.framing = framing or PlainFraming()
         self.name = name or f"{a.name}--{b.name}"
         self.queue_packets = queue_packets
+        self.up = True
+        self.network: Optional["Network"] = None
         self._queues = {a.name: Store(env), b.name: Store(env)}
         self.drops = {a.name: 0, b.name: 0}
+        self.lost = {a.name: 0, b.name: 0}
+        self.loss_rate = {a.name: 0.0, b.name: 0.0}
+        self._rng: Optional[random.Random] = None
         self.tx_bytes = {a.name: 0, b.name: 0}
         self.tx_packets = {a.name: 0, b.name: 0}
         self.busy_time = {a.name: 0.0, b.name: 0.0}
+        self._tx_begin: dict[str, Optional[float]] = {a.name: None, b.name: None}
         env.process(self._transmitter(a, b))
         env.process(self._transmitter(b, a))
         a.attach(self)
@@ -135,10 +152,41 @@ class Link:
     def send(self, from_node: "Node", packet: Packet) -> None:
         """Enqueue ``packet`` for transmission from ``from_node``."""
         q = self._queues[from_node.name]
-        if len(q) >= self.queue_packets:
+        if not self.up or len(q) >= self.queue_packets:
             self.drops[from_node.name] += 1
             return
         q.put(packet)
+
+    def set_up(self, up: bool) -> None:
+        """Change link state; going down flushes both transmit queues."""
+        if up == self.up:
+            return
+        self.up = up
+        if not up:
+            for direction, q in self._queues.items():
+                self.drops[direction] += len(q.clear())
+        if self.network is not None:
+            self.network.invalidate_routes()
+
+    def set_loss(
+        self,
+        rate: float,
+        direction: Optional[str] = None,
+        rng: Optional[random.Random] = None,
+    ) -> None:
+        """Set random wire loss probability (``direction`` is the sending
+        node's name; ``None`` sets both).  Pass a seeded ``rng`` for
+        reproducible loss patterns; one is created otherwise."""
+        if not 0.0 <= rate < 1.0:
+            raise ValueError(f"loss rate must be in [0, 1), got {rate}")
+        if rng is not None:
+            self._rng = rng
+        elif self._rng is None and rate > 0.0:
+            self._rng = random.Random(0)
+        for d in [direction] if direction else [self.a.name, self.b.name]:
+            if d not in self.loss_rate:
+                raise KeyError(f"{d} is not an endpoint of {self.name}")
+            self.loss_rate[d] = rate
 
     def _transmitter(self, src: "Node", dst: "Node"):
         q = self._queues[src.name]
@@ -148,17 +196,34 @@ class Link:
             self.tx_bytes[src.name] += wire
             self.tx_packets[src.name] += 1
             serialization = wire * 8 / self.rate
-            self.busy_time[src.name] += serialization
+            self._tx_begin[src.name] = self.env.now
             yield self.env.timeout(serialization)
+            self.busy_time[src.name] += serialization
+            self._tx_begin[src.name] = None
+            if not self.up:
+                self.lost[src.name] += 1
+                continue
+            rate = self.loss_rate[src.name]
+            if rate > 0.0 and self._rng is not None and self._rng.random() < rate:
+                self.lost[src.name] += 1
+                continue
             # Propagation does not occupy the transmitter: hand off to a
             # dedicated delivery event so back-to-back packets pipeline.
             self.env.process(self._deliver(dst, packet))
 
     def utilization(self, from_node: str) -> float:
-        """Busy fraction of one direction since t=0 (simulated)."""
+        """Busy fraction of one direction since t=0 (simulated).
+
+        Transmissions in progress are pro-rated by elapsed time, so the
+        result is bounded by 1.0 even when queried mid-serialization.
+        """
         if self.env.now <= 0:
             return 0.0
-        return self.busy_time[from_node] / self.env.now
+        busy = self.busy_time[from_node]
+        begin = self._tx_begin[from_node]
+        if begin is not None:
+            busy += self.env.now - begin
+        return busy / self.env.now
 
     def _deliver(self, dst: "Node", packet: Packet):
         if self.propagation:
@@ -188,9 +253,18 @@ class Node:
         raise KeyError(f"{self.name} has no link to {neighbor}")
 
     def forward(self, packet: Packet) -> None:
-        """Send ``packet`` towards its destination via static routing."""
+        """Send ``packet`` towards its destination via static routing.
+
+        A packet caught on a partitioned network (no surviving route) is
+        dropped and counted in ``Network.no_route_drops`` — the IP
+        behaviour — rather than crashing the forwarding process.
+        """
         assert self.network is not None, "node not registered with a Network"
-        nxt = self.network.next_hop(self.name, packet.dst)
+        try:
+            nxt = self.network.next_hop(self.name, packet.dst)
+        except ValueError:
+            self.network.no_route_drops += 1
+            return
         self.link_to(nxt).send(self, packet)
 
     def receive(self, packet: Packet, link: Link) -> None:  # pragma: no cover
@@ -298,9 +372,25 @@ class Gateway(Node):
         self.per_packet = per_packet
         self._queue = Store(env)
         self.forwarded = 0
+        self.up = True
+        self.dropped = 0
         env.process(self._worker())
 
+    def crash(self) -> None:
+        """Take the gateway down: flush and black-hole traffic until restart."""
+        if not self.up:
+            return
+        self.up = False
+        self.dropped += len(self._queue.clear())
+
+    def restart(self) -> None:
+        """Bring a crashed gateway back into service."""
+        self.up = True
+
     def receive(self, packet: Packet, link: Link) -> None:
+        if not self.up:
+            self.dropped += 1
+            return
         self._queue.put(packet)
 
     def _worker(self):
@@ -308,6 +398,9 @@ class Gateway(Node):
             packet = yield self._queue.get()
             if self.per_packet:
                 yield self.env.timeout(self.per_packet)
+            if not self.up:
+                self.dropped += 1
+                continue
             self.forwarded += 1
             self.forward(packet)
 
@@ -316,13 +409,20 @@ class Network:
     """The set of nodes plus static shortest-path routing.
 
     Routes are hop-count shortest paths computed on demand and cached;
-    the Figure-1 topology is a tree, so paths are unique anyway.
+    the Figure-1 topology is a tree, so paths are unique anyway.  Links
+    that are administratively or fault-injected down are skipped, and any
+    topology or link-state change invalidates the route cache plus every
+    registered invalidation listener (e.g. the metampi transport model's
+    WAN-cost cache).
     """
 
     def __init__(self, env: Environment):
         self.env = env
         self.nodes: dict[str, Node] = {}
+        self.links: dict[str, Link] = {}
+        self.no_route_drops = 0
         self._routes: dict[tuple[str, str], str] = {}
+        self._invalidation_listeners: list[Callable[[], None]] = []
 
     def add(self, node: Node) -> Node:
         """Register a node (idempotent by name)."""
@@ -330,7 +430,7 @@ class Network:
             raise ValueError(f"duplicate node name {node.name!r}")
         self.nodes[node.name] = node
         node.network = self
-        self._routes.clear()
+        self.invalidate_routes()
         return node
 
     def link(
@@ -342,15 +442,40 @@ class Network:
         framing: Optional[Framing] = None,
         **kw,
     ) -> Link:
-        """Create a link between two registered nodes."""
+        """Create a link between two registered nodes.
+
+        A second parallel link between the same node pair is rejected:
+        ``Node.link_to`` resolves by neighbour name, so a duplicate would
+        shadow the first and attribute its traffic to the wrong link.
+        """
+        if any(l.other(self.nodes[a]).name == b for l in self.nodes[a].links):
+            raise ValueError(f"duplicate link between {a!r} and {b!r}")
         link = Link(
             self.env, self.nodes[a], self.nodes[b], rate, propagation, framing, **kw
         )
-        self._routes.clear()
+        if link.name in self.links:
+            raise ValueError(f"duplicate link name {link.name!r}")
+        link.network = self
+        self.links[link.name] = link
+        self.invalidate_routes()
         return link
 
-    def neighbors(self, name: str) -> list[str]:
-        return [l.other(self.nodes[name]).name for l in self.nodes[name].links]
+    def neighbors(self, name: str, include_down: bool = False) -> list[str]:
+        return [
+            l.other(self.nodes[name]).name
+            for l in self.nodes[name].links
+            if include_down or l.up
+        ]
+
+    def invalidate_routes(self) -> None:
+        """Flush cached routes and notify listeners of a topology change."""
+        self._routes.clear()
+        for listener in self._invalidation_listeners:
+            listener()
+
+    def add_invalidation_listener(self, listener: Callable[[], None]) -> None:
+        """Call ``listener()`` whenever topology or link state changes."""
+        self._invalidation_listeners.append(listener)
 
     def next_hop(self, src: str, dst: str) -> str:
         """First hop on the shortest path from ``src`` to ``dst``."""

@@ -1,0 +1,156 @@
+"""Deterministic fault injection for the testbed network.
+
+The real Gigabit Testbed West ran over hardware that failed: fibre cuts,
+ATM adapter lockups, workstation gateways that needed rebooting.  This
+module schedules those failures against the discrete-event
+:class:`~repro.sim.Environment` so recovery behaviour (TCP
+retransmission, route failover, metampi transport retries) can be
+exercised reproducibly.
+
+Three fault classes:
+
+* **link down/up windows** — :meth:`FaultInjector.link_down` takes a link
+  out of service for a window; the network invalidates routes, queued
+  packets are flushed, and packets on the wire are lost.
+* **random wire loss** — :meth:`FaultInjector.random_loss` sets a
+  per-link, per-direction loss probability.  Each call derives its own
+  child RNG from the injector's seed, so runs are bit-for-bit
+  deterministic regardless of scheduling.
+* **gateway crash/restart** — :meth:`FaultInjector.gateway_crash` crashes
+  a :class:`~repro.netsim.core.Gateway` workstation: its forwarding queue
+  is flushed, arriving packets are black-holed, and its attached links go
+  down so routing stops selecting paths through it.
+
+All times are relative to the simulation clock at the moment the fault is
+scheduled.  Every state change is appended to :attr:`FaultInjector.log`
+as ``(time, description)`` for benchmark reports.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Optional, Union
+
+from repro.netsim.core import Gateway, Link, Network
+
+LinkRef = Union[Link, str, "tuple[str, str]"]
+
+
+class FaultInjector:
+    """Schedules failures on a :class:`Network`, deterministically.
+
+    ``seed`` drives a master RNG; every stochastic fault draws a child
+    seed from it, so adding one fault never perturbs another's pattern.
+    """
+
+    def __init__(self, net: Network, seed: int = 0):
+        self.net = net
+        self.env = net.env
+        self.seed = seed
+        self._rng = random.Random(seed)
+        self.log: list[tuple[float, str]] = []
+
+    # -- plumbing ---------------------------------------------------------
+    def _record(self, what: str) -> None:
+        self.log.append((self.env.now, what))
+
+    def resolve_link(self, ref: LinkRef) -> Link:
+        """Accept a :class:`Link`, a registered link name, or an
+        ``(a, b)`` node-name pair."""
+        if isinstance(ref, Link):
+            return ref
+        if isinstance(ref, tuple):
+            a, b = ref
+            return self.net.nodes[a].link_to(b)
+        if ref in self.net.links:
+            return self.net.links[ref]
+        raise KeyError(f"no link {ref!r} in this network")
+
+    # -- link faults ------------------------------------------------------
+    def link_down(
+        self, link: LinkRef, at: float = 0.0, duration: Optional[float] = None
+    ) -> Link:
+        """Take ``link`` down ``at`` seconds from now; restore it after
+        ``duration`` seconds (``None`` leaves it down forever)."""
+        target = self.resolve_link(link)
+
+        def window():
+            if at > 0:
+                yield self.env.timeout(at)
+            target.set_up(False)
+            self._record(f"link {target.name} down")
+            if duration is not None:
+                yield self.env.timeout(duration)
+                target.set_up(True)
+                self._record(f"link {target.name} up")
+            return None
+
+        self.env.process(window())
+        return target
+
+    def random_loss(
+        self,
+        link: LinkRef,
+        probability: float,
+        start: float = 0.0,
+        duration: Optional[float] = None,
+        direction: Optional[str] = None,
+    ) -> Link:
+        """Drop each packet on ``link`` with ``probability`` (seeded).
+
+        ``direction`` names the sending node to afflict one direction
+        only (e.g. lose data but not ACKs); default is both.  The loss
+        window runs from ``start`` for ``duration`` seconds (``None`` =
+        until the end of the simulation)."""
+        if not 0.0 <= probability < 1.0:
+            # Validate now, not when the scheduled window opens: a bad
+            # rate should fail at the call site, not mid-simulation.
+            raise ValueError(f"loss probability must be in [0, 1): {probability}")
+        target = self.resolve_link(link)
+        child = random.Random(self._rng.getrandbits(64))
+
+        def window():
+            if start > 0:
+                yield self.env.timeout(start)
+            target.set_loss(probability, direction=direction, rng=child)
+            self._record(f"link {target.name} loss p={probability}")
+            if duration is not None:
+                yield self.env.timeout(duration)
+                target.set_loss(0.0, direction=direction)
+                self._record(f"link {target.name} loss cleared")
+            return None
+
+        self.env.process(window())
+        return target
+
+    # -- gateway faults ---------------------------------------------------
+    def gateway_crash(
+        self, name: str, at: float = 0.0, duration: Optional[float] = None
+    ) -> Gateway:
+        """Crash gateway ``name`` ``at`` seconds from now; reboot it after
+        ``duration`` seconds (``None`` = never).
+
+        The crash flushes the gateway's forwarding queue and takes its
+        attached links down, so routing (and the metampi WAN-cost cache,
+        via invalidation) stops using paths through it."""
+        gw = self.net.nodes[name]
+        if not isinstance(gw, Gateway):
+            raise TypeError(f"{name!r} is not a Gateway")
+
+        def window():
+            if at > 0:
+                yield self.env.timeout(at)
+            gw.crash()
+            for link in gw.links:
+                link.set_up(False)
+            self._record(f"gateway {name} crashed")
+            if duration is not None:
+                yield self.env.timeout(duration)
+                gw.restart()
+                for link in gw.links:
+                    link.set_up(True)
+                self._record(f"gateway {name} restarted")
+            return None
+
+        self.env.process(window())
+        return gw

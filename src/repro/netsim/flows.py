@@ -2,7 +2,7 @@
 
 from __future__ import annotations
 
-from dataclasses import dataclass
+import bisect
 from typing import Optional
 
 from repro.netsim.core import Network, Packet
@@ -13,12 +13,37 @@ from repro.util.stats import RunningStats
 _ACK_BYTES = IP_HEADER + TCP_HEADER
 
 
+class TransferStalled(RuntimeError):
+    """A reliable transfer gave up after repeated retransmission timeouts
+    (the path stayed dead past the backoff budget)."""
+
+
 class BulkTransfer:
     """A windowed (TCP-like) bulk transfer of ``nbytes`` from src to dst.
 
     Sliding byte window with cumulative acknowledgements; optional slow
     start.  ``done`` is an event firing at completion; ``throughput`` is
     application goodput in bit/s over the transfer.
+
+    Loss recovery (packets may be dropped by bounded link queues, random
+    wire loss, or link/gateway failures):
+
+    * a retransmission timer on the oldest unacknowledged segment, with
+      RTO adapted from measured RTT (Jacobson srtt/rttvar, Karn's rule)
+      and exponential backoff on repeated expiry;
+    * duplicate-ACK fast retransmit (``dupack_threshold`` duplicates);
+    * multiplicative congestion-window reduction on loss (halved on fast
+      retransmit, collapsed to one segment on timeout);
+    * ``retransmits`` / ``timeouts`` / ``fast_retransmits`` counters for
+      the benchmarks.
+
+    A transfer whose path stays dead fails its ``done`` event with
+    :class:`TransferStalled` after ``max_consecutive_timeouts`` unanswered
+    retransmissions instead of hanging forever.
+
+    Under zero loss the event sequence is identical to the classic
+    sliding-window sender, so :func:`repro.netsim.tcp.tcp_steady_throughput`
+    remains the closed-form reference.
     """
 
     _ids = 0
@@ -33,6 +58,11 @@ class BulkTransfer:
         window_bytes: int = 8 * 1024 * 1024,
         slow_start: bool = False,
         name: str = "",
+        min_rto: float = 0.2,
+        initial_rto: float = 1.0,
+        max_rto: float = 60.0,
+        dupack_threshold: int = 3,
+        max_consecutive_timeouts: Optional[int] = 12,
     ):
         if nbytes <= 0:
             raise ValueError("transfer size must be positive")
@@ -46,44 +76,145 @@ class BulkTransfer:
         self.window_bytes = window_bytes
         self.slow_start = slow_start
         self.name = name or f"bulk{BulkTransfer._ids}"
+        self.min_rto = min_rto
+        self.max_rto = max_rto
+        self.dupack_threshold = dupack_threshold
+        self.max_consecutive_timeouts = max_consecutive_timeouts
         self.done: Event = self.env.event()
         self.start_time: Optional[float] = None
         self.end_time: Optional[float] = None
+        # loss-recovery counters
+        self.retransmits = 0
+        self.timeouts = 0
+        self.fast_retransmits = 0
+        # sender state
         self._acked = 0
-        self._received = 0
         self._cwnd = self.ip.max_segment if slow_start else window_bytes
         self._window_open = self.env.event()
+        self._payloads = list(self.ip.segments(nbytes))
+        ends: list[int] = []
+        total = 0
+        for p in self._payloads:
+            total += p
+            ends.append(total)
+        self._ends = ends  # cumulative end offset of each segment
+        self._sent_bytes = 0
+        self._sent_at: dict[int, float] = {}
+        self._rexmitted: set[int] = set()
+        self._srtt: Optional[float] = None
+        self._rttvar = 0.0
+        self._rto = initial_rto
+        self._timer_epoch = 0.0
+        self._flight_event = self.env.event()
+        self._dup_acks = 0
+        self._consecutive_timeouts = 0
+        # Timeout recovery (go-back-N): everything past the loss point is
+        # presumed lost with it and re-streamed as acknowledgements
+        # advance, ramping cwnd back up slow-start style.
+        self._recover_until = 0  # byte offset the recovery must reach
+        self._rexmit_next = 0  # next segment index to re-stream
+        # receiver state (cumulative reassembly)
+        self._received = 0  # contiguous bytes assembled at the receiver
+        self._rx_next = 0  # next expected segment index
+        self._rx_segments: dict[int, int] = {}  # out-of-order buffer
         net.host(src).register_sink(self.name, self._on_ack)
         net.host(dst).register_sink(self.name, self._on_data)
         self.env.process(self._sender())
+        self.env.process(self._retransmit_timer())
 
     # -- sender --------------------------------------------------------------
     def _sender(self):
-        host = self.net.host(self.src)
         self.start_time = self.env.now
-        sent = 0
-        seq = 0
-        for payload in self.ip.segments(self.nbytes):
-            while sent - self._acked + payload > min(self._cwnd, self.window_bytes):
+        for seq, payload in enumerate(self._payloads):
+            while (
+                self._sent_bytes - self._acked + payload
+                > min(self._cwnd, self.window_bytes)
+            ):
                 self._window_open = self.env.event()
                 yield self._window_open
-            host.send(
-                Packet(
-                    flow=self.name,
-                    src=self.src,
-                    dst=self.dst,
-                    ip_bytes=self.ip.datagram_bytes(payload),
-                    payload_bytes=payload,
-                    seq=seq,
-                )
+                if self.done.triggered:
+                    return None  # transfer failed (TransferStalled)
+            self._transmit(seq)
+            self._sent_bytes += payload
+        return None
+
+    def _transmit(self, seq: int, retransmit: bool = False) -> None:
+        if retransmit:
+            self.retransmits += 1
+            self._rexmitted.add(seq)
+        elif self._acked >= self._sent_bytes:
+            # Pipe was empty: the timer clock starts with this packet.
+            self._timer_epoch = self.env.now
+        self._sent_at[seq] = self.env.now
+        payload = self._payloads[seq]
+        self.net.host(self.src).send(
+            Packet(
+                flow=self.name,
+                src=self.src,
+                dst=self.dst,
+                ip_bytes=self.ip.datagram_bytes(payload),
+                payload_bytes=payload,
+                seq=seq,
             )
-            sent += payload
-            seq += 1
+        )
+        if not self._flight_event.triggered:
+            self._flight_event.succeed()
+
+    def _first_unacked(self) -> int:
+        """Index of the first segment not yet cumulatively acknowledged."""
+        return bisect.bisect_right(self._ends, self._acked)
+
+    def _retransmit_timer(self):
+        """RTO process: retransmit the oldest unacked segment on expiry."""
+        while self._acked < self.nbytes and not self.done.triggered:
+            if self._acked >= self._sent_bytes:
+                # Nothing in flight: sleep until the sender transmits.
+                self._flight_event = self.env.event()
+                yield self._flight_event
+                continue
+            deadline = self._timer_epoch + self._rto
+            if self.env.now < deadline:
+                yield self.env.timeout(deadline - self.env.now)
+                continue
+            self.timeouts += 1
+            self._consecutive_timeouts += 1
+            if (
+                self.max_consecutive_timeouts is not None
+                and self._consecutive_timeouts > self.max_consecutive_timeouts
+            ):
+                if not self.done.triggered:
+                    self.done.fail(
+                        TransferStalled(
+                            f"{self.name}: no progress after "
+                            f"{self.timeouts} retransmission timeouts "
+                            f"({self.src} -> {self.dst})"
+                        )
+                    )
+                return None
+            # Exponential backoff; collapse the window to one segment and
+            # arm go-back-N: all in-flight data is presumed lost, so the
+            # ack-driven recovery in ``_on_ack`` re-streams it.
+            self._rto = min(self._rto * 2.0, self.max_rto)
+            self._cwnd = self.ip.max_segment
+            self._dup_acks = 0
+            self._recover_until = max(self._recover_until, self._sent_bytes)
+            first = self._first_unacked()
+            if first < len(self._payloads):
+                self._transmit(first, retransmit=True)
+            self._rexmit_next = first + 1
+            self._timer_epoch = self.env.now
         return None
 
     # -- receiver side ---------------------------------------------------------
     def _on_data(self, packet: Packet, now: float) -> None:
-        self._received += packet.payload_bytes
+        seq = packet.seq
+        if seq >= self._rx_next and seq not in self._rx_segments:
+            self._rx_segments[seq] = packet.payload_bytes
+            while self._rx_next in self._rx_segments:
+                self._received += self._rx_segments.pop(self._rx_next)
+                self._rx_next += 1
+        # Always acknowledge — duplicates included — with the cumulative
+        # reassembly point; duplicate ACKs drive fast retransmit.
         ack = Packet(
             flow=self.name,
             src=self.dst,
@@ -101,15 +232,61 @@ class BulkTransfer:
         acked = packet.meta["acked"]
         if acked > self._acked:
             self._acked = acked
-            if self.slow_start:
+            self._dup_acks = 0
+            self._consecutive_timeouts = 0
+            self._sample_rtt(now)
+            self._timer_epoch = now
+            if self._cwnd < self.window_bytes:
+                # Slow start, both initial (``slow_start=True``) and when
+                # regrowing the window a loss event collapsed.
                 self._cwnd = min(
                     self._cwnd + self.ip.max_segment, self.window_bytes
                 )
+            if self._acked < self._recover_until:
+                # Go-back-N after a timeout: re-stream the lost window,
+                # as much as the recovering cwnd allows per ack.
+                limit = min(
+                    self._acked + min(self._cwnd, self.window_bytes),
+                    self._recover_until,
+                )
+                self._rexmit_next = max(self._rexmit_next, self._first_unacked())
+                while (
+                    self._rexmit_next < len(self._payloads)
+                    and self._ends[self._rexmit_next] <= limit
+                ):
+                    self._transmit(self._rexmit_next, retransmit=True)
+                    self._rexmit_next += 1
             if not self._window_open.triggered:
                 self._window_open.succeed()
             if self._acked >= self.nbytes and not self.done.triggered:
                 self.end_time = now
                 self.done.succeed(self.throughput)
+        elif acked == self._acked and acked < self.nbytes:
+            self._dup_acks += 1
+            if self._dup_acks == self.dupack_threshold:
+                first = self._first_unacked()
+                if first < len(self._payloads) and first in self._sent_at:
+                    self.fast_retransmits += 1
+                    self._cwnd = max(self.ip.max_segment, self._cwnd // 2)
+                    self._transmit(first, retransmit=True)
+                    self._timer_epoch = now
+
+    def _sample_rtt(self, now: float) -> None:
+        """Jacobson RTT estimation; Karn's rule skips retransmitted
+        segments (their ACK is ambiguous)."""
+        newest = self._first_unacked() - 1
+        if newest < 0 or newest in self._rexmitted:
+            return
+        sample = now - self._sent_at[newest]
+        if self._srtt is None:
+            self._srtt = sample
+            self._rttvar = sample / 2.0
+        else:
+            self._rttvar = 0.75 * self._rttvar + 0.25 * abs(self._srtt - sample)
+            self._srtt = 0.875 * self._srtt + 0.125 * sample
+        self._rto = min(
+            self.max_rto, max(self.min_rto, self._srtt + 4.0 * self._rttvar)
+        )
 
     @property
     def throughput(self) -> float:
@@ -120,7 +297,11 @@ class BulkTransfer:
         return self.nbytes * 8 / elapsed if elapsed > 0 else float("inf")
 
     def run(self) -> float:
-        """Convenience: run the simulation until completion, return bit/s."""
+        """Convenience: run the simulation until completion, return bit/s.
+
+        Raises :class:`TransferStalled` if the path stays dead past the
+        retransmission backoff budget.
+        """
         self.env.run(until=self.done)
         return self.throughput
 
@@ -131,6 +312,16 @@ class CbrFlow:
     Emits ``frame_bytes`` every ``interval`` seconds, segmented at the IP
     MTU.  The sink counts complete frames and tracks inter-arrival jitter;
     frames missing segments (queue drops) count as lost.
+
+    After the last frame is emitted the flow drains until every segment
+    has arrived, no segment has arrived for an RTT-aware quiet window
+    (so long-RTT paths do not miscount in-flight frames as lost), or the
+    explicit ``drain_timeout`` elapses.
+
+    ``playout_deadline`` models the receiver's playout buffer: a complete
+    frame whose transit exceeds the deadline counts as late (and lost for
+    playback) rather than received — the fate of frames queued behind an
+    oversubscribed attachment.
     """
 
     _ids = 0
@@ -145,6 +336,8 @@ class CbrFlow:
         n_frames: int,
         ip: Optional[ClassicalIP] = None,
         name: str = "",
+        drain_timeout: Optional[float] = None,
+        playout_deadline: Optional[float] = None,
     ):
         CbrFlow._ids += 1
         self.net = net
@@ -156,17 +349,31 @@ class CbrFlow:
         self.n_frames = n_frames
         self.ip = ip or ClassicalIP()
         self.name = name or f"cbr{CbrFlow._ids}"
+        self.drain_timeout = drain_timeout
+        self.playout_deadline = playout_deadline
         self.done: Event = self.env.event()
         self.frames_received = 0
+        self.frames_late = 0
         self.frames_lost = 0
         self.interarrival = RunningStats()
         self.latency = RunningStats()
         self._rx_segments: dict[int, int] = {}
         self._frame_sent_at: dict[int, float] = {}
         self._last_arrival: Optional[float] = None
+        self._segments_received = 0
+        self._last_segment_time: Optional[float] = None
         self._segments_per_frame = len(self.ip.segments(frame_bytes))
         net.host(dst).register_sink(self.name, self._on_segment)
         self.env.process(self._sender())
+
+    def _path_rtt_estimate(self) -> float:
+        """Zero-load round trip of one full segment, for the drain window."""
+        from repro.netsim.tcp import characterize_path
+
+        try:
+            return characterize_path(self.net, self.src, self.dst, self.ip).rtt
+        except (ValueError, TypeError, KeyError):
+            return 0.0  # no route right now; fall back to interval-based wait
 
     def _sender(self):
         host = self.net.host(self.src)
@@ -184,20 +391,47 @@ class CbrFlow:
                     )
                 )
             yield self.env.timeout(self.interval)
-        # Allow the tail to drain before declaring the flow finished.
-        yield self.env.timeout(self.interval * 4)
+        # Drain the tail: keep waiting while segments are still arriving.
+        # A fixed interval multiple under-waits on long-RTT paths, so the
+        # quiet window covers a full round trip of the path as well.
+        total_segments = self.n_frames * self._segments_per_frame
+        quiet = max(4 * self.interval, 2 * self._path_rtt_estimate())
+        deadline = (
+            self.env.now + self.drain_timeout
+            if self.drain_timeout is not None
+            else float("inf")
+        )
+        drain_anchor = self.env.now
+        while self._segments_received < total_segments and self.env.now < deadline:
+            last = (
+                self._last_segment_time
+                if self._last_segment_time is not None
+                else drain_anchor
+            )
+            if self.env.now - last > quiet:
+                break  # path is silent: the remainder was lost
+            yield self.env.timeout(self.interval)
         self.frames_lost = self.n_frames - self.frames_received
         if not self.done.triggered:
             self.done.succeed()
         return None
 
     def _on_segment(self, packet: Packet, now: float) -> None:
+        self._segments_received += 1
+        self._last_segment_time = now
         frame = packet.seq
         got = self._rx_segments.get(frame, 0) + 1
         self._rx_segments[frame] = got
         if got == self._segments_per_frame:
+            transit = now - self._frame_sent_at[frame]
+            if (
+                self.playout_deadline is not None
+                and transit > self.playout_deadline
+            ):
+                self.frames_late += 1
+                return
             self.frames_received += 1
-            self.latency.add(now - self._frame_sent_at[frame])
+            self.latency.add(transit)
             if self._last_arrival is not None:
                 self.interarrival.add(now - self._last_arrival)
             self._last_arrival = now
@@ -221,7 +455,12 @@ class CbrFlow:
 
 
 class PingFlow:
-    """Small request/response pairs measuring round-trip time."""
+    """Small request/response pairs measuring round-trip time.
+
+    A lost echo no longer hangs the flow: after the last send the flow
+    waits out ``deadline`` seconds and then completes, reporting the
+    unanswered pings in ``lost``.
+    """
 
     _ids = 0
 
@@ -234,6 +473,7 @@ class PingFlow:
         payload: int = 16,
         interval: float = 1e-3,
         name: str = "",
+        deadline: Optional[float] = None,
     ):
         PingFlow._ids += 1
         self.net = net
@@ -244,7 +484,9 @@ class PingFlow:
         self.payload = payload
         self.interval = interval
         self.name = name or f"ping{PingFlow._ids}"
+        self.deadline = deadline if deadline is not None else max(1.0, 8 * interval)
         self.rtt = RunningStats()
+        self.lost = 0
         self.done: Event = self.env.event()
         self._sent_at: dict[int, float] = {}
         net.host(dst).register_sink(self.name, self._echo)
@@ -266,6 +508,12 @@ class PingFlow:
                 )
             )
             yield self.env.timeout(self.interval)
+        # Deadline after the last send: echoes lost to drops or failures
+        # must not block run() forever.
+        yield self.env.timeout(self.deadline)
+        if not self.done.triggered:
+            self.lost = self.count - self.rtt.n
+            self.done.succeed(self.rtt.mean)
         return None
 
     def _echo(self, packet: Packet, now: float) -> None:
@@ -287,6 +535,7 @@ class PingFlow:
             self.done.succeed(self.rtt.mean)
 
     def run(self) -> float:
-        """Run until all echoes return; mean RTT in seconds."""
+        """Run until all echoes return or the deadline passes; mean RTT in
+        seconds over the answered pings (0.0 if every ping was lost)."""
         self.env.run(until=self.done)
         return self.rtt.mean

@@ -12,6 +12,7 @@ Two views that must agree (and are cross-checked in the tests):
 
 from __future__ import annotations
 
+import math
 from dataclasses import dataclass, field
 
 from repro.netsim.core import Gateway, Host, Network
@@ -88,6 +89,32 @@ def tcp_steady_throughput(
     char = characterize_path(net, src, dst, ip)
     window_rate = window_bytes * 8 / char.rtt if char.rtt > 0 else float("inf")
     return min(char.pipeline_rate(), window_rate)
+
+
+def tcp_loss_throughput_bound(
+    net: Network,
+    src: str,
+    dst: str,
+    ip: ClassicalIP,
+    loss_rate: float,
+    window_bytes: float = float("inf"),
+) -> float:
+    """Upper bound on goodput under random per-packet loss ``loss_rate``.
+
+    The Mathis/Semke/Mahdavi steady-state form ``MSS/(RTT*sqrt(2p/3))``
+    capped by the zero-loss limit of :func:`tcp_steady_throughput`.  The
+    discrete-event :class:`~repro.netsim.flows.BulkTransfer` under
+    injected loss must measure at or below this (cross-checked in the
+    tests); at ``loss_rate=0`` it degenerates to the zero-loss reference.
+    """
+    zero_loss = tcp_steady_throughput(net, src, dst, ip, window_bytes)
+    if loss_rate <= 0:
+        return zero_loss
+    char = characterize_path(net, src, dst, ip)
+    if char.rtt <= 0:
+        return zero_loss
+    mathis = char.mss * 8 / (char.rtt * math.sqrt(2.0 * loss_rate / 3.0))
+    return min(zero_loss, mathis)
 
 
 @dataclass(frozen=True)

@@ -65,6 +65,7 @@ class GigabitTestbedWest:
     net: Network
     juelich_hosts: list[str] = field(default_factory=list)
     gmd_hosts: list[str] = field(default_factory=list)
+    wan_link_name: str = ""
 
     #: canonical node names
     T3E_600 = "t3e-600"
@@ -87,6 +88,12 @@ class GigabitTestbedWest:
         return self.net.host(name)
 
     @property
+    def wan_link(self):
+        """The Jülich ↔ Sankt Augustin backbone link (fault-injection
+        target for WAN outage experiments)."""
+        return self.net.links[self.wan_link_name]
+
+    @property
     def all_hosts(self) -> list[str]:
         """All end hosts on both sides."""
         return self.juelich_hosts + self.gmd_hosts
@@ -95,11 +102,14 @@ class GigabitTestbedWest:
 def build_testbed(
     env: Environment | None = None,
     oc48: bool = True,
+    wan_queue_packets: int | float = float("inf"),
 ) -> GigabitTestbedWest:
     """Build the Figure-1 topology.
 
     ``oc48=False`` gives the first-year OC-12 (622 Mbit/s) backbone for
-    before/after comparisons.
+    before/after comparisons.  ``wan_queue_packets`` bounds the backbone
+    transmit queues (finite values make the WAN lossy under overload, for
+    the fault-recovery experiments).
     """
     env = env or Environment()
     net = Network(env)
@@ -135,13 +145,15 @@ def build_testbed(
     # --- the WAN backbone --------------------------------------------------
     net.add(Switch(env, tb.SW_GMD, latency=SWITCH_LATENCY))
     backbone = STM16 if oc48 else STM4
+    tb.wan_link_name = "wan-oc48" if oc48 else "wan-oc12"
     net.link(
         tb.SW_JUELICH,
         tb.SW_GMD,
         backbone.payload_rate,
         WAN_PROPAGATION,
         AtmFraming(),
-        name="wan-oc48" if oc48 else "wan-oc12",
+        name=tb.wan_link_name,
+        queue_packets=wan_queue_packets,
     )
 
     # --- Sankt Augustin (GMD) ---------------------------------------------

@@ -46,6 +46,19 @@ class Store:
         self._serve_getters()
         return evt
 
+    def clear(self) -> list[Any]:
+        """Discard and return all queued items (fault injection: a crashed
+        gateway or downed link flushes its buffers).  Blocked putters are
+        then admitted into the freed space; pending getters keep waiting."""
+        dropped = list(self.items)
+        self.items.clear()
+        while self._putters and len(self.items) < self.capacity:
+            putter, item = self._putters.popleft()
+            self.items.append(item)
+            putter.succeed()
+        self._serve_getters()
+        return dropped
+
     def _serve_getters(self) -> None:
         while self._getters and self.items:
             getter = self._getters.popleft()
