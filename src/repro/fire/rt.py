@@ -138,6 +138,8 @@ class RTClient:
         self.server = server
         self.flags = flags or ModuleFlags()
         self.clip_level = clip_level
+        #: telemetry hook (repro.telemetry.probes.instrument_rt_client)
+        self.probe: Optional[object] = None
         scanner = server.scanner
         self.tr = scanner.config.tr
         self.stimulus = scanner.stimulus
@@ -152,6 +154,7 @@ class RTClient:
     # -- realtime path ------------------------------------------------------
     def process_frame(self, image: RawImage) -> ProcessedFrame:
         """The per-acquisition realtime processing chain."""
+        started = self.probe.clock() if self.probe is not None else 0.0
         vol = image.volume
         if self.flags.median:
             vol = median_filter3d(vol)
@@ -167,6 +170,8 @@ class RTClient:
         self.analyzer.update(vol)
         corr = self.analyzer.correlation()
         active = int(np.count_nonzero(np.abs(corr) >= self.clip_level))
+        if self.probe is not None:
+            self.probe.on_frame(self.probe.clock() - started, active)
         return ProcessedFrame(
             index=image.index, correlation=corr, motion=est, active_voxels=active
         )

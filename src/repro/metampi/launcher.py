@@ -21,6 +21,11 @@ from repro.machines.spec import MachineSpec
 from repro.metampi.comm import Intracomm
 from repro.metampi.runtime import Runtime
 from repro.metampi.transport import TransportModel
+from repro.telemetry.log import get_logger
+
+#: level-filtered and silent by default — library code must not write to
+#: stdout unconditionally (enable with repro.telemetry.enable_console()).
+log = get_logger("metampi.launcher")
 
 
 @dataclass
@@ -65,6 +70,10 @@ class MetaMPI:
             raise ValueError("need at least one rank per machine")
         for _ in range(ranks):
             self._layout.append(self.runtime.add_rank(spec, host))
+        log.debug(
+            "added %d rank(s) on %s (world size now %d)",
+            ranks, spec.name, len(self._layout),
+        )
         return self
 
     @property
@@ -99,6 +108,10 @@ class MetaMPI:
         if self.runtime.tracer is not None:
             self.runtime.tracer.bind_runtime(self.runtime)
 
+        log.info(
+            "starting %d rank(s) across %d machine(s)",
+            self.size, len({c.machine.name for c in self._layout}),
+        )
         for i, ctx in enumerate(self._layout):
             rank_args = per_rank_args[i] if per_rank_args is not None else args
             self.runtime.start_rank(ctx, fn, tuple(rank_args), world)
@@ -128,12 +141,20 @@ class MetaMPI:
                 if deadline is not None and time.monotonic() > deadline:
                     from repro.metampi.errors import DeadlockSuspected
 
+                    log.error(
+                        "ranks %s registered but never started",
+                        [c.world_rank for c in pending],
+                    )
                     raise DeadlockSuspected(
                         f"ranks {[c.world_rank for c in pending]} registered "
                         "but never started"
                     )
                 time.sleep(0.002)
 
+        log.info(
+            "run complete: %d rank(s), %.6f virtual seconds",
+            len(self.runtime.ranks), self.elapsed,
+        )
         return [
             RankResult(
                 rank=i,

@@ -80,6 +80,8 @@ class Runtime:
         self.transport = transport or TransportModel()
         self.wallclock_timeout = wallclock_timeout
         self.tracer = tracer
+        #: telemetry hook (repro.telemetry.probes.instrument_runtime)
+        self.probe: Any = None
         self.ranks: list[RankContext] = []
         self._tls = threading.local()
         self._lock = threading.Lock()
@@ -208,6 +210,11 @@ class Runtime:
                 self._channel_free[key] = start + occupancy
             arrival = start + occupancy + cost.latency
         src.clock += cost.sender_overhead
+        if self.probe is not None:
+            self.probe.on_message(
+                src.world_rank, dst_world, nbytes,
+                "intra" if key is None else "wan",
+            )
         msg = Message(
             src=src.world_rank,
             dst=dst_world,

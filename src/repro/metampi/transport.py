@@ -93,6 +93,8 @@ class TransportModel:
         self.ip = ip or ClassicalIP(TESTBED_MTU)
         self.default_wan = default_wan
         self.retry = retry
+        #: telemetry hook (repro.telemetry.probes.instrument_runtime)
+        self.probe: Optional[object] = None
         self._wan_cache: dict[tuple[str, str], LinkCost] = {}
         self._retry_lock = threading.Lock()
         if net is not None:
@@ -151,12 +153,16 @@ class TransportModel:
                 last_error = exc
                 if attempt == self.retry.max_attempts:
                     break
+                if self.probe is not None:
+                    self.probe.on_retry(src_host, dst_host)
                 # Serialize: rank threads must not step the DES engine
                 # concurrently.
                 with self._retry_lock:
                     env = self.net.env
                     env.run(until=env.now + delay)
                 delay *= self.retry.factor
+        if self.probe is not None:
+            self.probe.on_transport_error(src_host, dst_host)
         raise TransportError(
             src_host, dst_host, self.retry.max_attempts
         ) from last_error

@@ -106,6 +106,13 @@ class Link:
     * ``loss_rate`` — per-direction random wire loss probability, applied
       after serialization with a caller-supplied (seeded) RNG so runs are
       deterministic.  Lost packets are counted in ``lost``.
+
+    Every packet death is additionally tallied in ``drop_reasons`` under
+    a typed reason (``link_down``, ``queue_full``, ``tx_link_down``,
+    ``wire_loss``), and an optional telemetry ``probe`` (installed by
+    :func:`repro.telemetry.probes.instrument_network`) sees transmit,
+    drop and state-change events.  Uninstrumented links pay one ``is
+    None`` branch per event and nothing else.
     """
 
     def __init__(
@@ -131,9 +138,11 @@ class Link:
         self.queue_packets = queue_packets
         self.up = True
         self.network: Optional["Network"] = None
+        self.probe: Optional[Any] = None
         self._queues = {a.name: Store(env), b.name: Store(env)}
         self.drops = {a.name: 0, b.name: 0}
         self.lost = {a.name: 0, b.name: 0}
+        self.drop_reasons: dict[str, int] = {}
         self.loss_rate = {a.name: 0.0, b.name: 0.0}
         self._rng: Optional[random.Random] = None
         self.tx_bytes = {a.name: 0, b.name: 0}
@@ -149,11 +158,28 @@ class Link:
         """The peer of ``node`` on this link."""
         return self.b if node is self.a else self.a
 
+    def _drop(self, direction: str, reason: str, count: int = 1) -> None:
+        """Count ``count`` packets dropped before reaching the wire."""
+        self.drops[direction] += count
+        self.drop_reasons[reason] = self.drop_reasons.get(reason, 0) + count
+        if self.probe is not None:
+            self.probe.on_drop(self, direction, reason, count)
+
+    def _lose(self, direction: str, reason: str) -> None:
+        """Count one packet lost on the wire (after serialization)."""
+        self.lost[direction] += 1
+        self.drop_reasons[reason] = self.drop_reasons.get(reason, 0) + 1
+        if self.probe is not None:
+            self.probe.on_drop(self, direction, reason, 1)
+
     def send(self, from_node: "Node", packet: Packet) -> None:
         """Enqueue ``packet`` for transmission from ``from_node``."""
         q = self._queues[from_node.name]
-        if not self.up or len(q) >= self.queue_packets:
-            self.drops[from_node.name] += 1
+        if not self.up:
+            self._drop(from_node.name, "link_down")
+            return
+        if len(q) >= self.queue_packets:
+            self._drop(from_node.name, "queue_full")
             return
         q.put(packet)
 
@@ -164,7 +190,11 @@ class Link:
         self.up = up
         if not up:
             for direction, q in self._queues.items():
-                self.drops[direction] += len(q.clear())
+                flushed = len(q.clear())
+                if flushed:
+                    self._drop(direction, "link_down", flushed)
+        if self.probe is not None:
+            self.probe.on_state(self, up)
         if self.network is not None:
             self.network.invalidate_routes()
 
@@ -201,11 +231,11 @@ class Link:
             self.busy_time[src.name] += serialization
             self._tx_begin[src.name] = None
             if not self.up:
-                self.lost[src.name] += 1
+                self._lose(src.name, "tx_link_down")
                 continue
             rate = self.loss_rate[src.name]
             if rate > 0.0 and self._rng is not None and self._rng.random() < rate:
-                self.lost[src.name] += 1
+                self._lose(src.name, "wire_loss")
                 continue
             # Propagation does not occupy the transmitter: hand off to a
             # dedicated delivery event so back-to-back packets pipeline.
@@ -264,6 +294,8 @@ class Node:
             nxt = self.network.next_hop(self.name, packet.dst)
         except ValueError:
             self.network.no_route_drops += 1
+            if self.network.probe is not None:
+                self.network.probe.on_no_route(self.name, packet.dst)
             return
         self.link_to(nxt).send(self, packet)
 
@@ -374,14 +406,24 @@ class Gateway(Node):
         self.forwarded = 0
         self.up = True
         self.dropped = 0
+        self.drop_reasons: dict[str, int] = {}
+        self.probe: Optional[Any] = None
         env.process(self._worker())
+
+    def _drop(self, reason: str, count: int = 1) -> None:
+        self.dropped += count
+        self.drop_reasons[reason] = self.drop_reasons.get(reason, 0) + count
+        if self.probe is not None:
+            self.probe.on_drop(self, reason, count)
 
     def crash(self) -> None:
         """Take the gateway down: flush and black-hole traffic until restart."""
         if not self.up:
             return
         self.up = False
-        self.dropped += len(self._queue.clear())
+        flushed = len(self._queue.clear())
+        if flushed:
+            self._drop("gateway_down", flushed)
 
     def restart(self) -> None:
         """Bring a crashed gateway back into service."""
@@ -389,7 +431,7 @@ class Gateway(Node):
 
     def receive(self, packet: Packet, link: Link) -> None:
         if not self.up:
-            self.dropped += 1
+            self._drop("gateway_down")
             return
         self._queue.put(packet)
 
@@ -399,7 +441,7 @@ class Gateway(Node):
             if self.per_packet:
                 yield self.env.timeout(self.per_packet)
             if not self.up:
-                self.dropped += 1
+                self._drop("gateway_down")
                 continue
             self.forwarded += 1
             self.forward(packet)
@@ -421,6 +463,7 @@ class Network:
         self.nodes: dict[str, Node] = {}
         self.links: dict[str, Link] = {}
         self.no_route_drops = 0
+        self.probe: Optional[Any] = None
         self._routes: dict[tuple[str, str], str] = {}
         self._invalidation_listeners: list[Callable[[], None]] = []
 

@@ -87,6 +87,9 @@ class BulkTransfer:
         self.retransmits = 0
         self.timeouts = 0
         self.fast_retransmits = 0
+        #: telemetry hook (repro.telemetry.probes.instrument_flow); None
+        #: keeps the send/ack hot paths at a single branch
+        self.probe: Optional[object] = None
         # sender state
         self._acked = 0
         self._cwnd = self.ip.max_segment if slow_start else window_bytes
@@ -138,10 +141,12 @@ class BulkTransfer:
             self._sent_bytes += payload
         return None
 
-    def _transmit(self, seq: int, retransmit: bool = False) -> None:
+    def _transmit(self, seq: int, retransmit: bool = False, kind: str = "rto") -> None:
         if retransmit:
             self.retransmits += 1
             self._rexmitted.add(seq)
+            if self.probe is not None:
+                self.probe.on_retransmit(self, kind)
         elif self._acked >= self._sent_bytes:
             # Pipe was empty: the timer clock starts with this packet.
             self._timer_epoch = self.env.now
@@ -178,11 +183,15 @@ class BulkTransfer:
                 continue
             self.timeouts += 1
             self._consecutive_timeouts += 1
+            if self.probe is not None:
+                self.probe.on_timeout(self)
             if (
                 self.max_consecutive_timeouts is not None
                 and self._consecutive_timeouts > self.max_consecutive_timeouts
             ):
                 if not self.done.triggered:
+                    if self.probe is not None:
+                        self.probe.on_stall(self)
                     self.done.fail(
                         TransferStalled(
                             f"{self.name}: no progress after "
@@ -254,13 +263,15 @@ class BulkTransfer:
                     self._rexmit_next < len(self._payloads)
                     and self._ends[self._rexmit_next] <= limit
                 ):
-                    self._transmit(self._rexmit_next, retransmit=True)
+                    self._transmit(self._rexmit_next, retransmit=True, kind="gbn")
                     self._rexmit_next += 1
             if not self._window_open.triggered:
                 self._window_open.succeed()
             if self._acked >= self.nbytes and not self.done.triggered:
                 self.end_time = now
                 self.done.succeed(self.throughput)
+                if self.probe is not None:
+                    self.probe.on_complete(self)
         elif acked == self._acked and acked < self.nbytes:
             self._dup_acks += 1
             if self._dup_acks == self.dupack_threshold:
@@ -268,7 +279,7 @@ class BulkTransfer:
                 if first < len(self._payloads) and first in self._sent_at:
                     self.fast_retransmits += 1
                     self._cwnd = max(self.ip.max_segment, self._cwnd // 2)
-                    self._transmit(first, retransmit=True)
+                    self._transmit(first, retransmit=True, kind="fast")
                     self._timer_epoch = now
 
     def _sample_rtt(self, now: float) -> None:
@@ -352,6 +363,7 @@ class CbrFlow:
         self.drain_timeout = drain_timeout
         self.playout_deadline = playout_deadline
         self.done: Event = self.env.event()
+        self.probe: Optional[object] = None
         self.frames_received = 0
         self.frames_late = 0
         self.frames_lost = 0
@@ -412,6 +424,8 @@ class CbrFlow:
                 break  # path is silent: the remainder was lost
             yield self.env.timeout(self.interval)
         self.frames_lost = self.n_frames - self.frames_received
+        if self.probe is not None:
+            self.probe.on_done(self)
         if not self.done.triggered:
             self.done.succeed()
         return None
@@ -487,6 +501,7 @@ class PingFlow:
         self.deadline = deadline if deadline is not None else max(1.0, 8 * interval)
         self.rtt = RunningStats()
         self.lost = 0
+        self.probe: Optional[object] = None
         self.done: Event = self.env.event()
         self._sent_at: dict[int, float] = {}
         net.host(dst).register_sink(self.name, self._echo)
@@ -513,6 +528,8 @@ class PingFlow:
         yield self.env.timeout(self.deadline)
         if not self.done.triggered:
             self.lost = self.count - self.rtt.n
+            if self.probe is not None:
+                self.probe.on_done(self)
             self.done.succeed(self.rtt.mean)
         return None
 
@@ -532,6 +549,8 @@ class PingFlow:
     def _pong(self, packet: Packet, now: float) -> None:
         self.rtt.add(now - self._sent_at[packet.seq])
         if self.rtt.n == self.count and not self.done.triggered:
+            if self.probe is not None:
+                self.probe.on_done(self)
             self.done.succeed(self.rtt.mean)
 
     def run(self) -> float:

@@ -1,0 +1,59 @@
+"""Level-filtered logging for library code — silent by default.
+
+Library modules must never write to stdout unconditionally; they obtain
+a logger here and emit at the appropriate level.  The ``repro`` root
+logger carries a :class:`logging.NullHandler`, so nothing is printed
+unless the embedding application configures logging — or calls
+:func:`enable_console` for the quick-look case::
+
+    from repro.telemetry.log import get_logger
+    log = get_logger("metampi.launcher")
+    log.info("starting %d ranks", n)      # silent unless enabled
+
+    from repro.telemetry import log as tlog
+    tlog.enable_console("DEBUG")           # now it prints, to stderr
+"""
+
+from __future__ import annotations
+
+import logging
+from typing import Optional, Union
+
+ROOT_NAME = "repro"
+
+_root = logging.getLogger(ROOT_NAME)
+_root.addHandler(logging.NullHandler())
+
+_console_handler: Optional[logging.Handler] = None
+
+
+def get_logger(name: str = "") -> logging.Logger:
+    """The logger for ``repro.<name>`` (the package root for '')."""
+    return logging.getLogger(f"{ROOT_NAME}.{name}" if name else ROOT_NAME)
+
+
+def set_level(level: Union[int, str]) -> None:
+    """Set the threshold of the ``repro`` logger tree."""
+    _root.setLevel(level)
+
+
+def enable_console(level: Union[int, str] = "INFO") -> logging.Handler:
+    """Attach one stderr handler to the ``repro`` tree (idempotent)."""
+    global _console_handler
+    if _console_handler is None:
+        _console_handler = logging.StreamHandler()
+        _console_handler.setFormatter(
+            logging.Formatter("%(name)s %(levelname)s: %(message)s")
+        )
+        _root.addHandler(_console_handler)
+    _console_handler.setLevel(level)
+    set_level(level)
+    return _console_handler
+
+
+def disable_console() -> None:
+    """Detach the console handler installed by :func:`enable_console`."""
+    global _console_handler
+    if _console_handler is not None:
+        _root.removeHandler(_console_handler)
+        _console_handler = None

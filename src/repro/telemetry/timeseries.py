@@ -1,0 +1,148 @@
+"""Sim-clock-driven sampling of registry series into ring buffers.
+
+The :class:`Sampler` is a discrete-event process on the simulation
+:class:`~repro.sim.Environment`: every ``interval`` simulated seconds it
+snapshots each counter and gauge in the registry into a bounded
+:class:`RingBuffer`, then notifies its tick listeners (the
+:class:`~repro.telemetry.alerts.AlertManager` registers itself here, so
+alert rules are evaluated on the same cadence the testbed staff polled
+their monitors).
+
+The sampler keeps rescheduling itself for as long as it runs, which
+would keep an otherwise-drained event queue alive: simulations that use
+``env.run()`` with no horizon should :meth:`Sampler.stop` it first (runs
+bounded by ``until=time`` or ``until=event`` — every flow's ``run()``
+helper — need no special care).
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Optional
+
+from repro.sim import Environment
+from repro.telemetry.metrics import MetricsRegistry, _label_key
+
+
+class RingBuffer:
+    """A bounded series of ``(time, value)`` samples (oldest evicted)."""
+
+    __slots__ = ("capacity", "_data", "_start")
+
+    def __init__(self, capacity: int = 1024):
+        if capacity < 1:
+            raise ValueError("ring buffer capacity must be >= 1")
+        self.capacity = capacity
+        self._data: list[tuple[float, float]] = []
+        self._start = 0  # index of the oldest sample (circular)
+
+    def append(self, t: float, value: float) -> None:
+        if len(self._data) < self.capacity:
+            self._data.append((t, value))
+        else:
+            self._data[self._start] = (t, value)
+            self._start = (self._start + 1) % self.capacity
+
+    def __len__(self) -> int:
+        return len(self._data)
+
+    def __iter__(self):
+        n = len(self._data)
+        for i in range(n):
+            yield self._data[(self._start + i) % n]
+
+    @property
+    def last(self) -> Optional[tuple[float, float]]:
+        """Most recent ``(time, value)`` sample, or ``None`` if empty."""
+        if not self._data:
+            return None
+        return self._data[(self._start - 1) % len(self._data)]
+
+    def times(self) -> list[float]:
+        return [t for t, _ in self]
+
+    def values(self) -> list[float]:
+        return [v for _, v in self]
+
+
+class Sampler:
+    """Periodic snapshotter of counters and gauges.
+
+    ``interval`` is simulated seconds.  Buffers appear lazily as series
+    are first seen, so series created mid-run are picked up from their
+    first tick onwards.
+    """
+
+    def __init__(
+        self,
+        env: Environment,
+        registry: MetricsRegistry,
+        interval: float = 0.1,
+        capacity: int = 1024,
+    ):
+        if interval <= 0:
+            raise ValueError("sampling interval must be positive")
+        self.env = env
+        self.registry = registry
+        self.interval = interval
+        self.capacity = capacity
+        self.samples_taken = 0
+        self._buffers: dict[tuple, RingBuffer] = {}
+        # Per-tick fast path: series object -> buffer, so the sorted
+        # label key is computed once per series, not once per sample.
+        self._by_series: dict[int, RingBuffer] = {}
+        self._listeners: list[Callable[[float], None]] = []
+        self._running = False
+        self._stopped = False
+
+    # -- lifecycle ---------------------------------------------------------
+    def start(self) -> "Sampler":
+        """Begin sampling (idempotent); returns self for chaining."""
+        if not self._running:
+            self._running = True
+            self._stopped = False
+            self.env.process(self._run())
+        return self
+
+    def stop(self) -> None:
+        """Stop sampling after the current tick; the process unwinds at
+        its next wakeup without scheduling further events."""
+        self._stopped = True
+        self._running = False
+
+    def _run(self):
+        while not self._stopped:
+            self.sample_once()
+            yield self.env.timeout(self.interval)
+        return None
+
+    # -- sampling ----------------------------------------------------------
+    def add_listener(self, fn: Callable[[float], None]) -> None:
+        """Call ``fn(now)`` after every tick (alert evaluation hook)."""
+        self._listeners.append(fn)
+
+    def sample_once(self) -> float:
+        """Take one snapshot immediately; returns the sample time."""
+        now = self.env.now
+        by_series = self._by_series
+        for series in self.registry.series():
+            buf = by_series.get(id(series))
+            if buf is None:
+                if series.kind == "histogram":
+                    continue  # distributions are exported whole, not sampled
+                buf = RingBuffer(self.capacity)
+                by_series[id(series)] = buf
+                self._buffers[(series.name, _label_key(series.labels))] = buf
+            buf.append(now, series.value)
+        self.samples_taken += 1
+        for fn in self._listeners:
+            fn(now)
+        return now
+
+    # -- access ------------------------------------------------------------
+    def buffer(self, name: str, **labels) -> Optional[RingBuffer]:
+        """The ring buffer of one series, or ``None`` if never sampled."""
+        return self._buffers.get((name, _label_key(labels)))
+
+    def buffers(self) -> dict[tuple, RingBuffer]:
+        """All buffers keyed by ``(name, label_key)``."""
+        return dict(self._buffers)

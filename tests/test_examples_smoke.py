@@ -27,6 +27,7 @@ def examples_on_path(monkeypatch):
             "vampir_trace_demo",
             "meg_music_localization",
             "climate_coupling",
+            "telemetry_dashboard",
         }:
             del sys.modules[name]
 
@@ -59,6 +60,14 @@ def test_vampir_trace_demo(capsys):
     out = run_example("vampir_trace_demo", capsys)
     assert "timeline" in out
     assert "load imbalance" in out
+
+
+def test_telemetry_dashboard(capsys):
+    out = run_example("telemetry_dashboard", capsys)
+    assert "ALERT  wan-down" in out
+    assert "clear  wan-down" in out
+    assert "testbed weather map" in out
+    assert "exported" in out
 
 
 def test_meg_music_localization(capsys):
