@@ -7,7 +7,6 @@ broadcast + reduce pattern on a T3E+SP2 metacomputer with topology-aware
 trees vs flat binomial trees that cross the WAN indiscriminately.
 """
 
-import pytest
 
 from repro.machines import CRAY_T3E_600, IBM_SP2
 from repro.metampi import MetaMPI, SUM
@@ -30,7 +29,9 @@ def run_collectives(hierarchical: bool, payload_kb: int = 512, rounds: int = 3):
 
 
 def test_hierarchical_collectives_win(report, benchmark):
-    benchmark.pedantic(run_collectives, args=(True,), kwargs={"rounds": 1}, rounds=1, iterations=1)
+    benchmark.pedantic(
+        run_collectives, args=(True,), kwargs={"rounds": 1}, rounds=1, iterations=1
+    )
     flat = run_collectives(hierarchical=False)
     hier = run_collectives(hierarchical=True)
     report.add(

@@ -7,7 +7,6 @@ dominates and throughput collapses.  Window size is swept as well (the
 long-fat-network effect over the 100 km WAN).
 """
 
-import pytest
 
 from repro.netsim import BulkTransfer, ClassicalIP, build_testbed
 from repro.netsim.ip import DEFAULT_ATM_MTU, ETHERNET_MTU, TESTBED_MTU
@@ -19,7 +18,10 @@ MTUS = (ETHERNET_MTU, 4352, DEFAULT_ATM_MTU, 32 * KBYTE, TESTBED_MTU)
 
 def test_e9_mtu_sweep(report, benchmark):
     tb = benchmark.pedantic(build_testbed, rounds=1, iterations=1)
-    lines = [f"{'MTU (bytes)':>12} {'local Cray (Mbit/s)':>20} {'WAN T3E-SP2 (Mbit/s)':>21}"]
+    lines = [
+        f"{'MTU (bytes)':>12} {'local Cray (Mbit/s)':>20} "
+        f"{'WAN T3E-SP2 (Mbit/s)':>21}"
+    ]
     rates = []
     for mtu in MTUS:
         ip = ClassicalIP(mtu)
@@ -27,7 +29,9 @@ def test_e9_mtu_sweep(report, benchmark):
         wan = tcp_steady_throughput(tb.net, "t3e-600", "sp2", ip)
         rates.append(local)
         lines.append(f"{mtu:>12} {local / 1e6:>20.1f} {wan / 1e6:>21.1f}")
-    report.add("E9: TCP throughput vs MTU (host stack cost dominates)", "\n".join(lines))
+    report.add(
+        "E9: TCP throughput vs MTU (host stack cost dominates)", "\n".join(lines)
+    )
 
     assert rates == sorted(rates)  # monotone in MTU
     assert rates[-1] > 20 * rates[0]  # 64K vs 1500: order-of-magnitude+

@@ -12,7 +12,6 @@ sites — and the projected T3E time at the reduced work confirms the
 mid-range-machine expectation.
 """
 
-import numpy as np
 import pytest
 
 from repro.fire import HeadPhantom, ScannerConfig, SimulatedScanner

@@ -10,7 +10,6 @@ states, from the running stand-in:
 """
 
 import numpy as np
-import pytest
 
 from repro.apps.groundwater import required_bandwidth, run_coupled
 from repro.apps.climate import run_coupled_climate

@@ -13,7 +13,14 @@ import time
 import numpy as np
 import pytest
 
-from repro.fire import HeadPhantom, ModuleFlags, RTClient, RTServer, ScannerConfig, SimulatedScanner
+from repro.fire import (
+    HeadPhantom,
+    ModuleFlags,
+    RTClient,
+    RTServer,
+    ScannerConfig,
+    SimulatedScanner,
+)
 from repro.viz import overlay_slice, roi_timecourse, slice_mosaic
 
 

@@ -8,7 +8,6 @@ than 8 frames per second*.
 """
 
 import numpy as np
-import pytest
 
 from repro.fire import HeadPhantom
 from repro.netsim import build_testbed
@@ -58,8 +57,8 @@ def test_fig4_workbench_fps(report, benchmark):
     path_fps = workbench_fps_over_path(tb.net, "onyx2-gmd", "onyx2-juelich")
     rows.append(f"{'testbed Onyx2->Onyx2':<22} {path_fps:>18.2f}")
     rows.append(
-        f"paper: 'less than 8 frames/second ... over a 622 Mbit/s ATM "
-        f"network using classical IP'"
+        "paper: 'less than 8 frames/second ... over a 622 Mbit/s ATM "
+        "network using classical IP'"
     )
     report.add("E5b: Responsive Workbench frame rates", "\n".join(rows))
 
@@ -77,7 +76,6 @@ def test_fig4_remote_display_pipeline(report, benchmark):
     from repro.viz.remote_display import (
         GRAPHICS_WORKSTATION,
         MERGED_VOLUME,
-        ONYX2_PIPE,
         remote_display_fps,
     )
 

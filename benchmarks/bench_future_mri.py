@@ -11,7 +11,6 @@ smallest T3E partition that keeps the pipeline realtime — sequential
 the full 512-PE machine; at 16× even pipelining does.
 """
 
-import pytest
 
 from repro.fire.session import required_pes_for_realtime
 from repro.machines.t3e_model import REF_VOXELS

@@ -9,10 +9,9 @@ collective scaling.
 """
 
 import numpy as np
-import pytest
 
 from repro.machines import CRAY_T3E_600, IBM_SP2
-from repro.metampi import MetaMPI, SUM
+from repro.metampi import MetaMPI
 
 SIZES = (0, 1024, 16 * 1024, 256 * 1024, 4 * 1024 * 1024)
 

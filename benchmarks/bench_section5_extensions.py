@@ -9,14 +9,13 @@ super-/sub-critical hydrothermal convection).
 """
 
 import numpy as np
-import pytest
 
 from repro.apps.lithosphere import run_hydrothermal
 from repro.apps.moldyn import run_multiscale
 from repro.apps.traffic import fundamental_diagram, run_distributed_traffic
 from repro.apps.tvproduction import plan_production
 from repro.netsim.extensions import build_extended_testbed
-from repro.netsim.qos import AdmissionError, QosManager
+from repro.netsim.qos import AdmissionError
 
 
 def test_s5_traffic_fundamental_diagram(report, benchmark):

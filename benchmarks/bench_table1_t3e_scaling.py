@@ -1,39 +1,49 @@
 """E1 + E7 — Table 1: FIRE module times on the Cray T3E, 1–256 PEs.
 
-Regenerates the paper's table from the calibrated performance model and
-checks the reproduction bands; E7 sweeps a larger image to confirm
-"larger images take more time, but achieve better speedups".
-The pytest-benchmark timing covers the *actual* per-image processing of
-the module chain on this machine (the real numerics, not the model).
+The model side now runs through the sweep harness: the committed
+``table1_t3e`` grid (PE count x image size) is executed once per
+module, its summary is gated against the committed baseline, and the
+paper's reproduction bands are checked on the sweep's metrics.  The
+pytest-benchmark timings still cover the *actual* per-image processing
+of the module chain on this machine (the real numerics, not the model).
 """
 
-import numpy as np
+import os
+
 import pytest
 
 from repro.fire import HeadPhantom, ScannerConfig, SimulatedScanner
+from repro.fire.hrf import HrfModel, reference_vector
 from repro.fire.modules import (
     correlation_map,
     detrend_timeseries,
     median_filter3d,
     rvo_raster,
 )
-from repro.fire.hrf import HrfModel, reference_vector
-from repro.machines.t3e_model import (
-    REF_VOXELS,
-    TABLE1,
-    TABLE1_PES,
-    default_model,
-)
+from repro.harness import SweepRunner, check_sweep, open_cache, sweep_specs
+from repro.machines.t3e_model import REF_VOXELS, TABLE1, TABLE1_PES
+
+QUICK = bool(os.environ.get("REPRO_BENCH_QUICK"))
+MODE = "quick" if QUICK else "full"
+BASELINES = os.path.join(os.path.dirname(__file__), "results", "baselines")
+BIG_VOXELS = 8 * REF_VOXELS  # 128 x 128 x 32
 
 
-def format_comparison(model) -> str:
+@pytest.fixture(scope="module")
+def sweep():
+    runner = SweepRunner(cache=open_cache(), timeout=120.0)
+    return runner.run(sweep_specs("table1_t3e", quick=QUICK), name="table1_t3e")
+
+
+def format_comparison(sweep) -> str:
     lines = [
         f"{'PEs':>5} | {'paper total':>11} {'model total':>11} {'err%':>6} | "
         f"{'paper speedup':>13} {'model speedup':>13}"
     ]
     for row in TABLE1:
-        total = model.total_time(row.pes)
-        speedup = model.speedup(row.pes)
+        point = sweep.find("t3e_scaling", pes=row.pes, voxels=REF_VOXELS)
+        total = point.metrics["total_s"]
+        speedup = point.metrics["speedup"]
         err = (total - row.total) / row.total * 100
         lines.append(
             f"{row.pes:>5} | {row.total:>11.2f} {total:>11.2f} {err:>+6.1f} | "
@@ -42,39 +52,45 @@ def format_comparison(model) -> str:
     return "\n".join(lines)
 
 
-def test_table1_reproduction(report, benchmark):
-    model = default_model()
-    benchmark.pedantic(model.table, rounds=1, iterations=1)
+def test_table1_reproduction(report, sweep, benchmark):
+    benchmark.pedantic(sweep.metrics, rounds=1, iterations=1)
     report.add(
         "E1: Table 1 (T3E processing times, 64x64x16 image)",
-        format_comparison(model),
+        format_comparison(sweep),
     )
     for row in TABLE1:
-        assert model.total_time(row.pes) == pytest.approx(row.total, rel=0.05)
-        assert model.speedup(row.pes) == pytest.approx(row.speedup, rel=0.05)
+        point = sweep.find("t3e_scaling", pes=row.pes, voxels=REF_VOXELS)
+        assert point.metrics["total_s"] == pytest.approx(row.total, rel=0.05)
+        assert point.metrics["speedup"] == pytest.approx(row.speedup, rel=0.05)
 
 
-def test_e7_larger_images_better_speedups(report, benchmark):
-    model = default_model()
-    benchmark.pedantic(model.speedup, args=(256, 128 * 128 * 32), rounds=1, iterations=1)
-    big = 128 * 128 * 32  # 8x the voxels
+def test_e7_larger_images_better_speedups(report, sweep):
     lines = [f"{'PEs':>5} | {'64x64x16 speedup':>17} | {'128x128x32 speedup':>18}"]
     for p in TABLE1_PES:
+        ref = sweep.find("t3e_scaling", pes=p, voxels=REF_VOXELS).metrics
+        big = sweep.find("t3e_scaling", pes=p, voxels=BIG_VOXELS).metrics
         lines.append(
-            f"{p:>5} | {model.speedup(p):>17.1f} | {model.speedup(p, big):>18.1f}"
+            f"{p:>5} | {ref['speedup']:>17.1f} | {big['speedup']:>18.1f}"
         )
     report.add("E7: larger images achieve better speedups", "\n".join(lines))
-    assert model.speedup(256, big) > 1.5 * model.speedup(256)
-    assert model.total_time(256, big) > model.total_time(256)
+    ref256 = sweep.find("t3e_scaling", pes=256, voxels=REF_VOXELS).metrics
+    big256 = sweep.find("t3e_scaling", pes=256, voxels=BIG_VOXELS).metrics
+    assert big256["speedup"] > 1.5 * ref256["speedup"]
+    assert big256["total_s"] > ref256["total_s"]
 
 
-def test_rvo_dominates(report, benchmark):
+def test_rvo_dominates(sweep):
     """Paper: 'The most time consuming module is the RVO.'"""
-    model = default_model()
-    benchmark.pedantic(model.rvo.time, args=(256,), rounds=1, iterations=1)
     for p in TABLE1_PES:
-        assert model.rvo.time(p) > model.motion.time(p)
-        assert model.rvo.time(p) > model.filter.time(p)
+        point = sweep.find("t3e_scaling", pes=p, voxels=REF_VOXELS).metrics
+        assert point["rvo_s"] > point["motion_s"]
+        assert point["rvo_s"] > point["filter_s"]
+
+
+def test_sweep_regression_gate(report, sweep):
+    gate = check_sweep(sweep, MODE, directory=BASELINES)
+    report.add("E1b: table1_t3e regression gate", gate.format())
+    assert gate.passed, gate.format()
 
 
 @pytest.fixture(scope="module")

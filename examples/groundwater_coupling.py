@@ -9,7 +9,6 @@ coupling.
 Run:  python examples/groundwater_coupling.py
 """
 
-import numpy as np
 
 from repro.apps.groundwater import (
     ParticleTracker,

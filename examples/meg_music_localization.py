@@ -11,14 +11,8 @@ Run:  python examples/meg_music_localization.py
 
 import numpy as np
 
-from repro.apps.meg import (
-    HeterogeneousCostModel,
-    SensorArray,
-    music_localize,
-    run_pmusic,
-)
+from repro.apps.meg import HeterogeneousCostModel, SensorArray, run_pmusic
 from repro.apps.meg.forward import synthetic_recording
-from repro.apps.meg.music import default_grid
 
 
 def main() -> None:

@@ -32,8 +32,14 @@ def main() -> None:
     local = BulkTransfer(tb.net, "t3e-600", "t3e-1200", 20 * MBYTE, ip=ip).run()
     tb = build_testbed()
     wan = BulkTransfer(tb.net, "t3e-600", "sp2", 20 * MBYTE, ip=ip).run()
-    print(f"local Cray complex TCP/IP @64K MTU: {pretty_rate(local)} (paper: >430 Mbit/s)")
-    print(f"T3E <-> SP2 across the 100 km WAN:  {pretty_rate(wan)} (paper: >260 Mbit/s)")
+    print(
+        f"local Cray complex TCP/IP @64K MTU: {pretty_rate(local)} "
+        f"(paper: >430 Mbit/s)"
+    )
+    print(
+        f"T3E <-> SP2 across the 100 km WAN:  {pretty_rate(wan)} "
+        f"(paper: >260 Mbit/s)"
+    )
 
     # 3. Table 1 (paper Section 4).
     print("\n-- Table 1: FIRE on the T3E --")

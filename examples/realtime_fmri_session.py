@@ -8,12 +8,14 @@ final RVO analysis to a simulated T3E partition via the RPC layer, and
 the results are rendered: the Figure-3 2-D overlay mosaic, the Figure-4
 3-D head rendering, plus the Responsive Workbench frame-rate analysis.
 
-Outputs PPM/PGM images into examples/output/.
+Outputs PPM/PGM images into a temp directory (override with
+REPRO_EXAMPLES_OUT; generated artifacts are not kept in the repository).
 
 Run:  python examples/realtime_fmri_session.py
 """
 
 import os
+import tempfile
 
 import numpy as np
 
@@ -39,7 +41,9 @@ from repro.viz import (
     workbench_fps,
 )
 
-OUT = os.path.join(os.path.dirname(__file__), "output")
+OUT = os.environ.get("REPRO_EXAMPLES_OUT") or os.path.join(
+    tempfile.gettempdir(), "repro-examples"
+)
 
 
 def main() -> None:
@@ -55,8 +59,11 @@ def main() -> None:
 
     print("processing the measurement in realtime...")
     frames = client.run()
-    print(f"  processed {len(frames)} images; "
-          f"mean head motion {np.mean([m.magnitude for m in client.motion_track]):.2f} voxels")
+    mean_motion = np.mean([m.magnitude for m in client.motion_track])
+    print(
+        f"  processed {len(frames)} images; "
+        f"mean head motion {mean_motion:.2f} voxels"
+    )
 
     # --- delegate the RVO to "the T3E" over the RPC layer ----------------
     print("delegating RVO to the T3E partition (RPC over metampi)...")

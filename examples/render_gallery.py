@@ -1,7 +1,7 @@
 #!/usr/bin/env python
 """Render gallery: every visual artifact the reproduction can produce.
 
-Writes to examples/output/:
+Writes to a temp directory (override with REPRO_EXAMPLES_OUT):
 
 * the Figure-3 overlay mosaic at three clip levels,
 * the Figure-4 head: MIP vs alpha-composited, plus an orbit strip,
@@ -13,18 +13,28 @@ Run:  python examples/render_gallery.py
 """
 
 import os
+import tempfile
 
 import numpy as np
 
 from repro.apps.lithosphere import HydrothermalCell
 from repro.apps.traffic import NagelSchreckenberg
-from repro.fire import HeadPhantom, ModuleFlags, RTClient, RTServer, ScannerConfig, SimulatedScanner
+from repro.fire import (
+    HeadPhantom,
+    ModuleFlags,
+    RTClient,
+    RTServer,
+    ScannerConfig,
+    SimulatedScanner,
+)
 from repro.util.images import write_pgm, write_ppm
 from repro.viz import merge_functional, render_stereo_pair, slice_mosaic
 from repro.viz.colormap import hot_colormap, normalize
 from repro.viz.render3d import composite_render, orbit, render_frame
 
-OUT = os.path.join(os.path.dirname(__file__), "output")
+OUT = os.environ.get("REPRO_EXAMPLES_OUT") or os.path.join(
+    tempfile.gettempdir(), "repro-examples"
+)
 
 
 def fmri_images() -> None:
@@ -51,7 +61,10 @@ def fmri_images() -> None:
         composite_render(anat, func, azimuth_deg=25.0),
     )
     left, right = render_stereo_pair(anat, func, azimuth_deg=25.0)
-    write_ppm(os.path.join(OUT, "fig4_stereo.ppm"), np.concatenate([left, right], axis=1))
+    write_ppm(
+        os.path.join(OUT, "fig4_stereo.ppm"),
+        np.concatenate([left, right], axis=1),
+    )
 
     frames = orbit(anat, func, n_frames=6, output_shape=(128, 170))
     write_ppm(os.path.join(OUT, "fig4_orbit_strip.ppm"), np.concatenate(frames, axis=1))

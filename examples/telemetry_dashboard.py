@@ -10,12 +10,15 @@ suffers a mid-transfer outage, with the full telemetry stack attached:
 * the console "testbed weather map" the testbed staff would have taped
   next to the operations phone, plus JSONL/CSV exports.
 
-Writes metrics.jsonl / metrics.csv / samples.jsonl to examples/output/.
+Writes metrics.jsonl / metrics.csv / samples.jsonl to a temp directory
+(override with REPRO_EXAMPLES_OUT; generated artifacts are not kept in
+the repository).
 
 Run:  python examples/telemetry_dashboard.py
 """
 
 import os
+import tempfile
 
 from repro.netsim import BulkTransfer, ClassicalIP, FaultInjector, build_testbed
 from repro.netsim.ip import TESTBED_MTU
@@ -34,7 +37,9 @@ from repro.telemetry import (
 )
 from repro.util.units import MBYTE, pretty_rate
 
-OUT = os.path.join(os.path.dirname(__file__), "output")
+OUT = os.environ.get("REPRO_EXAMPLES_OUT") or os.path.join(
+    tempfile.gettempdir(), "repro-examples"
+)
 OUTAGE_AT, OUTAGE_LEN = 0.2, 1.0
 
 
@@ -92,8 +97,7 @@ def main() -> None:
                         now=tb.net.env.now)
     to_csv(registry, os.path.join(OUT, "metrics.csv"))
     n_samples = samples_to_jsonl(sampler, os.path.join(OUT, "samples.jsonl"))
-    print(f"exported {n_series} series and {n_samples} samples to "
-          f"examples/output/")
+    print(f"exported {n_series} series and {n_samples} samples to {OUT}/")
 
 
 if __name__ == "__main__":

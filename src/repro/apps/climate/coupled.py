@@ -9,7 +9,6 @@ from __future__ import annotations
 
 from dataclasses import dataclass
 
-import numpy as np
 
 from repro.apps.climate.atmosphere import AtmosphereModel
 from repro.apps.climate.coupler import FluxCoupler

@@ -8,7 +8,7 @@ recorded as breakthrough.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 
 import numpy as np
 

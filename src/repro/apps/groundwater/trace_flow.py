@@ -108,7 +108,8 @@ class TraceSolver:
     def velocity(self, head: np.ndarray) -> tuple[np.ndarray, np.ndarray, np.ndarray]:
         """Darcy seepage velocity (vz, vy, vx) at cell centers."""
         grads = np.gradient(head, self.spacing)
-        return tuple(-self.k * g / self.porosity for g in grads)  # type: ignore[return-value]
+        velocity = tuple(-self.k * g / self.porosity for g in grads)
+        return velocity  # type: ignore[return-value]
 
 
 def k_take(k: np.ndarray, side: str, axis: int) -> np.ndarray:

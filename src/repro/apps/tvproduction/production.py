@@ -8,7 +8,7 @@ testbed; the runner actually composites frames shipped over metampi.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 
 import numpy as np
 
@@ -19,7 +19,7 @@ from repro.apps.tvproduction.compositing import (
 )
 from repro.apps.video.d1 import D1_RATE
 from repro.netsim.extensions import ExtendedTestbed, build_extended_testbed
-from repro.netsim.qos import AdmissionError, QosManager, VcReservation
+from repro.netsim.qos import QosManager, VcReservation
 
 
 @dataclass

@@ -13,8 +13,7 @@ placed at the earliest time every resource can honour it together.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
-from typing import Optional
+from dataclasses import dataclass
 
 
 @dataclass(frozen=True)

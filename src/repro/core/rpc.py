@@ -12,7 +12,7 @@ remote exceptions, which travel back as :class:`RpcError`.
 from __future__ import annotations
 
 import traceback
-from typing import Any, Callable, Optional
+from typing import Any, Callable
 
 from repro.metampi.comm import Comm
 

@@ -15,7 +15,7 @@ which is exactly the realtime-analysis challenge the paper predicts.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 
 import numpy as np
 
@@ -103,7 +103,11 @@ def bold_cnr(
         idx = (
             single_echo_index
             if single_echo_index is not None
-            else int(np.argmax([protocol.bold_sensitivity(te) for te in protocol.echo_times]))
+            else int(
+                np.argmax(
+                    [protocol.bold_sensitivity(te) for te in protocol.echo_times]
+                )
+            )
         )
         contrast = abs(float(act[idx] - rest[idx]))
         noise = noise_sigma

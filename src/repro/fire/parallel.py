@@ -14,7 +14,6 @@ from typing import Optional
 import numpy as np
 
 from repro.fire.decomposition import gather_slabs, slab_bounds
-from repro.fire.hrf import reference_bank
 from repro.fire.modules.correlate import correlation_map
 from repro.fire.modules.detrend import detrend_timeseries, detrending_basis
 from repro.fire.modules.rvo import RvoResult, _grid_scan

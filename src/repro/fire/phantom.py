@@ -8,7 +8,7 @@ the entire analysis chain verifiable against ground truth.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 
 import numpy as np
 

@@ -19,14 +19,13 @@ implements the improvement the paper points out it is missing.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Optional
 
 import numpy as np
 
 from repro.machines.t3e_model import REF_VOXELS, T3EPerformanceModel, default_model
 from repro.sim import Environment, Store
-from repro.util.stats import RunningStats
 
 #: Bytes per voxel of the raw image (16-bit) and of the result maps.
 RAW_BYTES_PER_VOXEL = 2

@@ -10,7 +10,7 @@ optional and switchable at runtime from the GUI.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Iterator, Optional
 
 import numpy as np

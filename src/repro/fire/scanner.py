@@ -12,7 +12,7 @@ the scan (for a 64x64x16 image)" — exposed as ``delivery_delay``.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Iterator, Optional
 
 import numpy as np
@@ -110,7 +110,9 @@ class SimulatedScanner:
         if a == 0.0:
             return np.zeros(3)
         phase = 2 * np.pi * frame / self.config.motion_period
-        return np.array([0.15 * a * np.sin(phase), a * np.sin(phase), a * np.cos(phase) - a])
+        return np.array(
+            [0.15 * a * np.sin(phase), a * np.sin(phase), a * np.cos(phase) - a]
+        )
 
     def frame(self, index: int) -> np.ndarray:
         """Synthesize acquisition ``index`` (float64 volume)."""

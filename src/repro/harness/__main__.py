@@ -1,0 +1,7 @@
+"""Entry point for ``python -m repro.harness``."""
+
+import sys
+
+from repro.harness.cli import main
+
+sys.exit(main())

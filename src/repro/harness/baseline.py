@@ -1,0 +1,204 @@
+"""Baseline files and the regression comparator.
+
+A baseline is a committed JSON document holding, per execution mode
+("full" / "quick"), the flattened ``label/metric`` values a sweep is
+expected to reproduce, plus tolerances.  The comparator classifies each
+baseline metric as ``ok``, ``regression`` (outside tolerance) or
+``missing`` (no longer produced); metrics the sweep newly produces are
+reported as ``new`` but do not fail the gate — regenerate the baseline
+to adopt them.
+
+Numeric values compare within ``max(abs_tol, rel_tol * |expected|)``;
+strings (e.g. a bottleneck-stage name) must match exactly.  Per-metric
+tolerance keys may be ``fnmatch`` globs (``*/retransmits``) so one entry
+covers the same counter across every scenario label.
+"""
+
+from __future__ import annotations
+
+import fnmatch
+import json
+import os
+from dataclasses import dataclass
+from typing import Any, Mapping, Optional
+
+BASELINES_ENV = "REPRO_SWEEP_BASELINES"
+DEFAULT_BASELINES_DIR = os.path.join("benchmarks", "results", "baselines")
+
+
+def default_baselines_dir() -> str:
+    """``$REPRO_SWEEP_BASELINES``, else ``benchmarks/results/baselines``
+    under the current directory, else under the source checkout root —
+    so ``python -m repro.harness --check`` works from any directory of
+    an editable install."""
+    env = os.environ.get(BASELINES_ENV)
+    if env:
+        return env
+    if os.path.isdir(DEFAULT_BASELINES_DIR):
+        return DEFAULT_BASELINES_DIR
+    import repro
+
+    pkg = os.path.dirname(os.path.abspath(repro.__file__))
+    checkout = os.path.dirname(os.path.dirname(pkg))
+    candidate = os.path.join(checkout, DEFAULT_BASELINES_DIR)
+    return candidate if os.path.isdir(candidate) else DEFAULT_BASELINES_DIR
+
+
+@dataclass(frozen=True)
+class Tolerance:
+    """Allowed deviation from a baseline value."""
+
+    rel: float = 0.0
+    abs: float = 0.0
+
+    def allows(self, expected: float, actual: float) -> bool:
+        return abs(actual - expected) <= max(self.abs, self.rel * abs(expected))
+
+    @classmethod
+    def from_json(cls, obj: Mapping[str, float]) -> "Tolerance":
+        return cls(rel=float(obj.get("rel", 0.0)), abs=float(obj.get("abs", 0.0)))
+
+
+@dataclass(frozen=True)
+class Deviation:
+    """One comparator verdict line."""
+
+    metric: str
+    status: str  # "ok" | "regression" | "missing" | "new"
+    expected: Any = None
+    actual: Any = None
+
+    def format(self) -> str:
+        if self.status == "new":
+            return f"  new        {self.metric} = {self.actual}"
+        if self.status == "missing":
+            return f"  MISSING    {self.metric} (expected {self.expected})"
+        tag = "ok        " if self.status == "ok" else "REGRESSION"
+        return f"  {tag} {self.metric}: expected {self.expected}, got {self.actual}"
+
+
+@dataclass
+class RegressionReport:
+    """Comparator output for one sweep/mode pair."""
+
+    sweep: str
+    mode: str
+    deviations: list[Deviation]
+
+    @property
+    def regressions(self) -> list[Deviation]:
+        return [d for d in self.deviations if d.status in ("regression", "missing")]
+
+    @property
+    def passed(self) -> bool:
+        return not self.regressions
+
+    def format(self) -> str:
+        verdict = "PASS" if self.passed else "FAIL"
+        lines = [
+            f"regression gate [{self.sweep}/{self.mode}]: {verdict} "
+            f"({len(self.regressions)} regressions, "
+            f"{len(self.deviations)} metrics checked)"
+        ]
+        for d in self.deviations:
+            if d.status != "ok":
+                lines.append(d.format())
+        return "\n".join(lines)
+
+
+def compare(
+    sweep: str,
+    mode: str,
+    actual: Mapping[str, Any],
+    expected: Mapping[str, Any],
+    default_tolerance: Tolerance,
+    per_metric: Optional[Mapping[str, Tolerance]] = None,
+) -> RegressionReport:
+    """Compare flattened sweep metrics against a baseline metric map."""
+    per_metric = per_metric or {}
+
+    def tolerance_for(metric: str) -> Tolerance:
+        if metric in per_metric:
+            return per_metric[metric]
+        for pattern in sorted(per_metric):
+            if fnmatch.fnmatch(metric, pattern):
+                return per_metric[pattern]
+        return default_tolerance
+
+    deviations = []
+    for metric in sorted(expected):
+        want = expected[metric]
+        if metric not in actual:
+            deviations.append(Deviation(metric, "missing", expected=want))
+            continue
+        got = actual[metric]
+        if isinstance(want, str) or isinstance(got, str):
+            status = "ok" if str(got) == str(want) else "regression"
+        else:
+            tol = tolerance_for(metric)
+            status = "ok" if tol.allows(float(want), float(got)) else "regression"
+        deviations.append(Deviation(metric, status, expected=want, actual=got))
+    for metric in sorted(set(actual) - set(expected)):
+        deviations.append(Deviation(metric, "new", actual=actual[metric]))
+    return RegressionReport(sweep=sweep, mode=mode, deviations=deviations)
+
+
+def baseline_path(name: str, directory: Optional[str] = None) -> str:
+    return os.path.join(directory or default_baselines_dir(), f"{name}.json")
+
+
+def load_baseline(path: str) -> dict[str, Any]:
+    with open(path, "r", encoding="utf-8") as fh:
+        return json.load(fh)
+
+
+def check_sweep(
+    result: "Any",
+    mode: str,
+    path: Optional[str] = None,
+    directory: Optional[str] = None,
+) -> RegressionReport:
+    """Gate a :class:`~repro.harness.runner.SweepResult` against its
+    committed baseline file."""
+    path = path or baseline_path(result.name, directory)
+    doc = load_baseline(path)
+    tols = doc.get("tolerances", {})
+    default_tol = Tolerance.from_json(tols.get("default", {}))
+    per_metric = {
+        k: Tolerance.from_json(v) for k, v in tols.get("metrics", {}).items()
+    }
+    try:
+        expected = doc["modes"][mode]["metrics"]
+    except KeyError:
+        raise KeyError(
+            f"baseline {path} has no {mode!r} mode; "
+            f"regenerate with --write-baselines"
+        ) from None
+    return compare(
+        result.name, mode, result.metrics(), expected, default_tol, per_metric
+    )
+
+
+def write_baseline(
+    result: "Any",
+    mode: str,
+    path: Optional[str] = None,
+    directory: Optional[str] = None,
+    tolerances: Optional[Mapping[str, Any]] = None,
+) -> str:
+    """Write/update one mode of a baseline file, preserving the other
+    modes and any committed tolerances unless new ones are given."""
+    path = path or baseline_path(result.name, directory)
+    doc: dict[str, Any] = {"sweep": result.name, "modes": {}}
+    if os.path.exists(path):
+        doc = load_baseline(path)
+    if tolerances is not None:
+        doc["tolerances"] = dict(tolerances)
+    doc.setdefault("tolerances", {"default": {"rel": 0.05}})
+    doc.setdefault("modes", {})
+    doc["modes"][mode] = {"metrics": result.metrics()}
+    os.makedirs(os.path.dirname(path) or ".", exist_ok=True)
+    with open(path, "w", encoding="utf-8") as fh:
+        json.dump(doc, fh, indent=2, sort_keys=True)
+        fh.write("\n")
+    return path

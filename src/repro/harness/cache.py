@@ -1,0 +1,117 @@
+"""Disk cache for sweep results.
+
+Each scenario result is stored as one JSON file whose name is the
+SHA-256 of ``(spec content hash, code fingerprint)``.  The fingerprint
+hashes every Python source under the installed ``repro`` package (plus
+the package version), so any change to the simulators, the performance
+models or the harness itself invalidates cached results, while re-runs
+and CI retries of unchanged code are near-free.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import os
+from typing import Any, Optional
+
+import repro
+from repro.harness.spec import ScenarioSpec
+
+#: Environment override for the cache root used by the CLI/benchmarks.
+CACHE_ENV = "REPRO_SWEEP_CACHE"
+DEFAULT_CACHE_DIR = ".sweep-cache"
+
+
+def default_cache_dir() -> str:
+    return os.environ.get(CACHE_ENV) or DEFAULT_CACHE_DIR
+
+
+def code_fingerprint(extra: str = "") -> str:
+    """Hash the code-relevant configuration of a scenario run.
+
+    Covers the package version and every ``.py`` source under the
+    ``repro`` package tree — scenarios call into the simulators and
+    models, so all of it is result-relevant.  ``extra`` mixes in any
+    additional configuration a caller considers code-relevant (the
+    tests use it to force invalidation).
+    """
+    digest = hashlib.sha256()
+    digest.update(getattr(repro, "__version__", "0").encode())
+    digest.update(extra.encode())
+    root = os.path.dirname(os.path.abspath(repro.__file__))
+    for dirpath, dirnames, filenames in os.walk(root):
+        dirnames[:] = sorted(d for d in dirnames if d != "__pycache__")
+        for fname in sorted(filenames):
+            if not fname.endswith(".py"):
+                continue
+            path = os.path.join(dirpath, fname)
+            digest.update(os.path.relpath(path, root).encode())
+            with open(path, "rb") as fh:
+                digest.update(fh.read())
+    return digest.hexdigest()
+
+
+class ResultCache:
+    """Content-addressed JSON store for scenario results."""
+
+    def __init__(self, root: str, fingerprint: str = "") -> None:
+        self.root = str(root)
+        self.fingerprint = fingerprint
+        self.hits = 0
+        self.misses = 0
+
+    def key(self, spec: ScenarioSpec) -> str:
+        digest = hashlib.sha256()
+        digest.update(spec.content_hash().encode())
+        digest.update(b":")
+        digest.update(self.fingerprint.encode())
+        return digest.hexdigest()
+
+    def _path(self, spec: ScenarioSpec) -> str:
+        return os.path.join(self.root, self.key(spec) + ".json")
+
+    def get(self, spec: ScenarioSpec) -> Optional[dict[str, Any]]:
+        """Return the stored payload for ``spec``, or ``None`` on miss."""
+        path = self._path(spec)
+        try:
+            with open(path, "r", encoding="utf-8") as fh:
+                payload = json.load(fh)
+        except (OSError, ValueError):
+            self.misses += 1
+            return None
+        self.hits += 1
+        return payload
+
+    def put(self, spec: ScenarioSpec, metrics: dict, elapsed: float) -> None:
+        os.makedirs(self.root, exist_ok=True)
+        payload = {
+            "spec": spec.canonical_json(),
+            "label": spec.label(),
+            "metrics": metrics,
+            "elapsed": elapsed,
+        }
+        path = self._path(spec)
+        tmp = path + ".tmp"
+        with open(tmp, "w", encoding="utf-8") as fh:
+            json.dump(payload, fh, sort_keys=True)
+        os.replace(tmp, path)
+
+    def clear(self) -> int:
+        """Delete every cached entry; returns the number removed."""
+        removed = 0
+        if not os.path.isdir(self.root):
+            return 0
+        for name in os.listdir(self.root):
+            if name.endswith(".json"):
+                os.unlink(os.path.join(self.root, name))
+                removed += 1
+        return removed
+
+
+def open_cache(root: Optional[str] = None, extra: str = "") -> ResultCache:
+    """Cache rooted at ``root`` (default: $REPRO_SWEEP_CACHE or
+    ``.sweep-cache``) with the standard code fingerprint."""
+    return ResultCache(
+        root or default_cache_dir(), fingerprint=code_fingerprint(extra=extra)
+    )

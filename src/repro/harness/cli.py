@@ -1,0 +1,141 @@
+"""``python -m repro.harness`` — run sweeps, check or write baselines.
+
+The CI ``sweep-regression`` job runs::
+
+    python -m repro.harness --quick --check \
+        --export benchmarks/results/sweeps.jsonl
+
+which executes every baselined sweep in quick mode (pool execution,
+disk cache) and exits non-zero if any metric regresses beyond its
+committed tolerance.  ``--write-baselines`` regenerates the baseline
+files after an intentional behavior change.
+"""
+
+from __future__ import annotations
+
+import argparse
+from typing import Optional, Sequence
+
+from repro.harness.baseline import check_sweep, write_baseline
+from repro.harness.cache import open_cache
+from repro.harness.runner import SweepResult, SweepRunner
+from repro.harness.sweeps import SWEEPS, get_sweep
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.harness",
+        description="Run experiment sweeps with caching and regression gates.",
+    )
+    parser.add_argument(
+        "--sweep",
+        action="append",
+        dest="sweeps",
+        metavar="NAME",
+        help="sweep to run (repeatable; default: all baselined sweeps)",
+    )
+    parser.add_argument("--list", action="store_true", help="list sweeps and exit")
+    parser.add_argument(
+        "--quick", action="store_true", help="CI-sized transfers and grids"
+    )
+    parser.add_argument(
+        "--serial", action="store_true", help="run inline, no process pool"
+    )
+    parser.add_argument(
+        "--processes", type=int, default=None, help="pool size (default: CPUs)"
+    )
+    parser.add_argument(
+        "--timeout",
+        type=float,
+        default=300.0,
+        help="per-scenario timeout in pooled mode (seconds)",
+    )
+    parser.add_argument(
+        "--cache-dir",
+        default=None,
+        help="result cache root (default: $REPRO_SWEEP_CACHE or .sweep-cache)",
+    )
+    parser.add_argument(
+        "--no-cache", action="store_true", help="disable the result cache"
+    )
+    parser.add_argument(
+        "--check",
+        action="store_true",
+        help="gate results against committed baselines; exit 2 on regression",
+    )
+    parser.add_argument(
+        "--write-baselines",
+        action="store_true",
+        help="write/refresh baseline files from this run",
+    )
+    parser.add_argument(
+        "--baselines-dir",
+        default=None,
+        help="baseline directory (default: benchmarks/results/baselines)",
+    )
+    parser.add_argument(
+        "--export",
+        metavar="PATH",
+        default=None,
+        help="write all sweep metrics as telemetry-schema JSONL",
+    )
+    return parser
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    args = build_parser().parse_args(argv)
+
+    if args.list:
+        for name in sorted(SWEEPS):
+            sweep = SWEEPS[name]
+            print(f"{name:<16} {len(sweep.specs(args.quick)):>3} scenarios  "
+                  f"{sweep.description}")
+        return 0
+
+    names = args.sweeps or sorted(SWEEPS)
+    mode = "quick" if args.quick else "full"
+    cache = None
+    if not args.no_cache:
+        cache = open_cache(args.cache_dir)
+    runner = SweepRunner(
+        processes=args.processes,
+        timeout=args.timeout,
+        cache=cache,
+        serial=args.serial,
+    )
+
+    results: list[SweepResult] = []
+    failed_gate = False
+    for name in names:
+        sweep = get_sweep(name)
+        result = runner.run(sweep.specs(args.quick), name=name)
+        results.append(result)
+        print(result.format_table())
+        if not result.ok:
+            failed_gate = True
+            print(f"sweep {name}: {result.failed} scenario(s) failed")
+        if args.write_baselines:
+            path = write_baseline(
+                result,
+                mode,
+                directory=args.baselines_dir,
+                tolerances=dict(sweep.tolerances),
+            )
+            print(f"wrote baseline {path} [{mode}]")
+        elif args.check:
+            report = check_sweep(result, mode, directory=args.baselines_dir)
+            print(report.format())
+            if not report.passed:
+                failed_gate = True
+        print()
+
+    if args.export:
+        import json
+
+        rows = [row for r in results for row in r.rows()]
+        with open(args.export, "w", encoding="utf-8") as fh:
+            for row in rows:
+                fh.write(json.dumps(row, sort_keys=True) + "\n")
+        print(f"exported {len(rows)} metric rows to {args.export}")
+
+    return 2 if failed_gate else 0

@@ -1,0 +1,150 @@
+"""Built-in scenario functions for the paper's measurement axes.
+
+Each function is a pure mapping from a :class:`ScenarioSpec` to a flat
+metrics dict, deterministic given ``spec.seed`` — the simulators are
+discrete-event and all randomness (loss processes) is seeded from the
+spec, so a scenario's result is a function of its content hash.  That
+property is what makes the disk cache and the serial/pool determinism
+guarantee sound.
+"""
+
+from __future__ import annotations
+
+import random
+import time
+from typing import Any
+
+from repro.harness.registry import scenario
+from repro.harness.spec import ScenarioSpec
+from repro.util.units import MBYTE
+
+
+@scenario("hippi_raw")
+def hippi_raw(spec: ScenarioSpec) -> dict[str, Any]:
+    """HiPPI low-level throughput for one block size (Section 2)."""
+    from repro.netsim.hippi import raw_block_throughput
+
+    block = int(spec.get("block_bytes", 1 * MBYTE))
+    return {"throughput_mbps": raw_block_throughput(block) / 1e6}
+
+
+def _testbed(spec: ScenarioSpec):
+    from repro.netsim import build_testbed
+
+    return build_testbed(oc48=bool(spec.get("oc48", True)))
+
+
+def _ip(spec: ScenarioSpec):
+    from repro.netsim import ClassicalIP
+    from repro.netsim.ip import TESTBED_MTU
+
+    return ClassicalIP(int(spec.get("mtu", TESTBED_MTU)))
+
+
+@scenario("wan_bulk_transfer")
+def wan_bulk_transfer(spec: ScenarioSpec) -> dict[str, Any]:
+    """A bulk TCP transfer across the testbed, with optional seeded
+    random loss and/or a mid-transfer WAN outage (Sections 2 and 4)."""
+    from repro.netsim import BulkTransfer, FaultInjector
+
+    tb = _testbed(spec)
+    src = str(spec.get("src", "t3e-600"))
+    dst = str(spec.get("dst", "sp2"))
+    nbytes = int(spec.get("mbytes", 40)) * MBYTE
+    loss_rate = float(spec.get("loss_rate", 0.0))
+    outage_at = spec.get("outage_at")
+    outage_len = spec.get("outage_len")
+
+    if loss_rate > 0.0:
+        FaultInjector(tb.net, seed=spec.seed).random_loss(
+            tb.wan_link, loss_rate, direction="sw-juelich"
+        )
+    if outage_at is not None:
+        FaultInjector(tb.net).link_down(
+            tb.wan_link, at=float(outage_at), duration=float(outage_len or 1.0)
+        )
+
+    bt = BulkTransfer(tb.net, src, dst, nbytes, ip=_ip(spec))
+    goodput = bt.run()
+    return {
+        "goodput_mbps": goodput / 1e6,
+        "retransmits": bt.retransmits,
+        "timeouts": bt.timeouts,
+        "elapsed_s": tb.net.env.now,
+    }
+
+
+@scenario("path_characterization")
+def path_characterization(spec: ScenarioSpec) -> dict[str, Any]:
+    """Per-stage path analysis: steady TCP rate, bottleneck stage, and
+    the WAN wire's share of the per-packet time (Figure 1)."""
+    from repro.netsim.tcp import characterize_path, tcp_steady_throughput
+
+    tb = _testbed(spec)
+    src = str(spec.get("src", "t3e-600"))
+    dst = str(spec.get("dst", "sp2"))
+    ip = _ip(spec)
+    char = characterize_path(tb.net, src, dst, ip)
+    wan_stages = [v for k, v in char.stages.items() if k.startswith("wan-")]
+    return {
+        "steady_mbps": tcp_steady_throughput(tb.net, src, dst, ip) / 1e6,
+        "bottleneck": char.bottleneck_stage,
+        "wan_wire_share": (
+            wan_stages[0] / char.per_packet_time if wan_stages else 0.0
+        ),
+    }
+
+
+@scenario("loss_bound")
+def loss_bound(spec: ScenarioSpec) -> dict[str, Any]:
+    """The Mathis-style loss bound for a path/loss-rate point."""
+    from repro.netsim.tcp import tcp_loss_throughput_bound
+
+    tb = _testbed(spec)
+    bound = tcp_loss_throughput_bound(
+        tb.net,
+        str(spec.get("src", "t3e-600")),
+        str(spec.get("dst", "sp2")),
+        _ip(spec),
+        float(spec.get("loss_rate", 0.0)),
+    )
+    return {"bound_mbps": bound / 1e6}
+
+
+@scenario("t3e_scaling")
+def t3e_scaling(spec: ScenarioSpec) -> dict[str, Any]:
+    """Table-1 model point: FIRE module times on the T3E for one PE
+    count and image size."""
+    from repro.machines.t3e_model import REF_VOXELS, default_model
+
+    model = default_model()
+    pes = int(spec.get("pes", 1))
+    voxels = int(spec.get("voxels", REF_VOXELS))
+    return {
+        "total_s": model.total_time(pes, voxels),
+        "speedup": model.speedup(pes, voxels),
+        "rvo_s": model.rvo.time(pes, voxels),
+        "motion_s": model.motion.time(pes, voxels),
+        "filter_s": model.filter.time(pes, voxels),
+    }
+
+
+@scenario("demo")
+def demo(spec: ScenarioSpec) -> dict[str, Any]:
+    """Synthetic scenario for harness self-tests and docs examples.
+
+    Sleeps ``duration`` seconds (parallelism shows up as wall-clock
+    speedup regardless of core count), optionally hangs (for timeout
+    tests), and reports a value derived only from the spec seed.
+    """
+    duration = float(spec.get("duration", 0.0))
+    if spec.get("hang"):
+        time.sleep(3600.0)
+    if spec.get("fail"):
+        raise RuntimeError("demo scenario asked to fail")
+    if duration > 0:
+        time.sleep(duration)
+    rng = random.Random(spec.seed)
+    n = int(spec.get("n", 100))
+    value = sum(rng.random() for _ in range(n)) / n
+    return {"value": value, "slept_s": duration}

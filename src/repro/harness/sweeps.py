@@ -1,0 +1,152 @@
+"""Committed sweep definitions — the paper's measurement axes as grids.
+
+Each :class:`Sweep` names a grid of :class:`ScenarioSpec` points plus
+the tolerances its baseline file is written with:
+
+* ``fig1_network`` — Section 2 / Figure 1: HiPPI block sizes, TCP
+  throughput vs. MTU on the local Cray complex and across the WAN, and
+  the per-stage path characterization (bottleneck identification);
+* ``table1_t3e`` — Table 1: FIRE module times for 1–256 PEs at the
+  reference and an 8x image size (the E7 "larger images" sweep);
+* ``fault_recovery`` — Section 4 reliability: goodput vs. injected WAN
+  loss rate (with the Mathis-style bound) and link-outage recovery.
+
+``quick=True`` shrinks transfer sizes for CI smoke runs; the grids
+themselves do not change shape, so quick and full baselines share the
+same metric namespace per mode.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Callable, Mapping
+
+from repro.harness.spec import ParameterGrid, ScenarioSpec, make_spec
+from repro.util.units import KBYTE, MBYTE
+
+#: MTU axis (bytes): ATM default IP MTU up to the testbed's 64 KByte.
+MTU_AXIS = [9180, 16 * KBYTE, 32 * KBYTE, 64 * KBYTE]
+#: Loss-probability axis for the fault sweep (full mode).
+LOSS_AXIS = [0.0, 1e-4, 1e-3, 5e-3]
+#: Quick mode raises the top loss rate so the shorter packet stream
+#: still sees seeded losses (cf. bench_fault_recovery).
+LOSS_AXIS_QUICK = [0.0, 1e-4, 1e-3, 2e-2]
+
+
+@dataclass(frozen=True)
+class Sweep:
+    """A named, baselined sweep definition."""
+
+    name: str
+    description: str
+    build: Callable[[bool], list[ScenarioSpec]]
+    tolerances: Mapping[str, Any] = field(
+        default_factory=lambda: {"default": {"rel": 0.05}}
+    )
+
+    def specs(self, quick: bool = False) -> list[ScenarioSpec]:
+        return self.build(quick)
+
+
+def _fig1_network(quick: bool) -> list[ScenarioSpec]:
+    mbytes = 10 if quick else 40
+    specs = [
+        make_spec("hippi_raw", block_bytes=block)
+        for block in (64 * KBYTE, 256 * KBYTE, 1 * MBYTE)
+    ]
+    for src, dst in (("t3e-600", "t3e-1200"), ("t3e-600", "sp2")):
+        grid = ParameterGrid(
+            {"mtu": MTU_AXIS}, fixed={"src": src, "dst": dst, "mbytes": mbytes}
+        )
+        specs.extend(grid.specs("wan_bulk_transfer"))
+    specs.append(make_spec("path_characterization", src="t3e-600", dst="sp2"))
+    return specs
+
+
+def _table1_t3e(quick: bool) -> list[ScenarioSpec]:
+    from repro.machines.t3e_model import REF_VOXELS, TABLE1_PES
+
+    grid = ParameterGrid(
+        {"pes": list(TABLE1_PES), "voxels": [REF_VOXELS, 8 * REF_VOXELS]}
+    )
+    return grid.specs("t3e_scaling")
+
+
+def _fault_recovery(quick: bool) -> list[ScenarioSpec]:
+    mbytes = 20 if quick else 40
+    loss_axis = LOSS_AXIS_QUICK if quick else LOSS_AXIS
+    grid = ParameterGrid({"loss_rate": loss_axis}, fixed={"mbytes": mbytes})
+    specs = grid.specs("wan_bulk_transfer")
+    specs.extend(
+        make_spec("loss_bound", loss_rate=p) for p in loss_axis if p > 0.0
+    )
+    specs.append(make_spec("wan_bulk_transfer", mbytes=mbytes, outage=False))
+    specs.append(
+        make_spec(
+            "wan_bulk_transfer",
+            mbytes=mbytes,
+            outage=True,
+            outage_at=0.2,
+            outage_len=1.0,
+        )
+    )
+    return specs
+
+
+SWEEPS: dict[str, Sweep] = {
+    s.name: s
+    for s in (
+        Sweep(
+            name="fig1_network",
+            description="Section 2: HiPPI peak, TCP vs MTU, WAN bottleneck",
+            build=_fig1_network,
+            tolerances={
+                "default": {"rel": 0.05},
+                "metrics": {
+                    "*/retransmits": {"abs": 5},
+                    "*/timeouts": {"abs": 2},
+                    "*/elapsed_s": {"rel": 0.10},
+                },
+            },
+        ),
+        Sweep(
+            name="table1_t3e",
+            description="Table 1: T3E module times and speedups, 1-256 PEs",
+            build=_table1_t3e,
+            tolerances={"default": {"rel": 0.02}},
+        ),
+        Sweep(
+            name="fault_recovery",
+            description="Section 4: goodput vs loss, outage recovery",
+            build=_fault_recovery,
+            tolerances={
+                "default": {"rel": 0.05},
+                "metrics": {
+                    "*/retransmits": {"abs": 5},
+                    "*/timeouts": {"abs": 2},
+                    "*/elapsed_s": {"rel": 0.10},
+                },
+            },
+        ),
+    )
+}
+
+
+def get_sweep(name: str) -> Sweep:
+    try:
+        return SWEEPS[name]
+    except KeyError:
+        raise KeyError(
+            f"unknown sweep {name!r}; available: {sorted(SWEEPS)}"
+        ) from None
+
+
+def sweep_specs(name: str, quick: bool = False) -> list[ScenarioSpec]:
+    return get_sweep(name).specs(quick)
+
+
+def demo_specs(n: int = 12, duration: float = 0.25) -> list[ScenarioSpec]:
+    """The documentation/self-test sweep: ``n`` seeded sleepy scenarios."""
+    return [
+        make_spec("demo", index=i, duration=duration, n=200) for i in range(n)
+    ]

@@ -88,7 +88,9 @@ class CartComm:
             rank = rank * d + c
         return rank
 
-    def shift(self, dimension: int, displacement: int = 1) -> tuple[Optional[int], Optional[int]]:
+    def shift(
+        self, dimension: int, displacement: int = 1
+    ) -> tuple[Optional[int], Optional[int]]:
         """(source, destination) ranks for a shift (MPI_Cart_shift).
 
         Returns None where a non-periodic boundary cuts the shift off.

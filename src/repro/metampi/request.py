@@ -35,7 +35,9 @@ class Request:
         """Block until the operation completes; returns received object."""
         if not self._done:
             assert self._wait_fn is not None
-            self._value = self._wait_fn(status) if status is not None else self._wait_fn(None)
+            self._value = (
+                self._wait_fn(status) if status is not None else self._wait_fn(None)
+            )
             self._done = True
         return self._value
 

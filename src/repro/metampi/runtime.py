@@ -94,7 +94,9 @@ class Runtime:
         self._services: dict[str, str] = {}
 
     # -- rank management ------------------------------------------------
-    def add_rank(self, machine: MachineSpec, host: str = "", clock: float = 0.0) -> RankContext:
+    def add_rank(
+        self, machine: MachineSpec, host: str = "", clock: float = 0.0
+    ) -> RankContext:
         """Register a new rank located on ``machine`` (thread started later)."""
         with self._lock:
             per_machine = sum(

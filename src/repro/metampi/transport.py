@@ -19,7 +19,7 @@ from typing import Optional
 
 from repro.machines.spec import MachineSpec
 from repro.metampi.errors import TransportError
-from repro.netsim.core import Gateway, Host, Network
+from repro.netsim.core import Gateway, Network
 from repro.netsim.ip import ClassicalIP, TESTBED_MTU
 from repro.netsim.tcp import characterize_path
 

@@ -9,7 +9,7 @@ ATM cell rate (before IP/TCP headers).
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Iterator, Optional
 
 #: A full ATM cell on the wire.

@@ -9,7 +9,7 @@ aggregate timing the fast model uses.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 
 from repro.netsim.atm import AAL5Frame, AAL5Reassembler, ATM_CELL_BYTES, Cell
 from repro.sim import Environment, Store

@@ -491,7 +491,9 @@ class Network:
         ``Node.link_to`` resolves by neighbour name, so a duplicate would
         shadow the first and attribute its traffic to the wrong link.
         """
-        if any(l.other(self.nodes[a]).name == b for l in self.nodes[a].links):
+        if any(
+            ln.other(self.nodes[a]).name == b for ln in self.nodes[a].links
+        ):
             raise ValueError(f"duplicate link between {a!r} and {b!r}")
         link = Link(
             self.env, self.nodes[a], self.nodes[b], rate, propagation, framing, **kw
@@ -505,9 +507,9 @@ class Network:
 
     def neighbors(self, name: str, include_down: bool = False) -> list[str]:
         return [
-            l.other(self.nodes[name]).name
-            for l in self.nodes[name].links
-            if include_down or l.up
+            ln.other(self.nodes[name]).name
+            for ln in self.nodes[name].links
+            if include_down or ln.up
         ]
 
     def invalidate_routes(self) -> None:

@@ -11,7 +11,7 @@ molecular dynamics and lithospheric fluids."
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 
 from repro.netsim.core import AtmFraming, Host, Switch
 from repro.netsim.sdh import STM4, STM16

@@ -12,7 +12,7 @@ from __future__ import annotations
 
 from dataclasses import dataclass
 
-from repro.util.units import MBIT, MBYTE
+from repro.util.units import MBIT
 
 #: HiPPI-800 data rate.
 HIPPI_RATE = 800 * MBIT

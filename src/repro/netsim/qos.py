@@ -11,8 +11,7 @@ effort capacity.
 from __future__ import annotations
 
 import itertools
-from dataclasses import dataclass, field
-from typing import Optional
+from dataclasses import dataclass
 
 from repro.netsim.core import Link, Network
 
@@ -71,7 +70,9 @@ class QosManager:
     def path_available(self, src: str, dst: str) -> float:
         """Largest CBR rate admissible from src to dst right now."""
         path = self.net.shortest_path(src, dst)
-        return min(self.available_on(l, u) for l, u in self._path_hops(path))
+        return min(
+            self.available_on(ln, u) for ln, u in self._path_hops(path)
+        )
 
     # -- admission ------------------------------------------------------------
     def reserve(self, src: str, dst: str, rate: float) -> VcReservation:

@@ -15,7 +15,7 @@ from __future__ import annotations
 import math
 from dataclasses import dataclass, field
 
-from repro.netsim.core import Gateway, Host, Network
+from repro.netsim.core import Gateway, Network
 from repro.netsim.ip import ClassicalIP
 
 

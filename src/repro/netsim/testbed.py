@@ -140,7 +140,9 @@ def build_testbed(
     net.link(tb.GW_O200, tb.SW_JUELICH, STM4.payload_rate, LOCAL_PROPAGATION, atm622)
     net.link(tb.GW_ULTRA30, tb.SW_JUELICH, STM4.payload_rate, LOCAL_PROPAGATION, atm622)
     net.link(tb.FRONTEND, tb.SW_JUELICH, STM1.payload_rate, LOCAL_PROPAGATION, atm155)
-    net.link(tb.ONYX2_JUELICH, tb.SW_JUELICH, STM4.payload_rate, LOCAL_PROPAGATION, atm622)
+    net.link(
+        tb.ONYX2_JUELICH, tb.SW_JUELICH, STM4.payload_rate, LOCAL_PROPAGATION, atm622
+    )
 
     # --- the WAN backbone --------------------------------------------------
     net.add(Switch(env, tb.SW_GMD, latency=SWITCH_LATENCY))

@@ -4,7 +4,7 @@ from __future__ import annotations
 
 import heapq
 import itertools
-from typing import Any, Callable, Generator, Optional
+from typing import Any, Generator, Optional
 
 from repro.sim import events as _ev
 

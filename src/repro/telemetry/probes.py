@@ -31,7 +31,6 @@ from __future__ import annotations
 
 import threading
 import time
-from typing import Optional
 
 from repro.telemetry.metrics import MetricsRegistry
 

@@ -17,7 +17,12 @@ of metacomputing applications".  This package provides the equivalent:
 from repro.trace.events import EventKind, TraceEvent
 from repro.trace.recorder import Tracer
 from repro.trace.timeline import Timeline
-from repro.trace.stats import MessageMatrix, RegionProfile, profile_regions, message_matrix
+from repro.trace.stats import (
+    MessageMatrix,
+    RegionProfile,
+    message_matrix,
+    profile_regions,
+)
 from repro.trace.render import render_timeline
 from repro.trace.io import read_trace, write_trace
 

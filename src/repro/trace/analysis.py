@@ -12,11 +12,11 @@ Provides the analyses performance engineers actually ran on such traces:
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 
 import numpy as np
 
-from repro.trace.events import EventKind, TraceEvent
+from repro.trace.events import EventKind
 from repro.trace.timeline import Timeline
 
 

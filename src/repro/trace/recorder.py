@@ -4,7 +4,6 @@ from __future__ import annotations
 
 import threading
 from contextlib import contextmanager
-from typing import Optional
 
 from repro.trace.events import EventKind, TraceEvent
 from repro.trace.timeline import Timeline

@@ -3,9 +3,8 @@
 import numpy as np
 import pytest
 
-from repro.apps.climate import AtmosphereModel, OceanModel
+from repro.apps.climate import AtmosphereModel
 from repro.apps.climate.atmosphere import YEAR
-from repro.apps.climate.coupler import FluxCoupler
 
 
 class TestSeasonalInsolation:

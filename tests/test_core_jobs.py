@@ -1,6 +1,5 @@
 """Tests for the UNICORE-style job scheduler over the metacomputer."""
 
-import numpy as np
 import pytest
 
 from repro.core import JobDescription, JobScheduler
@@ -80,7 +79,7 @@ class TestJobScheduler:
     def test_job_clock_offset_by_reservation(self):
         """A job granted a later slot sees virtual time from its start."""
         sched = self.scheduler()
-        a = sched.submit(
+        sched.submit(
             JobDescription(
                 "first", sum_program, ranks={"Cray T3E-600": 512},
                 duration=1000,

@@ -16,8 +16,11 @@ EXAMPLES_DIR = Path(__file__).resolve().parent.parent / "examples"
 
 
 @pytest.fixture(autouse=True)
-def examples_on_path(monkeypatch):
+def examples_on_path(monkeypatch, tmp_path):
     monkeypatch.syspath_prepend(str(EXAMPLES_DIR))
+    # Example scripts must never write into the repository: point their
+    # output directory at this test's tmp dir.
+    monkeypatch.setenv("REPRO_EXAMPLES_OUT", str(tmp_path / "output"))
     yield
     for name in list(sys.modules):
         if name in {

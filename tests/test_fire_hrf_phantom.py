@@ -32,7 +32,10 @@ class TestHrf:
         t = np.linspace(0, 30, 3001)
         narrow = HrfModel(6.0, 0.7).sample(t)
         broad = HrfModel(6.0, 1.8).sample(t)
-        width = lambda h: np.count_nonzero(h > 0.5)
+
+        def width(h):
+            return np.count_nonzero(h > 0.5)
+
         assert width(broad) > width(narrow)
 
     def test_invalid_parameters(self):

@@ -15,7 +15,6 @@ from repro.fire.multiecho import (
     multiecho_data_rate,
 )
 from repro.fire.session import required_pes_for_realtime
-from repro.machines.t3e_model import REF_VOXELS
 
 
 class TestProtocol:

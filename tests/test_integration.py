@@ -1,6 +1,5 @@
 """Cross-package integration tests: whole scenarios end to end."""
 
-import os
 
 import numpy as np
 import pytest

@@ -3,11 +3,11 @@ cell-exact ATM validation."""
 
 import numpy as np
 import pytest
-from hypothesis import given, settings, strategies as st
+from hypothesis import given, strategies as st
 
-from repro.machines import CRAY_T3E_600, IBM_SP2
+from repro.machines import CRAY_T3E_600
 from repro.metampi import MetaMPI, SUM, MAX
-from repro.metampi.cart import CartComm, cart_create, dims_create
+from repro.metampi.cart import cart_create, dims_create
 from repro.netsim.atm import aal5_wire_bytes
 from repro.netsim.cellsim import (
     CellLink,

@@ -3,7 +3,7 @@
 import numpy as np
 import pytest
 
-from repro.machines import CRAY_T3E_600, CRAY_T90, IBM_SP2
+from repro.machines import CRAY_T3E_600, IBM_SP2
 from repro.metampi import (
     ANY_SOURCE,
     ANY_TAG,

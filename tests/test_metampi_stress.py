@@ -3,11 +3,10 @@ communication patterns must deliver every message, collectives must
 match NumPy references, virtual clocks must behave."""
 
 import numpy as np
-import pytest
 from hypothesis import HealthCheck, given, settings, strategies as st
 
 from repro.machines import CRAY_T3E_600, CRAY_T90, IBM_SP2
-from repro.metampi import MAX, MIN, MetaMPI, PROD, SUM
+from repro.metampi import MAX, MIN, MetaMPI, SUM
 
 SLOW = settings(
     max_examples=10,

@@ -5,7 +5,6 @@ import pytest
 
 from repro.netsim import BulkTransfer, ClassicalIP, build_testbed
 from repro.netsim.ip import TESTBED_MTU
-from repro.sim import Environment
 
 IP64K = ClassicalIP(TESTBED_MTU)
 MB = 2**20

@@ -11,15 +11,8 @@ from repro.netsim.hippi import (
     hippi_wire_bytes,
     raw_block_throughput,
 )
-from repro.netsim.ip import (
-    ClassicalIP,
-    DEFAULT_ATM_MTU,
-    ETHERNET_MTU,
-    IP_HEADER,
-    TCP_HEADER,
-    TESTBED_MTU,
-)
-from repro.netsim.sdh import SDH_LEVELS, STM1, STM4, STM16, atm_cell_rate, level_for
+from repro.netsim.ip import ClassicalIP, DEFAULT_ATM_MTU, ETHERNET_MTU, TESTBED_MTU
+from repro.netsim.sdh import STM1, STM4, STM16, atm_cell_rate, level_for
 
 
 class TestSdh:

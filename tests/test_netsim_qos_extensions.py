@@ -4,7 +4,7 @@ testbed topology."""
 import pytest
 
 from repro.netsim import build_testbed
-from repro.netsim.extensions import ExtendedTestbed, build_extended_testbed
+from repro.netsim.extensions import build_extended_testbed
 from repro.netsim.flows import PingFlow
 from repro.netsim.qos import AdmissionError, QosManager
 from repro.netsim.sdh import STM4

@@ -3,7 +3,6 @@ random topologies, plus conservation properties of the DES."""
 
 import networkx as nx
 import numpy as np
-import pytest
 from hypothesis import HealthCheck, given, settings, strategies as st
 
 from repro.netsim.core import Host, Network, PlainFraming

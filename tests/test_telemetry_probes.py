@@ -67,12 +67,12 @@ def lossy_wan_run(registry, nbytes=10 * MBYTE, loss=0.02, sample=True):
         "fast_retransmits": bt.fast_retransmits,
         "links": {
             name: (
-                dict(l.tx_bytes),
-                dict(l.tx_packets),
-                dict(l.drops),
-                dict(l.lost),
+                dict(link.tx_bytes),
+                dict(link.tx_packets),
+                dict(link.drops),
+                dict(link.lost),
             )
-            for name, l in tb.net.links.items()
+            for name, link in tb.net.links.items()
         },
     }
     return fingerprint, tb, bt
@@ -174,7 +174,7 @@ class TestZeroOverheadGuarantee:
         reg = NullRegistry()
         _, tb, bt = lossy_wan_run(reg, sample=False)
         assert tb.net.probe is None
-        assert all(l.probe is None for l in tb.net.links.values())
+        assert all(link.probe is None for link in tb.net.links.values())
         assert all(
             getattr(n, "probe", None) is None for n in tb.net.nodes.values()
         )
@@ -207,7 +207,7 @@ class TestFaultAlertRecovery:
         instrument_flow(bt, reg)
 
         mgr = AlertManager(tb.net.env)
-        down = mgr.watch("wan-down", link_down(tb.wan_link))
+        mgr.watch("wan-down", link_down(tb.wan_link))
         spikes = mgr.watch(
             "wan-rto-spike",
             counter_nonzero(reg.counter("netsim.flow.timeouts", flow=bt.name)),
@@ -244,7 +244,9 @@ class TestFaultAlertRecovery:
         FaultInjector(tb.net).link_down(tb.wan_link, at=0.0)
         tb.net.env.run(until=0.01)
         table = weather_map(tb.net)
-        wan_rows = [l for l in table.splitlines() if tb.wan_link.name in l]
+        wan_rows = [
+            row for row in table.splitlines() if tb.wan_link.name in row
+        ]
         assert wan_rows and all("DOWN" in row for row in wan_rows)
         assert "gateway" in table
 

@@ -15,7 +15,6 @@ from repro.trace.analysis import (
     utilization,
     wait_times,
 )
-from repro.trace.events import EventKind, TraceEvent
 from repro.trace.timeline import Timeline
 
 

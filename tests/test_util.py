@@ -1,6 +1,5 @@
 """Tests for units, image writers, and running statistics."""
 
-import math
 
 import numpy as np
 import pytest
