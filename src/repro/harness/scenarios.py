@@ -129,6 +129,50 @@ def t3e_scaling(spec: ScenarioSpec) -> dict[str, Any]:
     }
 
 
+@scenario("kernel_bench")
+def kernel_bench(spec: ScenarioSpec) -> dict[str, Any]:
+    """Discrete-event kernel micro-benchmark (WAN bulk transfer).
+
+    Reports two kinds of metrics with very different gating rules:
+
+    * deterministic kernel-work counters (``events_scheduled``,
+      ``link_packets``, ``segments``) and the simulated ``goodput_mbps``
+      — pure functions of the spec, pinned exactly by the baseline so a
+      kernel change that alters scheduling volume or simulated results
+      fails CI;
+    * wall-clock figures (``wall_s``, ``packets_per_sec``) —
+      machine-dependent and informational only (the baseline carries an
+      effectively-infinite tolerance for them).  Note the disk cache
+      replays them from the recorded run; use ``--no-cache`` for fresh
+      timings.
+    """
+    from repro.netsim import BulkTransfer
+
+    tb = _testbed(spec)
+    nbytes = int(spec.get("mbytes", 8)) * MBYTE
+    bt = BulkTransfer(
+        tb.net,
+        str(spec.get("src", "sp2")),
+        str(spec.get("dst", "t3e-600")),
+        nbytes,
+        ip=_ip(spec),
+    )
+    t0 = time.perf_counter()
+    goodput = bt.run()
+    wall = time.perf_counter() - t0
+    link_packets = sum(
+        sum(link.tx_packets.values()) for link in tb.net.links.values()
+    )
+    return {
+        "events_scheduled": tb.net.env.scheduled_count,
+        "link_packets": link_packets,
+        "segments": bt.segments_delivered,
+        "goodput_mbps": goodput / 1e6,
+        "wall_s": wall,
+        "packets_per_sec": link_packets / wall if wall > 0 else 0.0,
+    }
+
+
 @scenario("demo")
 def demo(spec: ScenarioSpec) -> dict[str, Any]:
     """Synthetic scenario for harness self-tests and docs examples.

@@ -9,7 +9,10 @@ the tolerances its baseline file is written with:
 * ``table1_t3e`` — Table 1: FIRE module times for 1–256 PEs at the
   reference and an 8x image size (the E7 "larger images" sweep);
 * ``fault_recovery`` — Section 4 reliability: goodput vs. injected WAN
-  loss rate (with the Mathis-style bound) and link-outage recovery.
+  loss rate (with the Mathis-style bound) and link-outage recovery;
+* ``kernel_bench`` — discrete-event kernel throughput on a WAN bulk
+  microbench: deterministic event/packet counts are hard-gated,
+  wall-clock figures ride along informationally.
 
 ``quick=True`` shrinks transfer sizes for CI smoke runs; the grids
 themselves do not change shape, so quick and full baselines share the
@@ -72,6 +75,14 @@ def _table1_t3e(quick: bool) -> list[ScenarioSpec]:
     return grid.specs("t3e_scaling")
 
 
+def _kernel_bench(quick: bool) -> list[ScenarioSpec]:
+    sizes = [8] if quick else [8, 32]
+    return [
+        make_spec("kernel_bench", mbytes=mb, src="sp2", dst="t3e-600")
+        for mb in sizes
+    ]
+
+
 def _fault_recovery(quick: bool) -> list[ScenarioSpec]:
     mbytes = 20 if quick else 40
     loss_axis = LOSS_AXIS_QUICK if quick else LOSS_AXIS
@@ -114,6 +125,22 @@ SWEEPS: dict[str, Sweep] = {
             description="Table 1: T3E module times and speedups, 1-256 PEs",
             build=_table1_t3e,
             tolerances={"default": {"rel": 0.02}},
+        ),
+        Sweep(
+            name="kernel_bench",
+            description="Kernel events/packets per second on a WAN bulk microbench",
+            build=_kernel_bench,
+            tolerances={
+                # Kernel-work counters and simulated results are pure
+                # functions of the spec: pinned exactly (empty tolerance).
+                "default": {},
+                "metrics": {
+                    # Wall-clock figures are machine-dependent —
+                    # informational only, never gate.
+                    "*/wall_s": {"rel": 1e9, "abs": 1e9},
+                    "*/packets_per_sec": {"rel": 1e9, "abs": 1e9},
+                },
+            },
         ),
         Sweep(
             name="fault_recovery",

@@ -18,6 +18,7 @@ from __future__ import annotations
 
 import itertools
 import random
+from collections import deque
 from dataclasses import dataclass, field
 from typing import Any, Callable, Optional
 
@@ -29,12 +30,14 @@ from repro.sim import Environment, Store
 _packet_ids = itertools.count()
 
 
-@dataclass
+@dataclass(slots=True)
 class Packet:
     """One IP datagram in flight.
 
     ``ip_bytes`` includes IP/TCP headers; link framing (cells, bursts) is
-    added per hop by the link's :class:`Framing`.
+    added per hop by the link's :class:`Framing`.  Slotted: millions are
+    allocated per run, and no simulator attaches ad-hoc attributes
+    (``meta`` is the extension point).
     """
 
     flow: str
@@ -51,9 +54,27 @@ class Packet:
 
 
 class Framing:
-    """Per-link encapsulation: maps IP datagram bytes to wire bytes."""
+    """Per-link encapsulation: maps IP datagram bytes to wire bytes.
+
+    Subclasses implement :meth:`wire_bytes`; the transmitters call
+    :meth:`wire`, which memoizes per datagram size — flows send
+    uniform-size packets, so each link computes the cell/burst math once
+    per distinct size instead of once per packet.
+    """
 
     name = "raw"
+
+    __slots__ = ("_wire_cache",)
+
+    def __init__(self):
+        self._wire_cache: dict[int, int] = {}
+
+    def wire(self, ip_bytes: int) -> int:
+        """Memoized :meth:`wire_bytes`."""
+        wire = self._wire_cache.get(ip_bytes)
+        if wire is None:
+            wire = self._wire_cache[ip_bytes] = self.wire_bytes(ip_bytes)
+        return wire
 
     def wire_bytes(self, ip_bytes: int) -> int:
         raise NotImplementedError
@@ -64,6 +85,8 @@ class AtmFraming(Framing):
 
     name = "atm"
 
+    __slots__ = ()
+
     def wire_bytes(self, ip_bytes: int) -> int:
         return aal5_wire_bytes(ip_bytes + LLC_SNAP_HEADER)
 
@@ -72,6 +95,8 @@ class HippiFraming(Framing):
     """HiPPI-FP framing with burst rounding."""
 
     name = "hippi"
+
+    __slots__ = ()
 
     def wire_bytes(self, ip_bytes: int) -> int:
         return hippi_wire_bytes(ip_bytes)
@@ -82,7 +107,10 @@ class PlainFraming(Framing):
 
     name = "plain"
 
+    __slots__ = ("overhead",)
+
     def __init__(self, overhead: int = 18):
+        super().__init__()
         self.overhead = overhead
 
     def wire_bytes(self, ip_bytes: int) -> int:
@@ -149,8 +177,11 @@ class Link:
         self.tx_packets = {a.name: 0, b.name: 0}
         self.busy_time = {a.name: 0.0, b.name: 0.0}
         self._tx_begin: dict[str, Optional[float]] = {a.name: None, b.name: None}
-        env.process(self._transmitter(a, b))
-        env.process(self._transmitter(b, a))
+        self._fast = env.fast_path
+        self._busy = {a.name: False, b.name: False}
+        if not self._fast:
+            env.process(self._transmitter(a, b))
+            env.process(self._transmitter(b, a))
         a.attach(self)
         b.attach(self)
 
@@ -174,14 +205,25 @@ class Link:
 
     def send(self, from_node: "Node", packet: Packet) -> None:
         """Enqueue ``packet`` for transmission from ``from_node``."""
-        q = self._queues[from_node.name]
+        direction = from_node.name
         if not self.up:
-            self._drop(from_node.name, "link_down")
+            self._drop(direction, "link_down")
             return
-        if len(q) >= self.queue_packets:
-            self._drop(from_node.name, "queue_full")
+        q = self._queues[direction]
+        if self._fast and not self._busy[direction]:
+            # Idle transmitter: start serializing right now — no Store
+            # round trip, no waiting-queue residency.
+            self._start_tx(direction, packet)
             return
-        q.put(packet)
+        # The queue bound counts waiting packets only; the in-service
+        # packet left the queue when its serialization began (both paths).
+        if len(q.items) >= self.queue_packets:
+            self._drop(direction, "queue_full")
+            return
+        if self._fast:
+            q.items.append(packet)
+        else:
+            q.put_nowait(packet)
 
     def set_up(self, up: bool) -> None:
         """Change link state; going down flushes both transmit queues."""
@@ -218,24 +260,64 @@ class Link:
                 raise KeyError(f"{d} is not an endpoint of {self.name}")
             self.loss_rate[d] = rate
 
+    # -- fast path: callback-driven transmit state machine -----------------
+    def _start_tx(self, direction: str, packet: Packet) -> None:
+        """Begin serializing ``packet``; completion is a scheduled callback."""
+        self._busy[direction] = True
+        wire = self.framing.wire(packet.ip_bytes)
+        self.tx_bytes[direction] += wire
+        self.tx_packets[direction] += 1
+        serialization = wire * 8 / self.rate
+        self._tx_begin[direction] = self.env.now
+        self.env.call_later(
+            serialization, self._tx_done, direction, packet, serialization
+        )
+
+    def _tx_done(self, direction: str, packet: Packet, serialization: float) -> None:
+        env = self.env
+        self.busy_time[direction] += serialization
+        self._tx_begin[direction] = None
+        if not self.up:
+            self._lose(direction, "tx_link_down")
+        else:
+            rate = self.loss_rate[direction]
+            if rate > 0.0 and self._rng is not None and self._rng.random() < rate:
+                self._lose(direction, "wire_loss")
+            else:
+                # Propagation does not occupy the transmitter: a bare
+                # delivery callback (inline when zero) lets back-to-back
+                # packets pipeline with no process spawn.
+                dst = self.b if direction == self.a.name else self.a
+                if self.propagation:
+                    env.call_later(self.propagation, self._deliver_now, dst, packet)
+                else:
+                    self._deliver_now(dst, packet)
+        waiting = self._queues[direction].items
+        if waiting:
+            self._start_tx(direction, waiting.popleft())
+        else:
+            self._busy[direction] = False
+
+    # -- slow path: the process-per-direction reference transmitter --------
     def _transmitter(self, src: "Node", dst: "Node"):
-        q = self._queues[src.name]
+        sname = src.name
+        q = self._queues[sname]
         while True:
             packet: Packet = yield q.get()
-            wire = self.framing.wire_bytes(packet.ip_bytes)
-            self.tx_bytes[src.name] += wire
-            self.tx_packets[src.name] += 1
+            wire = self.framing.wire(packet.ip_bytes)
+            self.tx_bytes[sname] += wire
+            self.tx_packets[sname] += 1
             serialization = wire * 8 / self.rate
-            self._tx_begin[src.name] = self.env.now
+            self._tx_begin[sname] = self.env.now
             yield self.env.timeout(serialization)
-            self.busy_time[src.name] += serialization
-            self._tx_begin[src.name] = None
+            self.busy_time[sname] += serialization
+            self._tx_begin[sname] = None
             if not self.up:
-                self._lose(src.name, "tx_link_down")
+                self._lose(sname, "tx_link_down")
                 continue
-            rate = self.loss_rate[src.name]
+            rate = self.loss_rate[sname]
             if rate > 0.0 and self._rng is not None and self._rng.random() < rate:
-                self._lose(src.name, "wire_loss")
+                self._lose(sname, "wire_loss")
                 continue
             # Propagation does not occupy the transmitter: hand off to a
             # dedicated delivery event so back-to-back packets pipeline.
@@ -255,7 +337,12 @@ class Link:
             busy += self.env.now - begin
         return busy / self.env.now
 
+    def _deliver_now(self, dst: "Node", packet: Packet) -> None:
+        packet.hops += 1
+        dst.receive(packet, self)
+
     def _deliver(self, dst: "Node", packet: Packet):
+        # Slow-path (process-per-packet) reference form of _deliver_now.
         if self.propagation:
             yield self.env.timeout(self.propagation)
         packet.hops += 1
@@ -303,14 +390,68 @@ class Node:
         raise NotImplementedError
 
 
+class _SerialStage:
+    """A single-server FIFO pipeline stage driven by scheduled callbacks.
+
+    The fast-path replacement for a Store plus worker process: ``cost``
+    maps a packet to its service time, ``emit`` receives the packet when
+    service completes.  One heap entry per packet, no get-events, no
+    generator resumes.
+    """
+
+    __slots__ = ("env", "cost", "emit", "queue", "busy")
+
+    def __init__(
+        self,
+        env: Environment,
+        cost: Callable[["Packet"], float],
+        emit: Callable[["Packet"], None],
+    ):
+        self.env = env
+        self.cost = cost
+        self.emit = emit
+        self.queue: deque[Packet] = deque()
+        self.busy = False
+
+    # Named for interface parity with Store, so Host.send/receive are
+    # oblivious to which pipeline implementation was chosen.
+    def put_nowait(self, packet: "Packet") -> bool:
+        if self.busy:
+            self.queue.append(packet)
+        else:
+            self._start(packet)
+        return True
+
+    def _start(self, packet: "Packet") -> None:
+        self.busy = True
+        self.env.call_later(self.cost(packet), self._done, packet)
+
+    def _done(self, packet: "Packet") -> None:
+        self.emit(packet)
+        if self.queue:
+            self._start(self.queue.popleft())
+        else:
+            self.busy = False
+
+
 class Host(Node):
     """An end host with a protocol stack and an I/O bus.
 
     Outbound packets pass (1) the send-side stack CPU, (2) the I/O bus,
     then the NIC/link.  Inbound packets pass the bus and the receive-side
-    stack before delivery to the flow.  Each stage is a FIFO worker, so
-    stages pipeline across back-to-back packets — throughput is set by the
-    slowest stage, as on real hosts.
+    stack before delivery to the flow.  Each stage is a serial FIFO
+    server, so stages pipeline across back-to-back packets — throughput
+    is set by the slowest stage, as on real hosts.
+
+    On a fast-path environment the stages are :class:`_SerialStage`
+    callback machines, and stages that cannot consume simulated time are
+    elided at construction: a zero-cost stack (``cpu_per_packet == 0``)
+    or an infinite I/O bus is a pure pass-through.  A host with *no*
+    costly stage bypasses the pipeline entirely — ``send`` forwards and
+    ``receive`` delivers inline, touching no queue at all.  Stage
+    elision changes only same-time event interleaving, never simulated
+    timestamps.  A non-fast environment keeps the reference
+    Store-plus-worker-process pipeline.
     """
 
     def __init__(
@@ -323,29 +464,61 @@ class Host(Node):
         super().__init__(env, name)
         self.cpu_per_packet = cpu_per_packet
         self.io_bus_rate = io_bus_rate
-        self._tx_stack = Store(env)
-        self._tx_bus = Store(env)
-        self._rx_bus = Store(env)
-        self._rx_stack = Store(env)
         self._sinks: dict[str, Callable[[Packet, float], None]] = {}
-        env.process(self._stack_worker(self._tx_stack, self._tx_bus.put))
-        env.process(self._bus_worker(self._tx_bus, self._nic_out))
-        env.process(self._bus_worker(self._rx_bus, self._rx_stack.put))
-        env.process(self._stack_worker(self._rx_stack, self._deliver))
+        has_cpu = cpu_per_packet > 0.0
+        has_bus = io_bus_rate != float("inf")
+        self._bypass = env.fast_path and not has_cpu and not has_bus
+        if self._bypass:
+            # No stage can consume time: no queues at all.
+            self._tx_entry = self._rx_entry = None
+        elif env.fast_path:
+            if has_cpu and has_bus:
+                tx_bus = _SerialStage(env, self._bus_cost, self._nic_out)
+                self._tx_entry = _SerialStage(env, self._cpu_cost, tx_bus.put_nowait)
+                rx_stack = _SerialStage(env, self._cpu_cost, self._deliver)
+                self._rx_entry = _SerialStage(env, self._bus_cost, rx_stack.put_nowait)
+            elif has_cpu:
+                self._tx_entry = _SerialStage(env, self._cpu_cost, self._nic_out)
+                self._rx_entry = _SerialStage(env, self._cpu_cost, self._deliver)
+            else:
+                self._tx_entry = _SerialStage(env, self._bus_cost, self._nic_out)
+                self._rx_entry = _SerialStage(env, self._bus_cost, self._deliver)
+        else:
+            self._tx_stack = Store(env)
+            self._tx_bus = Store(env)
+            self._rx_bus = Store(env)
+            self._rx_stack = Store(env)
+            self._tx_entry = self._tx_stack
+            self._rx_entry = self._rx_bus
+            env.process(self._stack_worker(self._tx_stack, self._tx_bus.put_nowait))
+            env.process(self._bus_worker(self._tx_bus, self._nic_out))
+            env.process(self._bus_worker(self._rx_bus, self._rx_stack.put_nowait))
+            env.process(self._stack_worker(self._rx_stack, self._deliver))
 
-    # -- pipeline stages ---------------------------------------------------
+    # -- stage service costs -----------------------------------------------
+    def _cpu_cost(self, packet: Packet) -> float:
+        return self.cpu_per_packet
+
+    def _bus_cost(self, packet: Packet) -> float:
+        return packet.ip_bytes * 8 / self.io_bus_rate
+
+    # -- slow-path pipeline stages -----------------------------------------
     def _stack_worker(self, queue: Store, emit):
+        get = queue.get
+        timeout = self.env.timeout
         while True:
-            packet = yield queue.get()
+            packet = yield get()
             if self.cpu_per_packet:
-                yield self.env.timeout(self.cpu_per_packet)
+                yield timeout(self.cpu_per_packet)
             emit(packet)
 
     def _bus_worker(self, queue: Store, emit):
+        get = queue.get
+        timeout = self.env.timeout
         while True:
-            packet = yield queue.get()
+            packet = yield get()
             if self.io_bus_rate != float("inf"):
-                yield self.env.timeout(packet.ip_bytes * 8 / self.io_bus_rate)
+                yield timeout(packet.ip_bytes * 8 / self.io_bus_rate)
             emit(packet)
 
     def _nic_out(self, packet: Packet) -> None:
@@ -360,7 +533,10 @@ class Host(Node):
     def send(self, packet: Packet) -> None:
         """Inject a packet into the outbound stack."""
         packet.created = self.env.now
-        self._tx_stack.put(packet)
+        if self._bypass:
+            self.forward(packet)
+        else:
+            self._tx_entry.put_nowait(packet)
 
     def register_sink(self, flow: str, sink: Callable[[Packet, float], None]) -> None:
         """Deliver received packets of ``flow`` to ``sink(packet, time)``."""
@@ -368,7 +544,10 @@ class Host(Node):
 
     def receive(self, packet: Packet, link: Link) -> None:
         if packet.dst == self.name:
-            self._rx_bus.put(packet)
+            if self._bypass:
+                self._deliver(packet)
+            else:
+                self._rx_entry.put_nowait(packet)
         else:
             self.forward(packet)
 
@@ -380,11 +559,21 @@ class Switch(Node):
     def __init__(self, env: Environment, name: str, latency: float = 10e-6):
         super().__init__(env, name)
         self.latency = latency
+        self._fast = env.fast_path
 
     def receive(self, packet: Packet, link: Link) -> None:
-        self.env.process(self._forward_later(packet))
+        if self._fast:
+            # Scheduled-callback forwarding: no per-packet process spawn;
+            # a zero-latency switch forwards inline with no heap entry.
+            if self.latency:
+                self.env.call_later(self.latency, self.forward, packet)
+            else:
+                self.forward(packet)
+        else:
+            self.env.process(self._forward_later(packet))
 
     def _forward_later(self, packet: Packet):
+        # Slow-path (process-per-packet) reference form of receive().
         if self.latency:
             yield self.env.timeout(self.latency)
         self.forward(packet)
@@ -408,7 +597,10 @@ class Gateway(Node):
         self.dropped = 0
         self.drop_reasons: dict[str, int] = {}
         self.probe: Optional[Any] = None
-        env.process(self._worker())
+        self._fast = env.fast_path
+        self._busy = False
+        if not self._fast:
+            env.process(self._worker())
 
     def _drop(self, reason: str, count: int = 1) -> None:
         self.dropped += count
@@ -433,8 +625,37 @@ class Gateway(Node):
         if not self.up:
             self._drop("gateway_down")
             return
-        self._queue.put(packet)
+        if self._fast:
+            if self._busy:
+                self._queue.items.append(packet)
+            else:
+                self._start_service(packet)
+        else:
+            self._queue.put_nowait(packet)
 
+    # -- fast path: callback-driven serial forwarding ----------------------
+    def _start_service(self, packet: Packet) -> None:
+        self._busy = True
+        if self.per_packet:
+            self.env.call_later(self.per_packet, self._service_done, packet)
+        else:
+            self._service_done(packet)
+
+    def _service_done(self, packet: Packet) -> None:
+        # A crash while this packet was in service black-holes it, exactly
+        # as the slow-path worker does after its timeout.
+        if not self.up:
+            self._drop("gateway_down")
+        else:
+            self.forwarded += 1
+            self.forward(packet)
+        waiting = self._queue.items
+        if waiting:
+            self._start_service(waiting.popleft())
+        else:
+            self._busy = False
+
+    # -- slow path: the reference worker process ---------------------------
     def _worker(self):
         while True:
             packet = yield self._queue.get()

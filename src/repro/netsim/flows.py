@@ -120,8 +120,12 @@ class BulkTransfer:
         self._received = 0  # contiguous bytes assembled at the receiver
         self._rx_next = 0  # next expected segment index
         self._rx_segments: dict[int, int] = {}  # out-of-order buffer
-        net.host(src).register_sink(self.name, self._on_ack)
-        net.host(dst).register_sink(self.name, self._on_data)
+        # Resolve the endpoint hosts once: net.host() is a dict lookup
+        # plus isinstance check, too costly per segment/ACK.
+        self._src_host = net.host(src)
+        self._dst_host = net.host(dst)
+        self._src_host.register_sink(self.name, self._on_ack)
+        self._dst_host.register_sink(self.name, self._on_data)
         self.env.process(self._sender())
         self.env.process(self._retransmit_timer())
 
@@ -152,7 +156,7 @@ class BulkTransfer:
             self._timer_epoch = self.env.now
         self._sent_at[seq] = self.env.now
         payload = self._payloads[seq]
-        self.net.host(self.src).send(
+        self._src_host.send(
             Packet(
                 flow=self.name,
                 src=self.src,
@@ -234,7 +238,7 @@ class BulkTransfer:
             seq=packet.seq,
             meta={"acked": self._received},
         )
-        self.net.host(self.dst).send(ack)
+        self._dst_host.send(ack)
 
     # -- ack handling -------------------------------------------------------
     def _on_ack(self, packet: Packet, now: float) -> None:
@@ -298,6 +302,11 @@ class BulkTransfer:
         self._rto = min(
             self.max_rto, max(self.min_rto, self._srtt + 4.0 * self._rttvar)
         )
+
+    @property
+    def segments_delivered(self) -> int:
+        """Contiguously reassembled data segments at the receiver."""
+        return self._rx_next
 
     @property
     def throughput(self) -> float:
@@ -504,12 +513,14 @@ class PingFlow:
         self.probe: Optional[object] = None
         self.done: Event = self.env.event()
         self._sent_at: dict[int, float] = {}
-        net.host(dst).register_sink(self.name, self._echo)
-        net.host(src).register_sink(self.name + ".reply", self._pong)
+        self._src_host = net.host(src)
+        self._dst_host = net.host(dst)
+        self._dst_host.register_sink(self.name, self._echo)
+        self._src_host.register_sink(self.name + ".reply", self._pong)
         self.env.process(self._sender())
 
     def _sender(self):
-        host = self.net.host(self.src)
+        host = self._src_host
         for i in range(self.count):
             self._sent_at[i] = self.env.now
             host.send(
@@ -534,7 +545,7 @@ class PingFlow:
         return None
 
     def _echo(self, packet: Packet, now: float) -> None:
-        self.net.host(self.dst).send(
+        self._dst_host.send(
             Packet(
                 flow=self.name + ".reply",
                 src=self.dst,

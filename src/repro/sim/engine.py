@@ -1,41 +1,45 @@
-"""The event loop of the discrete-event kernel."""
+"""The event loop of the discrete-event kernel.
+
+The queue holds bare 4-tuples ``(time, serial, obj, args)`` — no wrapper
+object per entry.  ``args is None`` marks an :class:`~repro.sim.events.Event`
+to fire; anything else is a plain callable scheduled with
+:meth:`Environment.call_at` / :meth:`Environment.call_later`, invoked as
+``obj(*args)``.  Both forms share one monotonically increasing serial, so
+entries scheduled for the same simulated time fire in scheduling (FIFO)
+order regardless of which form they used.
+"""
 
 from __future__ import annotations
 
 import heapq
-import itertools
-from typing import Any, Generator, Optional
+from typing import Any, Callable, Generator, Optional
 
 from repro.sim import events as _ev
-
-
-class SimulationError(RuntimeError):
-    """Raised for kernel misuse (double trigger, running an empty queue...)."""
-
-
-class Interrupt(Exception):
-    """Thrown into a process when another process interrupts it.
-
-    ``cause`` carries an arbitrary payload from the interrupter.
-    """
-
-    def __init__(self, cause: Any = None):
-        super().__init__(cause)
-        self.cause = cause
+from repro.sim.errors import Interrupt as Interrupt  # noqa: F401  (re-export)
+from repro.sim.errors import SimulationError as SimulationError
 
 
 class Environment:
     """Simulation environment: clock plus time-ordered event queue.
 
-    Events scheduled at equal times fire in scheduling order (FIFO),
+    Entries scheduled at equal times fire in scheduling order (FIFO),
     which makes simulations deterministic.
+
+    ``fast_path`` (default True) lets model code pick allocation-free
+    scheduling shortcuts (inline completion, callback delivery) that are
+    result-identical but reorder nothing observable; passing ``False``
+    forces the classic event-per-hop slow path, which the determinism
+    test suite uses as the reference.
     """
 
-    def __init__(self, initial_time: float = 0.0):
+    __slots__ = ("_now", "_queue", "_eid", "_active_proc", "fast_path")
+
+    def __init__(self, initial_time: float = 0.0, fast_path: bool = True):
         self._now = float(initial_time)
-        self._queue: list[tuple[float, int, _ev.Event]] = []
-        self._counter = itertools.count()
+        self._queue: list[tuple] = []
+        self._eid = 0
         self._active_proc: Optional[_ev.Process] = None
+        self.fast_path = bool(fast_path)
 
     @property
     def now(self) -> float:
@@ -47,12 +51,42 @@ class Environment:
         """The process currently being resumed (None outside callbacks)."""
         return self._active_proc
 
+    @property
+    def scheduled_count(self) -> int:
+        """Total queue entries ever scheduled (events + callbacks).
+
+        A deterministic proxy for kernel work done — the benchmark
+        harness hard-gates on it instead of flaky wall-clock timings.
+        """
+        return self._eid
+
     # -- scheduling ------------------------------------------------------
     def schedule(self, event: "_ev.Event", delay: float = 0.0) -> None:
         """Queue a triggered event to fire ``delay`` seconds from now."""
         if delay < 0:
             raise SimulationError(f"cannot schedule into the past (delay={delay})")
-        heapq.heappush(self._queue, (self._now + delay, next(self._counter), event))
+        self._eid = eid = self._eid + 1
+        heapq.heappush(self._queue, (self._now + delay, eid, event, None))
+
+    def call_later(self, delay: float, fn: Callable, *args: Any) -> None:
+        """Schedule ``fn(*args)`` to run ``delay`` seconds from now.
+
+        The callback fast path: one bare heap entry, no :class:`Event`
+        allocated, nothing to wait on.  Use it for fire-and-forget model
+        work (packet delivery, switch forwarding); use :meth:`timeout`
+        when a process must yield on the delay.
+        """
+        if delay < 0:
+            raise SimulationError(f"cannot schedule into the past (delay={delay})")
+        self._eid = eid = self._eid + 1
+        heapq.heappush(self._queue, (self._now + delay, eid, fn, args))
+
+    def call_at(self, when: float, fn: Callable, *args: Any) -> None:
+        """Schedule ``fn(*args)`` at absolute simulation time ``when``."""
+        if when < self._now:
+            raise SimulationError(f"cannot schedule into the past (t={when})")
+        self._eid = eid = self._eid + 1
+        heapq.heappush(self._queue, (when, eid, fn, args))
 
     # -- event/process factories -----------------------------------------
     def event(self) -> "_ev.Event":
@@ -76,16 +110,23 @@ class Environment:
         return _ev.AnyOf(self, list(evts))
 
     # -- running ----------------------------------------------------------
+    def _dispatch(self, entry: tuple) -> None:
+        self._now = entry[0]
+        obj = entry[2]
+        args = entry[3]
+        if args is None:
+            obj._fire()
+        else:
+            obj(*args)
+
     def step(self) -> None:
-        """Process the next queued event (advancing the clock to it)."""
+        """Process the next queued entry (advancing the clock to it)."""
         if not self._queue:
             raise SimulationError("step() on an empty event queue")
-        when, _, event = heapq.heappop(self._queue)
-        self._now = when
-        event._fire()
+        self._dispatch(heapq.heappop(self._queue))
 
     def peek(self) -> float:
-        """Time of the next queued event, or +inf if the queue is empty."""
+        """Time of the next queued entry, or +inf if the queue is empty."""
         return self._queue[0][0] if self._queue else float("inf")
 
     def run(self, until: Any = None) -> Any:
@@ -95,27 +136,45 @@ class Environment:
         (run until that simulation time) or an :class:`Event` (run until it
         fires, returning its value; raises if the queue drains first).
         """
+        queue = self._queue
+        pop = heapq.heappop
+
         if until is None:
-            while self._queue:
-                self.step()
+            while queue:
+                when, _, obj, args = pop(queue)
+                self._now = when
+                if args is None:
+                    obj._fire()
+                else:
+                    obj(*args)
             return None
 
         if isinstance(until, _ev.Event):
             sentinel = until
-            while not sentinel.processed:
-                if not self._queue:
+            while not sentinel._processed:
+                if not queue:
                     raise SimulationError(
                         "event queue drained before the awaited event fired"
                     )
-                self.step()
-            if sentinel.failed:
-                raise sentinel.value
-            return sentinel.value
+                when, _, obj, args = pop(queue)
+                self._now = when
+                if args is None:
+                    obj._fire()
+                else:
+                    obj(*args)
+            if sentinel._ok is False:
+                raise sentinel._value
+            return sentinel._value
 
         horizon = float(until)
         if horizon < self._now:
             raise SimulationError("cannot run() backwards in time")
-        while self._queue and self._queue[0][0] <= horizon:
-            self.step()
+        while queue and queue[0][0] <= horizon:
+            when, _, obj, args = pop(queue)
+            self._now = when
+            if args is None:
+                obj._fire()
+            else:
+                obj(*args)
         self._now = horizon
         return None

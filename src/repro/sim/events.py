@@ -1,8 +1,37 @@
-"""Events and processes for the discrete-event kernel."""
+"""Events and processes for the discrete-event kernel.
+
+Everything here sits on the per-packet hot path of the network
+simulator, so the classes use ``__slots__`` (no per-instance ``__dict__``)
+and the process machinery avoids re-creating bound methods or helper
+events where it can.
+"""
 
 from __future__ import annotations
 
+from functools import partial
 from typing import Any, Callable, Generator, Optional
+
+from repro.sim.errors import Interrupt, SimulationError
+
+
+def _cancelled(event: "Event") -> None:
+    """Tombstone left in a callback slot by :meth:`Process.interrupt`."""
+
+
+class _Bootstrap:
+    """Singleton stand-in for the first resume of a process generator.
+
+    ``Process._resume`` only reads ``_ok`` and ``_value`` from the event
+    it is woken by; sharing one immutable instance saves allocating a
+    real :class:`Event` per process spawn.
+    """
+
+    __slots__ = ()
+    _ok = True
+    _value = None
+
+
+_BOOTSTRAP = _Bootstrap()
 
 
 class Event:
@@ -11,7 +40,12 @@ class Event:
     Life cycle: *pending* → ``succeed``/``fail`` (triggered, queued) →
     *processed* (callbacks ran).  Waiting processes register callbacks;
     the value (or exception) is delivered into their generators.
+
+    ``defused`` is a write-only marker slot (set when a failure has a
+    designated handler); it is deliberately left unset until written.
     """
+
+    __slots__ = ("env", "callbacks", "_value", "_ok", "_processed", "defused")
 
     def __init__(self, env):
         self.env = env
@@ -49,8 +83,8 @@ class Event:
     # -- triggering ----------------------------------------------------------
     def succeed(self, value: Any = None, delay: float = 0.0) -> "Event":
         """Trigger the event successfully with ``value``."""
-        if self.triggered:
-            raise RuntimeError("event already triggered")
+        if self._ok is not None:
+            raise SimulationError("event already triggered")
         self._ok = True
         self._value = value
         self.env.schedule(self, delay)
@@ -58,8 +92,8 @@ class Event:
 
     def fail(self, exception: BaseException, delay: float = 0.0) -> "Event":
         """Trigger the event with an exception to raise in waiters."""
-        if self.triggered:
-            raise RuntimeError("event already triggered")
+        if self._ok is not None:
+            raise SimulationError("event already triggered")
         if not isinstance(exception, BaseException):
             raise TypeError("fail() needs an exception instance")
         self._ok = False
@@ -85,6 +119,8 @@ class Event:
 class Timeout(Event):
     """An event that fires a fixed delay after creation."""
 
+    __slots__ = ("delay",)
+
     def __init__(self, env, delay: float, value: Any = None):
         super().__init__(env)
         if delay < 0:
@@ -101,7 +137,14 @@ class Process(Event):
     The generator yields :class:`Event` s.  When a yielded event fires,
     the kernel resumes the generator with the event's value (or throws the
     event's exception into it).
+
+    ``_resume`` is the bound resume callback, created once at spawn so
+    registering it per yield does not allocate a fresh bound method, and
+    so :meth:`interrupt` can find (and tombstone) its exact slot in the
+    target event's callback list in O(1).
     """
+
+    __slots__ = ("_generator", "_target", "_target_slot", "_resume")
 
     def __init__(self, env, generator: Generator):
         super().__init__(env)
@@ -109,11 +152,11 @@ class Process(Event):
             raise TypeError("Process needs a generator")
         self._generator = generator
         self._target: Optional[Event] = None
-        # Bootstrap: resume the process at time now.
-        init = Event(env)
-        init._ok = True
-        env.schedule(init)
-        init.add_callback(self._resume)
+        self._target_slot = 0
+        self._resume = self._do_resume
+        # Bootstrap: resume the process at time now (callback form — no
+        # throwaway init Event needs to be allocated).
+        env.call_later(0.0, self._resume, _BOOTSTRAP)
 
     @property
     def is_alive(self) -> bool:
@@ -122,36 +165,38 @@ class Process(Event):
 
     def interrupt(self, cause: Any = None) -> None:
         """Throw :class:`Interrupt` into the process at the current time."""
-        from repro.sim.engine import Interrupt
-
-        if not self.is_alive:
-            raise RuntimeError("cannot interrupt a finished process")
+        if self._ok is not None:
+            raise SimulationError("cannot interrupt a finished process")
         if self.env.active_process is self:
-            raise RuntimeError("a process cannot interrupt itself")
+            raise SimulationError("a process cannot interrupt itself")
         # Detach from the event we were waiting on and schedule the throw.
         evt = Event(self.env)
         evt._ok = False
         evt._value = Interrupt(cause)
         evt.defused = True
-        if self._target is not None and self._target.callbacks is not None:
-            try:
-                self._target.callbacks.remove(self._resume)
-            except ValueError:
-                pass
+        target = self._target
+        if target is not None and target.callbacks is not None:
+            # O(1) detach: overwrite our known slot with a tombstone
+            # instead of a linear callbacks.remove() scan.
+            slot = self._target_slot
+            cbs = target.callbacks
+            if slot < len(cbs) and cbs[slot] is self._resume:
+                cbs[slot] = _cancelled
         self._target = None
         self.env.schedule(evt)
         evt.add_callback(self._resume)
 
-    def _resume(self, event: Event) -> None:
+    def _do_resume(self, event: Event) -> None:
         env = self.env
         env._active_proc = self
+        generator = self._generator
         while True:
             try:
                 if event._ok:
-                    target = self._generator.send(event._value)
+                    target = generator.send(event._value)
                 else:
                     event.defused = True
-                    target = self._generator.throw(event._value)
+                    target = generator.throw(event._value)
             except StopIteration as stop:
                 env._active_proc = None
                 self._ok = True
@@ -167,16 +212,18 @@ class Process(Event):
 
             if not isinstance(target, Event):
                 env._active_proc = None
-                self._generator.throw(
+                generator.throw(
                     TypeError(f"process yielded a non-event: {target!r}")
                 )
                 return
-            if target.callbacks is None:
+            callbacks = target.callbacks
+            if callbacks is None:
                 # Already fired: loop and deliver immediately.
                 event = target
                 continue
             self._target = target
-            target.add_callback(self._resume)
+            self._target_slot = len(callbacks)
+            callbacks.append(self._resume)
             env._active_proc = None
             return
 
@@ -184,48 +231,62 @@ class Process(Event):
 class _Condition(Event):
     """Base for AllOf/AnyOf composite events."""
 
+    __slots__ = ("_events", "_done", "_values")
+
     def __init__(self, env, events: list[Event]):
         super().__init__(env)
         self._events = events
         self._done = 0
+        self._values: dict[int, Any] = {}
         if not events:
             self.succeed({})
             return
-        for ev in events:
-            ev.add_callback(self._check)
+        for i, ev in enumerate(events):
+            ev.add_callback(partial(self._check, i))
 
     def _collect(self) -> dict:
         return {
-            i: ev.value
+            i: ev._value
             for i, ev in enumerate(self._events)
-            if ev.processed and ev.ok
+            if ev._processed and ev._ok
         }
 
-    def _check(self, event: Event) -> None:  # pragma: no cover - abstract
+    def _check(self, index: int, event: Event) -> None:  # pragma: no cover
         raise NotImplementedError
 
 
 class AllOf(_Condition):
-    """Fires when all constituent events fired; value maps index → value."""
+    """Fires when all constituent events fired; value maps index → value.
 
-    def _check(self, event: Event) -> None:
-        if self.triggered:
+    Values are accumulated incrementally per completion (O(1) amortized),
+    not by re-scanning the full event list when the last one fires —
+    large fan-ins (collectives) stay O(n) overall.
+    """
+
+    __slots__ = ()
+
+    def _check(self, index: int, event: Event) -> None:
+        if self._ok is not None:
             return
-        if event.failed:
-            self.fail(event.value)
+        if event._ok is False:
+            self.fail(event._value)
             return
+        self._values[index] = event._value
         self._done += 1
         if self._done == len(self._events):
-            self.succeed(self._collect())
+            self.succeed(self._values)
 
 
 class AnyOf(_Condition):
-    """Fires when the first constituent event fires."""
+    """Fires when the first constituent event fires; the value collects
+    every constituent already fired at that moment."""
 
-    def _check(self, event: Event) -> None:
-        if self.triggered:
+    __slots__ = ()
+
+    def _check(self, index: int, event: Event) -> None:
+        if self._ok is not None:
             return
-        if event.failed:
-            self.fail(event.value)
+        if event._ok is False:
+            self.fail(event._value)
             return
         self.succeed(self._collect())

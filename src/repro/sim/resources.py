@@ -14,7 +14,20 @@ class Store:
 
     ``put(item)`` and ``get()`` both return events a process can yield.
     Semantics mirror a FIFO mailbox: gets are served in request order.
+
+    Two allocation-saving fast paths serve the per-packet pipeline:
+
+    * :meth:`put_nowait` accepts (or rejects, when full) an item without
+      allocating the put-side event nobody waits on, handing the item
+      straight to the oldest blocked getter when one is waiting.
+    * On a fast-path environment, :meth:`get` returns an
+      already-*processed* event when an item is immediately available, so
+      a yielding process is resumed inline by the kernel with no heap
+      round trip.  Blocked gets still resume through the queue, keeping
+      FIFO same-time ordering.
     """
+
+    __slots__ = ("env", "capacity", "items", "_getters", "_putters")
 
     def __init__(self, env, capacity: float = float("inf")):
         if capacity <= 0:
@@ -32,18 +45,52 @@ class Store:
         """Event that fires once the item is accepted into the store."""
         evt = Event(self.env)
         if len(self.items) < self.capacity:
-            self.items.append(item)
             evt.succeed()
-            self._serve_getters()
+            if self._getters and not self.items:
+                # Direct hand-off: the oldest blocked getter takes the
+                # item without the append/popleft round trip.
+                self._getters.popleft().succeed(item)
+            else:
+                self.items.append(item)
+                self._serve_getters()
         else:
             self._putters.append((evt, item))
         return evt
 
+    def put_nowait(self, item: Any) -> bool:
+        """Accept ``item`` if capacity allows; no put event is allocated.
+
+        Returns False when the store is full (the caller counts the
+        drop).  This is the per-packet path: the simulators never wait on
+        the put side of their queues.
+        """
+        if self._getters and not self.items:
+            self._getters.popleft().succeed(item)
+            return True
+        if len(self.items) < self.capacity:
+            self.items.append(item)
+            return True
+        return False
+
     def get(self) -> Event:
         """Event that fires with the oldest item once one is available."""
         evt = Event(self.env)
-        self._getters.append(evt)
-        self._serve_getters()
+        if self.items and not self._getters and self.env.fast_path:
+            # Inline completion: the item is here, so skip the
+            # succeed-then-fire heap round trip entirely.  A process
+            # yielding this event is resumed immediately by the kernel.
+            evt._ok = True
+            evt._value = self.items.popleft()
+            evt._processed = True
+            evt.callbacks = None
+            # Space freed: admit a blocked putter, if any.
+            if self._putters and len(self.items) < self.capacity:
+                putter, item = self._putters.popleft()
+                self.items.append(item)
+                putter.succeed()
+        else:
+            self._getters.append(evt)
+            self._serve_getters()
         return evt
 
     def clear(self) -> list[Any]:
@@ -80,6 +127,8 @@ class Resource:
         ...critical section...
         resource.release()
     """
+
+    __slots__ = ("env", "capacity", "in_use", "_waiters")
 
     def __init__(self, env, capacity: int = 1):
         if capacity < 1:

@@ -133,18 +133,22 @@ def instrument_network(net, registry: MetricsRegistry):
     for link in net.links.values():
         link.probe = LinkProbe(registry, link)
         for end in (link.a.name, link.b.name):
+            # The sampler reads these every tick; the counters they
+            # mirror are ints, which sample identically — skipping the
+            # float() wrap keeps the per-tick cost down (direct reads
+            # via Gauge.value still coerce in the property).
             registry.gauge(
                 "netsim.link.tx_bytes", link=link.name, direction=end
-            ).set_function(lambda l=link, d=end: float(l.tx_bytes[d]))
+            ).set_function(lambda l=link, d=end: l.tx_bytes[d])
             registry.gauge(
                 "netsim.link.tx_packets", link=link.name, direction=end
-            ).set_function(lambda l=link, d=end: float(l.tx_packets[d]))
+            ).set_function(lambda l=link, d=end: l.tx_packets[d])
             registry.gauge(
                 "netsim.link.utilization", link=link.name, direction=end
             ).set_function(lambda l=link, d=end: l.utilization(d))
             registry.gauge(
                 "netsim.link.queue_depth", link=link.name, direction=end
-            ).set_function(lambda l=link, d=end: float(len(l._queues[d])))
+            ).set_function(lambda l=link, d=end: len(l._queues[d]))
         registry.gauge("netsim.link.up", link=link.name).set_function(
             lambda l=link: 1.0 if l.up else 0.0
         )
@@ -153,10 +157,10 @@ def instrument_network(net, registry: MetricsRegistry):
             node.probe = GatewayProbe(registry, node)
             registry.gauge(
                 "netsim.gateway.forwarded", gateway=node.name
-            ).set_function(lambda g=node: float(g.forwarded))
+            ).set_function(lambda g=node: g.forwarded)
             registry.gauge(
                 "netsim.gateway.queue_depth", gateway=node.name
-            ).set_function(lambda g=node: float(len(g._queue)))
+            ).set_function(lambda g=node: len(g._queue))
     return net.probe
 
 

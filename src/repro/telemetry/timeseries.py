@@ -87,9 +87,17 @@ class Sampler:
         self.capacity = capacity
         self.samples_taken = 0
         self._buffers: dict[tuple, RingBuffer] = {}
-        # Per-tick fast path: series object -> buffer, so the sorted
-        # label key is computed once per series, not once per sample.
-        self._by_series: dict[int, RingBuffer] = {}
+        # Per-tick fast path: flat (append, series) pair lists, rebuilt
+        # only when the registry grows, so a tick is one list walk —
+        # no generator, no per-series dict probe, and the sorted label
+        # key is computed once per series, not once per sample.  Gauges
+        # get their own list so the tick can read ``_fn``/``_value``
+        # directly instead of paying the ``value`` property dispatch on
+        # every sample (``_fn`` is re-read each tick, so ``set()`` after
+        # ``set_function()`` behaves exactly as a property read would).
+        self._gauge_pairs: list[tuple] = []
+        self._other_pairs: list[tuple] = []
+        self._seen_series = -1
         self._listeners: list[Callable[[float], None]] = []
         self._running = False
         self._stopped = False
@@ -100,6 +108,11 @@ class Sampler:
         if not self._running:
             self._running = True
             self._stopped = False
+            # Allocate buffers for everything registered so far up front:
+            # buffer creation and label keying are setup cost, not
+            # something the first tick should pay mid-run.
+            if len(self.registry) != self._seen_series:
+                self._rescan()
             self.env.process(self._run())
         return self
 
@@ -120,19 +133,36 @@ class Sampler:
         """Call ``fn(now)`` after every tick (alert evaluation hook)."""
         self._listeners.append(fn)
 
+    def _rescan(self) -> None:
+        """Pick up series created since the last tick (lazy buffers)."""
+        gauge_pairs = []
+        other_pairs = []
+        for series in self.registry.series():
+            if series.kind == "histogram":
+                continue  # distributions are exported whole, not sampled
+            key = (series.name, _label_key(series.labels))
+            buf = self._buffers.get(key)
+            if buf is None:
+                buf = self._buffers[key] = RingBuffer(self.capacity)
+            # Bind the append once per series, not once per tick.
+            if series.kind == "gauge":
+                gauge_pairs.append((buf.append, series))
+            else:
+                other_pairs.append((buf.append, series))
+        self._gauge_pairs = gauge_pairs
+        self._other_pairs = other_pairs
+        self._seen_series = len(self.registry)
+
     def sample_once(self) -> float:
         """Take one snapshot immediately; returns the sample time."""
         now = self.env.now
-        by_series = self._by_series
-        for series in self.registry.series():
-            buf = by_series.get(id(series))
-            if buf is None:
-                if series.kind == "histogram":
-                    continue  # distributions are exported whole, not sampled
-                buf = RingBuffer(self.capacity)
-                by_series[id(series)] = buf
-                self._buffers[(series.name, _label_key(series.labels))] = buf
-            buf.append(now, series.value)
+        if len(self.registry) != self._seen_series:
+            self._rescan()
+        for append, gauge in self._gauge_pairs:
+            fn = gauge._fn
+            append(now, fn() if fn is not None else gauge._value)
+        for append, series in self._other_pairs:
+            append(now, series.value)
         self.samples_taken += 1
         for fn in self._listeners:
             fn(now)

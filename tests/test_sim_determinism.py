@@ -1,0 +1,98 @@
+"""Fast path vs. slow path equivalence, and allocation regressions.
+
+``Environment(fast_path=False)`` forces the classic event-per-hop
+machinery (transmitter/worker processes, Store round trips); the default
+fast path replaces those with scheduled callbacks and inline completion.
+The contract is that the two differ only in kernel work, never in
+simulated behaviour: identical delivery order, identical timestamps,
+identical flow metrics.
+"""
+
+import pytest
+
+from repro.harness.runner import SweepRunner
+from repro.harness.sweeps import demo_specs
+from repro.netsim import BulkTransfer, ClassicalIP, build_testbed
+from repro.netsim.core import Packet
+from repro.netsim.ip import TESTBED_MTU
+from repro.sim import Environment, Event, Store
+
+MB = 1024 * 1024
+
+
+def _run_bulk(fast_path: bool, nbytes: int = 2 * MB):
+    """A WAN bulk transfer with every flow delivery recorded in order."""
+    tb = build_testbed(env=Environment(fast_path=fast_path))
+    bt = BulkTransfer(
+        tb.net, "sp2", "t3e-600", nbytes, ip=ClassicalIP(TESTBED_MTU)
+    )
+    deliveries: list[tuple] = []
+    for hname in ("sp2", "t3e-600"):
+        host = tb.net.host(hname)
+        for flow, sink in list(host._sinks.items()):
+            def wrapped(packet, t, _sink=sink, _h=hname):
+                deliveries.append((_h, packet.kind, packet.seq, t))
+                _sink(packet, t)
+
+            host._sinks[flow] = wrapped
+    goodput = bt.run()
+    return {
+        "deliveries": deliveries,
+        "goodput": goodput,
+        "elapsed": tb.env.now,
+        "retransmits": bt.retransmits,
+        "timeouts": bt.timeouts,
+        "scheduled": tb.env.scheduled_count,
+    }
+
+
+def test_fast_and_slow_paths_deliver_identically():
+    fast = _run_bulk(fast_path=True)
+    slow = _run_bulk(fast_path=False)
+    # Same packets, same order, same (exact) timestamps end to end.
+    assert fast["deliveries"] == slow["deliveries"]
+    assert fast["goodput"] == slow["goodput"]
+    assert fast["elapsed"] == slow["elapsed"]
+    assert fast["retransmits"] == slow["retransmits"]
+    assert fast["timeouts"] == slow["timeouts"]
+    # ... and the fast path got there with far less kernel work.
+    assert fast["scheduled"] < slow["scheduled"]
+
+
+def test_fast_path_is_run_to_run_deterministic():
+    a = _run_bulk(fast_path=True)
+    b = _run_bulk(fast_path=True)
+    assert a == b
+
+
+def test_demo_sweep_metrics_stable_across_runs():
+    specs = demo_specs(n=4, duration=0.0)
+    a = SweepRunner(serial=True).run(specs, name="demo")
+    b = SweepRunner(serial=True).run(specs, name="demo")
+    assert a.metrics() == b.metrics()
+
+
+def test_hot_path_classes_have_no_instance_dict():
+    env = Environment()
+    hot = [
+        env,
+        Event(env),
+        env.timeout(0.0),
+        Store(env),
+        Packet(flow="f", src="a", dst="b", ip_bytes=1500, payload_bytes=1448),
+    ]
+    for obj in hot:
+        assert not hasattr(obj, "__dict__"), type(obj).__name__
+        with pytest.raises(AttributeError):
+            obj.arbitrary_new_attribute = 1
+
+
+def test_process_is_slotted():
+    env = Environment()
+
+    def proc():
+        yield env.timeout(0.0)
+
+    p = env.process(proc())
+    assert not hasattr(p, "__dict__")
+    env.run()

@@ -96,8 +96,10 @@ def test_event_double_trigger_rejected():
     env = Environment()
     evt = env.event()
     evt.succeed(1)
-    with pytest.raises(RuntimeError):
+    with pytest.raises(SimulationError, match="already triggered"):
         evt.succeed(2)
+    with pytest.raises(SimulationError, match="already triggered"):
+        evt.fail(ValueError("nope"))
 
 
 def test_event_fail_raises_in_waiter():
@@ -197,8 +199,47 @@ def test_interrupt_finished_process_rejected():
 
     p = env.process(quick())
     env.run()
-    with pytest.raises(RuntimeError):
+    with pytest.raises(SimulationError, match="finished"):
         p.interrupt()
+
+
+def test_interrupt_self_rejected():
+    env = Environment()
+
+    def proc():
+        env.active_process.interrupt()
+        yield env.timeout(1.0)
+
+    p = env.process(proc())
+    env.run()
+    assert isinstance(p.value, SimulationError)
+
+
+def test_interrupt_detaches_without_disturbing_other_waiters():
+    env = Environment()
+    evt = env.event()
+    order = []
+
+    def waiter(tag):
+        try:
+            yield evt
+            order.append(tag)
+        except Interrupt:
+            order.append(f"{tag}-interrupted")
+
+    procs = [env.process(waiter(t)) for t in ("a", "b", "c")]
+
+    def attacker():
+        yield env.timeout(1.0)
+        procs[1].interrupt()
+        yield env.timeout(1.0)
+        evt.succeed()
+
+    env.process(attacker())
+    env.run()
+    # The tombstoned slot neither resumes the victim nor shifts the
+    # remaining waiters out of FIFO order.
+    assert order == ["b-interrupted", "a", "c"]
 
 
 def test_all_of_collects_values():
@@ -249,6 +290,73 @@ def test_run_backwards_rejected():
     env = Environment(initial_time=10.0)
     with pytest.raises(SimulationError):
         env.run(until=5.0)
+
+
+def test_call_later_runs_with_args():
+    env = Environment()
+    got = []
+    env.call_later(2.0, lambda a, b: got.append((env.now, a, b)), 1, "x")
+    env.run()
+    assert got == [(2.0, 1, "x")]
+
+
+def test_call_at_absolute_time():
+    env = Environment(initial_time=5.0)
+    got = []
+    env.call_at(7.5, got.append, "tick")
+    env.run()
+    assert got == ["tick"]
+    assert env.now == 7.5
+
+
+def test_call_later_negative_delay_rejected():
+    env = Environment()
+    with pytest.raises(SimulationError):
+        env.call_later(-0.1, lambda: None)
+
+
+def test_call_at_past_rejected():
+    env = Environment(initial_time=10.0)
+    with pytest.raises(SimulationError):
+        env.call_at(9.0, lambda: None)
+
+
+def test_callbacks_and_events_share_fifo_order():
+    env = Environment()
+    order = []
+
+    def event_at_one(tag):
+        evt = env.event()
+        evt.add_callback(lambda _e, t=tag: order.append(t))
+        evt.succeed(delay=1.0)
+
+    # Interleave the two scheduling forms at the same timestamp: firing
+    # order must follow scheduling order, not the entry's form.
+    event_at_one("event-1")
+    env.call_later(1.0, order.append, "callback-1")
+    event_at_one("event-2")
+    env.call_later(1.0, order.append, "callback-2")
+    env.run()
+    assert order == ["event-1", "callback-1", "event-2", "callback-2"]
+
+
+def test_scheduled_count_counts_both_forms():
+    env = Environment()
+    base = env.scheduled_count
+    env.timeout(1.0)
+    env.call_later(1.0, lambda: None)
+    env.call_at(2.0, lambda: None)
+    assert env.scheduled_count == base + 3
+
+
+def test_run_until_time_executes_due_callbacks():
+    env = Environment()
+    got = []
+    env.call_later(1.0, got.append, "in")
+    env.call_later(3.0, got.append, "out")
+    env.run(until=2.0)
+    assert got == ["in"]
+    assert env.now == 2.0
 
 
 def test_determinism_two_identical_runs():

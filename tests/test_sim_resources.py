@@ -118,6 +118,78 @@ def test_store_preserves_order_property(items):
     assert out == items
 
 
+def test_put_nowait_accepts_and_rejects_on_capacity():
+    env = Environment()
+    store = Store(env, capacity=2)
+    assert store.put_nowait("a")
+    assert store.put_nowait("b")
+    assert not store.put_nowait("c")  # full: caller counts the drop
+    assert list(store.items) == ["a", "b"]
+
+
+def test_put_nowait_hands_off_to_blocked_getter():
+    env = Environment()
+    store = Store(env)
+
+    def consumer():
+        got = yield store.get()
+        return (env.now, got)
+
+    def producer():
+        yield env.timeout(3.0)
+        assert store.put_nowait("direct")
+
+    c = env.process(consumer())
+    env.process(producer())
+    env.run()
+    assert c.value == (3.0, "direct")
+    assert len(store) == 0  # handed off, never parked in items
+
+
+def test_get_completes_inline_on_fast_path():
+    env = Environment()
+    store = Store(env)
+    store.put_nowait("ready")
+    evt = store.get()
+    # No heap round trip: the event is already processed at creation.
+    assert evt.processed
+    assert evt.value == "ready"
+
+
+def test_get_round_trips_through_queue_on_slow_path():
+    env = Environment(fast_path=False)
+    store = Store(env)
+    store.put_nowait("ready")
+    evt = store.get()
+    assert not evt.processed  # classic succeed-then-fire round trip
+    env.run()
+    assert evt.processed
+    assert evt.value == "ready"
+
+
+def test_inline_get_admits_blocked_putter():
+    env = Environment()
+    store = Store(env, capacity=1)
+    done = []
+
+    def producer():
+        yield store.put("a")
+        yield store.put("b")  # blocks: capacity 1
+        done.append(env.now)
+
+    def consumer():
+        yield env.timeout(1.0)
+        got = yield store.get()  # inline fast path frees the slot
+        return got
+
+    env.process(producer())
+    c = env.process(consumer())
+    env.run()
+    assert c.value == "a"
+    assert done == [1.0]
+    assert list(store.items) == ["b"]
+
+
 def test_resource_mutual_exclusion():
     env = Environment()
     res = Resource(env, capacity=1)
