@@ -111,6 +111,98 @@ def loss_bound(spec: ScenarioSpec) -> dict[str, Any]:
     return {"bound_mbps": bound / 1e6}
 
 
+@scenario("wan_contention")
+def wan_contention(spec: ScenarioSpec) -> dict[str, Any]:
+    """The paper's concurrent application mix on the shared backbone
+    (Sections 2-3): bulk transfers, the 270 Mbit/s D1 video stream and
+    latency-sensitive ping traffic all crossing the Jülich ↔ Sankt
+    Augustin path at once, with the DRR link/gateway schedulers
+    arbitrating.  Reports measured per-flow goodput next to the
+    closed-form :func:`~repro.netsim.tcp.fair_share_throughputs`
+    prediction; ``fair_dev_max`` is the worst relative deviation of the
+    bulk flows from the model (startup/teardown transients and
+    asymmetric finish times keep it nonzero for unequal mixes).
+    """
+    from repro.netsim import BulkTransfer, CbrFlow, PingFlow
+    from repro.netsim.tcp import fair_share_throughputs
+
+    tb = _testbed(spec)
+    net = tb.net
+    ip = _ip(spec)
+    mbytes = int(spec.get("mbytes", 20))
+    n_bulk = int(spec.get("n_bulk", 2))
+    window = int(spec.get("window_mbytes", 8)) * MBYTE
+
+    pairs = [
+        ("t3e-600", "sp2"),
+        ("t3e-1200", "e500-gmd"),
+        ("t90", "onyx2-gmd"),
+    ][:n_bulk]
+    bulks = [
+        BulkTransfer(
+            net,
+            src,
+            dst,
+            mbytes * MBYTE,
+            ip=ip,
+            window_bytes=window,
+            name=f"bulk-{src}",
+        )
+        for src, dst in pairs
+    ]
+    video = None
+    if bool(spec.get("video", True)):
+        # Uncompressed D1: 270 Mbit/s at 25 frames/s.
+        video = CbrFlow(
+            net,
+            "onyx2-juelich",
+            "onyx2-gmd",
+            frame_bytes=1_350_000,
+            interval=0.04,
+            n_frames=int(spec.get("frames", 50)),
+            ip=ip,
+            name="d1-video",
+        )
+    ping = None
+    if bool(spec.get("ping", True)):
+        ping = PingFlow(
+            net, "frontend", "e500-gmd", count=20, interval=0.05, name="ping"
+        )
+
+    for bt in bulks:
+        net.env.run(until=bt.done)
+    if video is not None:
+        net.env.run(until=video.done)
+    if ping is not None:
+        net.env.run(until=ping.done)
+
+    model = fair_share_throughputs(
+        net, bulks + ([video] if video is not None else [])
+    )
+    out: dict[str, Any] = {}
+    devs = []
+    for bt in bulks:
+        measured = bt.throughput / 1e6
+        predicted = model[bt.name] / 1e6
+        out[f"goodput_{bt.name}_mbps"] = measured
+        out[f"model_{bt.name}_mbps"] = predicted
+        out[f"retransmits_{bt.name}"] = bt.retransmits
+        devs.append(abs(measured - predicted) / predicted)
+    out["fair_dev_max"] = max(devs)
+    if video is not None:
+        out["video_delivered_mbps"] = video.delivered_rate / 1e6
+        out["video_bad_frames"] = video.frames_late + video.frames_lost
+    if ping is not None:
+        out["ping_rtt_ms"] = ping.rtt.mean * 1e3
+        out["ping_lost"] = ping.lost
+    wan = tb.wan_link
+    out["wan_flow_drops"] = sum(
+        sum(per_flow.values()) for per_flow in wan.flow_drops.values()
+    )
+    out["elapsed_s"] = net.env.now
+    return out
+
+
 @scenario("t3e_scaling")
 def t3e_scaling(spec: ScenarioSpec) -> dict[str, Any]:
     """Table-1 model point: FIRE module times on the T3E for one PE

@@ -12,7 +12,10 @@ the tolerances its baseline file is written with:
   loss rate (with the Mathis-style bound) and link-outage recovery;
 * ``kernel_bench`` — discrete-event kernel throughput on a WAN bulk
   microbench: deterministic event/packet counts are hard-gated,
-  wall-clock figures ride along informationally.
+  wall-clock figures ride along informationally;
+* ``contention`` — Sections 2-3 concurrent mix: bulk transfers + D1
+  video + ping sharing the backbone, DRR fairness vs. the closed-form
+  max-min fair-share model, on both the OC-48 and OC-12 backbones.
 
 ``quick=True`` shrinks transfer sizes for CI smoke runs; the grids
 themselves do not change shape, so quick and full baselines share the
@@ -83,6 +86,16 @@ def _kernel_bench(quick: bool) -> list[ScenarioSpec]:
     ]
 
 
+def _contention(quick: bool) -> list[ScenarioSpec]:
+    mbytes = 8 if quick else 24
+    frames = 25 if quick else 50
+    grid = ParameterGrid(
+        {"oc48": [True, False], "n_bulk": [1, 2, 3]},
+        fixed={"mbytes": mbytes, "frames": frames},
+    )
+    return grid.specs("wan_contention")
+
+
 def _fault_recovery(quick: bool) -> list[ScenarioSpec]:
     mbytes = 20 if quick else 40
     loss_axis = LOSS_AXIS_QUICK if quick else LOSS_AXIS
@@ -139,6 +152,25 @@ SWEEPS: dict[str, Sweep] = {
                     # informational only, never gate.
                     "*/wall_s": {"rel": 1e9, "abs": 1e9},
                     "*/packets_per_sec": {"rel": 1e9, "abs": 1e9},
+                },
+            },
+        ),
+        Sweep(
+            name="contention",
+            description="Sections 2-3: concurrent mix fairness vs max-min model",
+            build=_contention,
+            tolerances={
+                "default": {"rel": 0.05},
+                "metrics": {
+                    # How far the discrete-event flows sit from the
+                    # closed-form fair share — gate on drift, not value.
+                    "*/fair_dev_max": {"abs": 0.05},
+                    "*/retransmits_*": {"abs": 5},
+                    "*/video_bad_frames": {"abs": 2},
+                    "*/ping_lost": {"abs": 2},
+                    "*/ping_rtt_ms": {"rel": 0.10},
+                    "*/wan_flow_drops": {"abs": 10},
+                    "*/elapsed_s": {"rel": 0.10},
                 },
             },
         ),

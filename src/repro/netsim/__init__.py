@@ -10,6 +10,8 @@ Layers, bottom-up:
   supercomputers.
 * :mod:`repro.netsim.core` — packet-level discrete-event network: hosts,
   switches, HiPPI↔ATM gateways, links, static routing.
+* :mod:`repro.netsim.sched` — deficit-round-robin per-flow scheduling
+  for the shared link transmitters and gateway workers.
 * :mod:`repro.netsim.tcp` — window/RTT TCP throughput (analytic + DES flows).
 * :mod:`repro.netsim.flows` — bulk, request/response and CBR traffic,
   with TCP-style loss recovery on the bulk flow.
@@ -39,8 +41,11 @@ from repro.netsim.core import (
     HippiFraming,
     PlainFraming,
 )
+from repro.netsim.sched import DrrScheduler
 from repro.netsim.tcp import (
+    FlowDemand,
     TcpModel,
+    fair_share_throughputs,
     tcp_loss_throughput_bound,
     tcp_steady_throughput,
 )
@@ -70,7 +75,10 @@ __all__ = [
     "AtmFraming",
     "HippiFraming",
     "PlainFraming",
+    "DrrScheduler",
+    "FlowDemand",
     "TcpModel",
+    "fair_share_throughputs",
     "tcp_loss_throughput_bound",
     "tcp_steady_throughput",
     "BulkTransfer",

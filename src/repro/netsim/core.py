@@ -25,9 +25,18 @@ from typing import Any, Callable, Optional
 from repro.netsim.atm import aal5_wire_bytes
 from repro.netsim.hippi import hippi_wire_bytes
 from repro.netsim.ip import LLC_SNAP_HEADER
+from repro.netsim.sched import DrrScheduler
 from repro.sim import Environment, Store
 
 _packet_ids = itertools.count()
+
+
+def _count_by_flow(packets) -> dict[str, int]:
+    """Group a batch of packets (e.g. a flushed queue) by flow name."""
+    counts: dict[str, int] = {}
+    for packet in packets:
+        counts[packet.flow] = counts.get(packet.flow, 0) + 1
+    return counts
 
 
 @dataclass(slots=True)
@@ -120,10 +129,23 @@ class PlainFraming(Framing):
 class Link:
     """A full-duplex point-to-point link between two nodes.
 
-    Each direction has its own FIFO transmit queue and transmitter
+    Each direction has its own transmit scheduler and transmitter
     process: serialization at ``rate`` (on framed wire bytes) followed by
     ``propagation`` seconds of flight.  ``queue_packets`` bounds the
-    transmit queue; excess packets are dropped (counted per direction).
+    transmit queue (waiting packets across all flows); excess packets are
+    dropped (counted per direction).
+
+    Concurrent flows sharing a direction are served fairly, not
+    FIFO-by-arrival: each flow gets its own queue inside a
+    :class:`~repro.netsim.sched.DrrScheduler` and deficit round robin
+    picks the next packet by framed wire bytes, so an aggressive bulk
+    flow cannot starve a CBR video or ping stream the way a single
+    shared FIFO lets it.  With one flow the service order degenerates to
+    FIFO, leaving single-flow runs bit-identical to the pre-DRR link.
+    Per-flow transmit and drop tallies live in ``flow_tx_bytes`` /
+    ``flow_tx_packets`` / ``flow_drops`` (per direction, keyed by flow
+    name); :func:`repro.telemetry.probes.instrument_network` can expose
+    them as labeled metrics.
 
     Failure model (driven by :class:`repro.netsim.faults.FaultInjector`):
 
@@ -167,7 +189,11 @@ class Link:
         self.up = True
         self.network: Optional["Network"] = None
         self.probe: Optional[Any] = None
-        self._queues = {a.name: Store(env), b.name: Store(env)}
+        wire_cost = self._wire_cost
+        self._queues = {
+            a.name: DrrScheduler(env, cost=wire_cost),
+            b.name: DrrScheduler(env, cost=wire_cost),
+        }
         self.drops = {a.name: 0, b.name: 0}
         self.lost = {a.name: 0, b.name: 0}
         self.drop_reasons: dict[str, int] = {}
@@ -175,6 +201,10 @@ class Link:
         self._rng: Optional[random.Random] = None
         self.tx_bytes = {a.name: 0, b.name: 0}
         self.tx_packets = {a.name: 0, b.name: 0}
+        #: per-direction, per-flow accounting (flow name -> tally)
+        self.flow_tx_bytes: dict[str, dict[str, int]] = {a.name: {}, b.name: {}}
+        self.flow_tx_packets: dict[str, dict[str, int]] = {a.name: {}, b.name: {}}
+        self.flow_drops: dict[str, dict[str, int]] = {a.name: {}, b.name: {}}
         self.busy_time = {a.name: 0.0, b.name: 0.0}
         self._tx_begin: dict[str, Optional[float]] = {a.name: None, b.name: None}
         self._fast = env.fast_path
@@ -189,41 +219,56 @@ class Link:
         """The peer of ``node`` on this link."""
         return self.b if node is self.a else self.a
 
-    def _drop(self, direction: str, reason: str, count: int = 1) -> None:
+    def _wire_cost(self, packet: Packet) -> int:
+        """Framed wire bytes of ``packet`` — the DRR service cost."""
+        return self.framing.wire(packet.ip_bytes)
+
+    def set_flow_weight(self, flow: str, weight: float) -> None:
+        """Scale ``flow``'s DRR share on both directions (default 1.0)."""
+        for q in self._queues.values():
+            q.set_weight(flow, weight)
+
+    def _drop(
+        self, direction: str, reason: str, count: int = 1,
+        flow: Optional[str] = None,
+    ) -> None:
         """Count ``count`` packets dropped before reaching the wire."""
         self.drops[direction] += count
         self.drop_reasons[reason] = self.drop_reasons.get(reason, 0) + count
+        if flow is not None:
+            per_flow = self.flow_drops[direction]
+            per_flow[flow] = per_flow.get(flow, 0) + count
         if self.probe is not None:
-            self.probe.on_drop(self, direction, reason, count)
+            self.probe.on_drop(self, direction, reason, count, flow)
 
-    def _lose(self, direction: str, reason: str) -> None:
+    def _lose(self, direction: str, reason: str, flow: str) -> None:
         """Count one packet lost on the wire (after serialization)."""
         self.lost[direction] += 1
         self.drop_reasons[reason] = self.drop_reasons.get(reason, 0) + 1
+        per_flow = self.flow_drops[direction]
+        per_flow[flow] = per_flow.get(flow, 0) + 1
         if self.probe is not None:
-            self.probe.on_drop(self, direction, reason, 1)
+            self.probe.on_drop(self, direction, reason, 1, flow)
 
     def send(self, from_node: "Node", packet: Packet) -> None:
         """Enqueue ``packet`` for transmission from ``from_node``."""
         direction = from_node.name
         if not self.up:
-            self._drop(direction, "link_down")
+            self._drop(direction, "link_down", flow=packet.flow)
             return
         q = self._queues[direction]
         if self._fast and not self._busy[direction]:
-            # Idle transmitter: start serializing right now — no Store
-            # round trip, no waiting-queue residency.
+            # Idle transmitter: start serializing right now — no queue
+            # residency, no DRR state touched (parity with the slow
+            # path's direct hand-off to a blocked getter).
             self._start_tx(direction, packet)
             return
         # The queue bound counts waiting packets only; the in-service
         # packet left the queue when its serialization began (both paths).
-        if len(q.items) >= self.queue_packets:
-            self._drop(direction, "queue_full")
+        if len(q) >= self.queue_packets:
+            self._drop(direction, "queue_full", flow=packet.flow)
             return
-        if self._fast:
-            q.items.append(packet)
-        else:
-            q.put_nowait(packet)
+        q.put_nowait(packet)
 
     def set_up(self, up: bool) -> None:
         """Change link state; going down flushes both transmit queues."""
@@ -232,9 +277,8 @@ class Link:
         self.up = up
         if not up:
             for direction, q in self._queues.items():
-                flushed = len(q.clear())
-                if flushed:
-                    self._drop(direction, "link_down", flushed)
+                for flow, count in _count_by_flow(q.clear()).items():
+                    self._drop(direction, "link_down", count, flow=flow)
         if self.probe is not None:
             self.probe.on_state(self, up)
         if self.network is not None:
@@ -260,13 +304,23 @@ class Link:
                 raise KeyError(f"{d} is not an endpoint of {self.name}")
             self.loss_rate[d] = rate
 
+    def _account_tx(self, direction: str, packet: Packet) -> int:
+        """Tally one transmission (aggregate and per flow); wire bytes."""
+        wire = self.framing.wire(packet.ip_bytes)
+        self.tx_bytes[direction] += wire
+        self.tx_packets[direction] += 1
+        flow = packet.flow
+        per_flow = self.flow_tx_bytes[direction]
+        per_flow[flow] = per_flow.get(flow, 0) + wire
+        per_flow = self.flow_tx_packets[direction]
+        per_flow[flow] = per_flow.get(flow, 0) + 1
+        return wire
+
     # -- fast path: callback-driven transmit state machine -----------------
     def _start_tx(self, direction: str, packet: Packet) -> None:
         """Begin serializing ``packet``; completion is a scheduled callback."""
         self._busy[direction] = True
-        wire = self.framing.wire(packet.ip_bytes)
-        self.tx_bytes[direction] += wire
-        self.tx_packets[direction] += 1
+        wire = self._account_tx(direction, packet)
         serialization = wire * 8 / self.rate
         self._tx_begin[direction] = self.env.now
         self.env.call_later(
@@ -278,11 +332,11 @@ class Link:
         self.busy_time[direction] += serialization
         self._tx_begin[direction] = None
         if not self.up:
-            self._lose(direction, "tx_link_down")
+            self._lose(direction, "tx_link_down", packet.flow)
         else:
             rate = self.loss_rate[direction]
             if rate > 0.0 and self._rng is not None and self._rng.random() < rate:
-                self._lose(direction, "wire_loss")
+                self._lose(direction, "wire_loss", packet.flow)
             else:
                 # Propagation does not occupy the transmitter: a bare
                 # delivery callback (inline when zero) lets back-to-back
@@ -292,9 +346,9 @@ class Link:
                     env.call_later(self.propagation, self._deliver_now, dst, packet)
                 else:
                     self._deliver_now(dst, packet)
-        waiting = self._queues[direction].items
-        if waiting:
-            self._start_tx(direction, waiting.popleft())
+        waiting = self._queues[direction]
+        if len(waiting):
+            self._start_tx(direction, waiting.dequeue())
         else:
             self._busy[direction] = False
 
@@ -304,20 +358,18 @@ class Link:
         q = self._queues[sname]
         while True:
             packet: Packet = yield q.get()
-            wire = self.framing.wire(packet.ip_bytes)
-            self.tx_bytes[sname] += wire
-            self.tx_packets[sname] += 1
+            wire = self._account_tx(sname, packet)
             serialization = wire * 8 / self.rate
             self._tx_begin[sname] = self.env.now
             yield self.env.timeout(serialization)
             self.busy_time[sname] += serialization
             self._tx_begin[sname] = None
             if not self.up:
-                self._lose(sname, "tx_link_down")
+                self._lose(sname, "tx_link_down", packet.flow)
                 continue
             rate = self.loss_rate[sname]
             if rate > 0.0 and self._rng is not None and self._rng.random() < rate:
-                self._lose(sname, "wire_loss")
+                self._lose(sname, "wire_loss", packet.flow)
                 continue
             # Propagation does not occupy the transmitter: hand off to a
             # dedicated delivery event so back-to-back packets pipeline.
@@ -586,36 +638,46 @@ class Gateway(Node):
     Store-and-forward with a serial per-packet forwarding cost (the
     gateway's IP stack): a single worker, so the gateway can itself become
     the bottleneck — as the real workstation gateways could.
+
+    Waiting packets are held per flow and served round robin (a
+    :class:`~repro.netsim.sched.DrrScheduler` with unit cost — every
+    packet pays the same forwarding CPU), so one flow flooding the
+    gateway cannot starve the others; with a single flow the service
+    order is plain FIFO.  ``flow_forwarded`` / ``flow_drops`` tally the
+    per-flow outcome.
     """
 
     def __init__(self, env: Environment, name: str, per_packet: float = 120e-6):
         super().__init__(env, name)
         self.per_packet = per_packet
-        self._queue = Store(env)
+        self._queue = DrrScheduler(env)
         self.forwarded = 0
         self.up = True
         self.dropped = 0
         self.drop_reasons: dict[str, int] = {}
+        self.flow_forwarded: dict[str, int] = {}
+        self.flow_drops: dict[str, int] = {}
         self.probe: Optional[Any] = None
         self._fast = env.fast_path
         self._busy = False
         if not self._fast:
             env.process(self._worker())
 
-    def _drop(self, reason: str, count: int = 1) -> None:
+    def _drop(self, reason: str, count: int = 1, flow: Optional[str] = None) -> None:
         self.dropped += count
         self.drop_reasons[reason] = self.drop_reasons.get(reason, 0) + count
+        if flow is not None:
+            self.flow_drops[flow] = self.flow_drops.get(flow, 0) + count
         if self.probe is not None:
-            self.probe.on_drop(self, reason, count)
+            self.probe.on_drop(self, reason, count, flow)
 
     def crash(self) -> None:
         """Take the gateway down: flush and black-hole traffic until restart."""
         if not self.up:
             return
         self.up = False
-        flushed = len(self._queue.clear())
-        if flushed:
-            self._drop("gateway_down", flushed)
+        for flow, count in _count_by_flow(self._queue.clear()).items():
+            self._drop("gateway_down", count, flow=flow)
 
     def restart(self) -> None:
         """Bring a crashed gateway back into service."""
@@ -623,15 +685,21 @@ class Gateway(Node):
 
     def receive(self, packet: Packet, link: Link) -> None:
         if not self.up:
-            self._drop("gateway_down")
+            self._drop("gateway_down", flow=packet.flow)
             return
         if self._fast:
             if self._busy:
-                self._queue.items.append(packet)
+                self._queue.put_nowait(packet)
             else:
                 self._start_service(packet)
         else:
             self._queue.put_nowait(packet)
+
+    def _forward_one(self, packet: Packet) -> None:
+        self.forwarded += 1
+        flow = packet.flow
+        self.flow_forwarded[flow] = self.flow_forwarded.get(flow, 0) + 1
+        self.forward(packet)
 
     # -- fast path: callback-driven serial forwarding ----------------------
     def _start_service(self, packet: Packet) -> None:
@@ -645,13 +713,12 @@ class Gateway(Node):
         # A crash while this packet was in service black-holes it, exactly
         # as the slow-path worker does after its timeout.
         if not self.up:
-            self._drop("gateway_down")
+            self._drop("gateway_down", flow=packet.flow)
         else:
-            self.forwarded += 1
-            self.forward(packet)
-        waiting = self._queue.items
-        if waiting:
-            self._start_service(waiting.popleft())
+            self._forward_one(packet)
+        waiting = self._queue
+        if len(waiting):
+            self._start_service(waiting.dequeue())
         else:
             self._busy = False
 
@@ -662,10 +729,9 @@ class Gateway(Node):
             if self.per_packet:
                 yield self.env.timeout(self.per_packet)
             if not self.up:
-                self._drop("gateway_down")
+                self._drop("gateway_down", flow=packet.flow)
                 continue
-            self.forwarded += 1
-            self.forward(packet)
+            self._forward_one(packet)
 
 
 class Network:

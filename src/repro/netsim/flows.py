@@ -104,6 +104,7 @@ class BulkTransfer:
         self._sent_bytes = 0
         self._sent_at: dict[int, float] = {}
         self._rexmitted: set[int] = set()
+        self._prune_next = 0  # lowest segment index that may still hold records
         self._srtt: Optional[float] = None
         self._rttvar = 0.0
         self._rto = initial_rto
@@ -172,6 +173,17 @@ class BulkTransfer:
     def _first_unacked(self) -> int:
         """Index of the first segment not yet cumulatively acknowledged."""
         return bisect.bisect_right(self._ends, self._acked)
+
+    def _prune_acked(self) -> None:
+        """Drop send records and Karn marks for fully-acked segments, so
+        bookkeeping stays proportional to the window, not the transfer.
+        Runs after :meth:`_sample_rtt`, which reads the newest acked
+        record before it is discarded here."""
+        first = self._first_unacked()
+        while self._prune_next < first:
+            self._sent_at.pop(self._prune_next, None)
+            self._rexmitted.discard(self._prune_next)
+            self._prune_next += 1
 
     def _retransmit_timer(self):
         """RTO process: retransmit the oldest unacked segment on expiry."""
@@ -248,6 +260,7 @@ class BulkTransfer:
             self._dup_acks = 0
             self._consecutive_timeouts = 0
             self._sample_rtt(now)
+            self._prune_acked()
             self._timer_epoch = now
             if self._cwnd < self.window_bytes:
                 # Slow start, both initial (``slow_start=True``) and when
@@ -292,7 +305,13 @@ class BulkTransfer:
         newest = self._first_unacked() - 1
         if newest < 0 or newest in self._rexmitted:
             return
-        sample = now - self._sent_at[newest]
+        sent = self._sent_at.get(newest)
+        if sent is None:
+            # A cumulative ACK can cover segments whose send record was
+            # already pruned (or never landed under reordering); the
+            # fast-retransmit path guards the same way.
+            return
+        sample = now - sent
         if self._srtt is None:
             self._srtt = sample
             self._rttvar = sample / 2.0

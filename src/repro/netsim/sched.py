@@ -1,0 +1,168 @@
+"""Fair multi-flow service for links and gateways: deficit round robin.
+
+The testbed ran its application projects *concurrently* over one
+SDH/ATM backbone — the D1 video stream, climate coupling bursts,
+groundwater transfers and the latency-sensitive MEG/fMRI traffic all
+shared the Fore ASX-4000 path (paper Sections 2-3).  A single FIFO
+transmit queue lets one aggressive flow starve the rest, which is not
+what per-VC ATM scheduling did; :class:`DrrScheduler` gives each flow
+its own FIFO and serves them with deficit round robin (Shreedhar &
+Varghese), the classic O(1) approximation of weighted fair queueing.
+
+Design constraints, in order:
+
+* **Pure data structure on the dequeue/enqueue path.**  The scheduler
+  never touches the event heap on its own; both the callback state
+  machines (``fast_path=True``) and the reference generator processes
+  (``fast_path=False``) drive it, so the two scheduling forms see the
+  exact same service order and stay bit-identical.
+* **FIFO-degenerate for one flow.**  With a single backlogged flow the
+  service order is plain FIFO, so every existing single-flow scenario
+  (and the exactly-pinned ``kernel_bench`` baselines) is unchanged.
+* **Store-compatible surface.**  ``put_nowait`` / ``get`` / ``clear`` /
+  ``__len__`` mirror :class:`repro.sim.Store`, so the slow-path
+  transmitter keeps its ``packet = yield q.get()`` shape.
+
+``quantum`` grows to the largest service cost seen, which guarantees a
+backlogged flow is served at least one packet per round (the standard
+DRR progress condition).  ``set_weight`` scales a flow's per-round
+quantum — per-VC shares reserved through :class:`repro.netsim.qos.QosManager`
+can be mapped onto weights by the caller.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Callable, Optional
+
+__all__ = ["DrrScheduler"]
+
+
+class DrrScheduler:
+    """Per-flow FIFOs served in deficit-round-robin order.
+
+    ``cost`` maps a packet to its service cost (e.g. framed wire bytes
+    for a link transmitter); ``None`` charges one unit per packet, which
+    degenerates to plain per-packet round robin (a gateway's serial
+    forwarding CPU).  Flows are keyed by ``packet.flow``.
+    """
+
+    __slots__ = (
+        "env",
+        "cost",
+        "quantum",
+        "_queues",
+        "_active",
+        "_deficit",
+        "_weights",
+        "_total",
+        "_getters",
+    )
+
+    def __init__(
+        self,
+        env,
+        cost: Optional[Callable[[object], float]] = None,
+        quantum: float = 0.0,
+    ):
+        self.env = env
+        self.cost = cost
+        self.quantum = float(quantum)
+        self._queues: dict[str, deque] = {}
+        self._active: deque[str] = deque()  # flows with backlog, service order
+        self._deficit: dict[str, float] = {}
+        self._weights: dict[str, float] = {}
+        self._total = 0
+        self._getters: deque = deque()  # blocked slow-path getters (Events)
+
+    # -- introspection -------------------------------------------------------
+    def __len__(self) -> int:
+        return self._total
+
+    def depth(self, flow: str) -> int:
+        """Queued packets of one flow."""
+        q = self._queues.get(flow)
+        return len(q) if q is not None else 0
+
+    def depths(self) -> dict[str, int]:
+        """Queued packets per flow (backlogged flows only)."""
+        return {f: len(q) for f, q in self._queues.items() if q}
+
+    def set_weight(self, flow: str, weight: float) -> None:
+        """Scale ``flow``'s per-round quantum (default 1.0)."""
+        if weight <= 0:
+            raise ValueError(f"weight must be positive, got {weight}")
+        self._weights[flow] = float(weight)
+
+    # -- enqueue -------------------------------------------------------------
+    def put_nowait(self, packet) -> bool:
+        """Accept ``packet``; hand it straight to a blocked getter if one
+        is waiting on an empty scheduler (Store parity).  Never rejects —
+        the caller enforces its aggregate queue bound via ``len``."""
+        if self._getters and not self._total:
+            self._getters.popleft().succeed(packet)
+            return True
+        flow = packet.flow
+        q = self._queues.get(flow)
+        if q is None:
+            q = self._queues[flow] = deque()
+        if not q:
+            self._active.append(flow)
+            self._deficit[flow] = 0.0
+        q.append(packet)
+        self._total += 1
+        c = self.cost(packet) if self.cost is not None else 1.0
+        if c > self.quantum:
+            self.quantum = c
+        return True
+
+    # -- dequeue -------------------------------------------------------------
+    def dequeue(self):
+        """Next packet in DRR order (caller guarantees backlog exists)."""
+        active = self._active
+        queues = self._queues
+        deficit = self._deficit
+        cost = self.cost
+        weights = self._weights
+        while True:
+            flow = active[0]
+            q = queues[flow]
+            c = cost(q[0]) if cost is not None else 1.0
+            d = deficit[flow]
+            if d < c:
+                # Round complete for this flow: top up its deficit and
+                # move it to the tail of the service order.
+                deficit[flow] = d + self.quantum * weights.get(flow, 1.0)
+                active.rotate(-1)
+                continue
+            deficit[flow] = d - c
+            packet = q.popleft()
+            self._total -= 1
+            if not q:
+                # Emptied flows leave the round and forfeit their credit,
+                # so an idle flow cannot bank bandwidth (standard DRR).
+                active.popleft()
+                del deficit[flow]
+            return packet
+
+    def get(self):
+        """Event firing with the next packet (slow-path transmitter API)."""
+        evt = self.env.event()
+        if self._total and not self._getters:
+            evt.succeed(self.dequeue())
+        else:
+            self._getters.append(evt)
+        return evt
+
+    # -- flush ---------------------------------------------------------------
+    def clear(self) -> list:
+        """Discard and return every queued packet (link down / gateway
+        crash).  Blocked getters keep waiting, as with Store.clear."""
+        dropped: list = []
+        for flow in self._active:
+            dropped.extend(self._queues[flow])
+            self._queues[flow].clear()
+        self._active.clear()
+        self._deficit.clear()
+        self._total = 0
+        return dropped

@@ -67,7 +67,14 @@ class LinkProbe:
         )
         self._drops: dict = {}
 
-    def on_drop(self, link, direction: str, reason: str, count: int = 1) -> None:
+    def on_drop(
+        self,
+        link,
+        direction: str,
+        reason: str,
+        count: int = 1,
+        flow: str | None = None,
+    ) -> None:
         key = (direction, reason)
         counter = self._drops.get(key)
         if counter is None:
@@ -78,6 +85,18 @@ class LinkProbe:
                 reason=reason,
             )
         counter.inc(count)
+        if flow is not None:
+            fkey = (direction, reason, flow)
+            fcounter = self._drops.get(fkey)
+            if fcounter is None:
+                fcounter = self._drops[fkey] = self._registry.counter(
+                    "netsim.link.flow_drops",
+                    link=self._name,
+                    direction=direction,
+                    reason=reason,
+                    flow=flow,
+                )
+            fcounter.inc(count)
 
     def on_state(self, link, up: bool) -> None:
         self.state_changes.inc()
@@ -97,13 +116,26 @@ class GatewayProbe:
         self._name = gateway.name
         self._drops: dict = {}
 
-    def on_drop(self, gateway, reason: str, count: int = 1) -> None:
+    def on_drop(
+        self, gateway, reason: str, count: int = 1, flow: str | None = None
+    ) -> None:
         counter = self._drops.get(reason)
         if counter is None:
             counter = self._drops[reason] = self._registry.counter(
                 "netsim.gateway.drops", gateway=self._name, reason=reason
             )
         counter.inc(count)
+        if flow is not None:
+            fkey = (reason, flow)
+            fcounter = self._drops.get(fkey)
+            if fcounter is None:
+                fcounter = self._drops[fkey] = self._registry.counter(
+                    "netsim.gateway.flow_drops",
+                    gateway=self._name,
+                    reason=reason,
+                    flow=flow,
+                )
+            fcounter.inc(count)
 
 
 class NetworkProbe:
@@ -118,12 +150,18 @@ class NetworkProbe:
         self.no_route.inc()
 
 
-def instrument_network(net, registry: MetricsRegistry):
+def instrument_network(net, registry: MetricsRegistry, flows=()):
     """Install probes on every link and gateway of ``net``.
 
     With a disabled (null) registry this is a no-op returning ``None`` —
     no probe attributes are set, no gauges registered, and the hot paths
     keep their single ``probe is None`` branch.
+
+    ``flows`` names flows (``packet.flow`` strings) that additionally get
+    per-flow lazy gauges on every link — transmitted bytes and queue
+    depth per flow and direction — reading the per-flow tallies the DRR
+    schedulers keep anyway; flow-labeled drop counters appear on demand
+    via the probe hooks regardless.
     """
     from repro.netsim.core import Gateway  # local import: avoid cycles
 
@@ -149,6 +187,23 @@ def instrument_network(net, registry: MetricsRegistry):
             registry.gauge(
                 "netsim.link.queue_depth", link=link.name, direction=end
             ).set_function(lambda l=link, d=end: len(l._queues[d]))
+            for flow in flows:
+                registry.gauge(
+                    "netsim.link.flow_tx_bytes",
+                    link=link.name,
+                    direction=end,
+                    flow=flow,
+                ).set_function(
+                    lambda l=link, d=end, f=flow: l.flow_tx_bytes[d].get(f, 0)
+                )
+                registry.gauge(
+                    "netsim.link.flow_queue_depth",
+                    link=link.name,
+                    direction=end,
+                    flow=flow,
+                ).set_function(
+                    lambda l=link, d=end, f=flow: l._queues[d].depth(f)
+                )
         registry.gauge("netsim.link.up", link=link.name).set_function(
             lambda l=link: 1.0 if l.up else 0.0
         )

@@ -4,9 +4,16 @@ the closed-form prediction and the discrete-event measurement."""
 import pytest
 
 from repro.netsim.core import Host, Network, PlainFraming
+from repro.netsim.faults import FaultInjector
 from repro.netsim.flows import BulkTransfer, CbrFlow, PingFlow
 from repro.netsim.ip import ClassicalIP, TESTBED_MTU
-from repro.netsim.tcp import TcpModel, characterize_path, tcp_steady_throughput
+from repro.netsim.tcp import (
+    PathCharacterization,
+    TcpModel,
+    characterize_path,
+    tcp_loss_throughput_bound,
+    tcp_steady_throughput,
+)
 from repro.sim import Environment
 
 
@@ -99,6 +106,98 @@ class TestCharacterization:
         net = two_hosts()
         model = TcpModel(ip=ClassicalIP(9180), window_bytes=1 << 20)
         assert model.predicted_throughput(net, "a", "b") > 0
+
+    def test_degenerate_free_path_is_well_defined(self):
+        """All-zero-cost hosts on an infinite-rate wire: no stages at
+        all, which used to crash ``max()`` on the empty dict."""
+        env = Environment()
+        net = Network(env)
+        net.add(Host(env, "a"))
+        net.add(Host(env, "b"))
+        net.link("a", "b", rate=float("inf"), framing=PlainFraming(0))
+        char = characterize_path(net, "a", "b", ClassicalIP(9180))
+        assert char.stages == {}
+        assert char.bottleneck_stage == "none"
+        assert char.per_packet_time == 0.0
+        assert char.pipeline_rate() == float("inf")
+        assert tcp_steady_throughput(net, "a", "b", ClassicalIP(9180)) > 0
+
+    def test_empty_characterization_is_well_defined(self):
+        char = PathCharacterization()
+        assert char.bottleneck_stage == "none"
+        assert char.per_packet_time == 0.0
+
+    def test_self_path_raises_clear_error(self):
+        net = two_hosts()
+        with pytest.raises(ValueError, match="self-path"):
+            characterize_path(net, "a", "a", ClassicalIP(9180))
+
+
+class TestLossBound:
+    def _net(self):
+        return two_hosts(rate=622e6, propagation=0.5e-3, cpu_per_packet=150e-6)
+
+    def test_zero_loss_degenerates_to_steady_state(self):
+        net = self._net()
+        ip = ClassicalIP(9180)
+        assert tcp_loss_throughput_bound(
+            net, "a", "b", ip, 0.0
+        ) == tcp_steady_throughput(net, "a", "b", ip)
+
+    def test_total_loss_is_zero_goodput(self):
+        """The raw Mathis form reports a positive goodput even at 100%
+        loss; the bound must clamp to 0 there."""
+        net = self._net()
+        assert tcp_loss_throughput_bound(net, "a", "b", ClassicalIP(9180), 1.0) == 0.0
+
+    def test_monotone_in_loss_rate(self):
+        net = self._net()
+        ip = ClassicalIP(9180)
+        rates = [
+            tcp_loss_throughput_bound(net, "a", "b", ip, p)
+            for p in (0.0, 1e-4, 1e-3, 1e-2, 0.1, 0.5, 1.0)
+        ]
+        assert all(hi >= lo for hi, lo in zip(rates, rates[1:]))
+        assert rates[0] > 0 and rates[-1] == 0.0
+
+    @pytest.mark.parametrize("bad", [-0.1, 1.5, 2.0])
+    def test_out_of_range_rates_rejected(self, bad):
+        net = self._net()
+        with pytest.raises(ValueError, match="loss_rate"):
+            tcp_loss_throughput_bound(net, "a", "b", ClassicalIP(9180), bad)
+
+
+class TestRttSampleGuard:
+    def test_two_flow_loss_run_survives_pruned_send_records(self):
+        """Regression for the ``_sample_rtt`` KeyError family: two
+        competing flows under seeded random loss exercise cumulative
+        ACKs arriving for segments whose send records are pruned (and
+        reordering from retransmissions); the transfers must complete
+        and the bookkeeping must stay window-sized."""
+        env = Environment()
+        net = Network(env)
+        net.add(Host(env, "a"))
+        net.add(Host(env, "c"))
+        net.add(Host(env, "b"))
+        net.link("a", "b", rate=200e6, propagation=1e-3, framing=PlainFraming(0))
+        net.link("c", "b", rate=200e6, propagation=1e-3, framing=PlainFraming(0))
+        for link in net.links.values():
+            FaultInjector(net, seed=7).random_loss(link, 0.01)
+        flows = [
+            BulkTransfer(
+                net, src, "b", nbytes=4_000_000, ip=ClassicalIP(9180),
+                window_bytes=256 * 1024, name=f"lossy-{src}",
+            )
+            for src in ("a", "c")
+        ]
+        for flow in flows:
+            env.run(until=flow.done)
+        for flow in flows:
+            assert flow.throughput > 0
+            assert flow.retransmits > 0  # losses actually happened
+            # Pruning keeps records bounded by the window, not the
+            # whole transfer's segment count.
+            assert len(flow._sent_at) < len(flow._payloads)
 
 
 class TestCbrFlow:

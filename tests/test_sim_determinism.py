@@ -12,7 +12,7 @@ import pytest
 
 from repro.harness.runner import SweepRunner
 from repro.harness.sweeps import demo_specs
-from repro.netsim import BulkTransfer, ClassicalIP, build_testbed
+from repro.netsim import BulkTransfer, CbrFlow, ClassicalIP, build_testbed
 from repro.netsim.core import Packet
 from repro.netsim.ip import TESTBED_MTU
 from repro.sim import Environment, Event, Store
@@ -62,6 +62,72 @@ def test_fast_and_slow_paths_deliver_identically():
 def test_fast_path_is_run_to_run_deterministic():
     a = _run_bulk(fast_path=True)
     b = _run_bulk(fast_path=True)
+    assert a == b
+
+
+def _run_contended(fast_path: bool, nbytes: int = MB):
+    """Two competing bulk transfers plus a CBR stream on the shared ATM
+    gateway attachment, every delivery at every endpoint recorded."""
+    tb = build_testbed(env=Environment(fast_path=fast_path))
+    ip = ClassicalIP(TESTBED_MTU)
+    bulks = [
+        BulkTransfer(tb.net, src, "e500-gmd", nbytes, ip=ip, name=f"bulk-{src}")
+        for src in ("t3e-600", "t3e-1200")
+    ]
+    cbr = CbrFlow(
+        tb.net,
+        "onyx2-juelich",
+        "onyx2-gmd",
+        frame_bytes=1_350_000,
+        interval=0.04,
+        n_frames=5,
+        ip=ip,
+        name="cbr",
+    )
+    deliveries: list[tuple] = []
+    for hname in (
+        "t3e-600", "t3e-1200", "e500-gmd", "onyx2-juelich", "onyx2-gmd",
+    ):
+        host = tb.net.host(hname)
+        for flow, sink in list(host._sinks.items()):
+            def wrapped(packet, t, _sink=sink, _h=hname):
+                deliveries.append((_h, packet.flow, packet.kind, packet.seq, t))
+                _sink(packet, t)
+
+            host._sinks[flow] = wrapped
+    for bt in bulks:
+        tb.net.env.run(until=bt.done)
+    tb.net.env.run(until=cbr.done)
+    wan = tb.wan_link
+    return {
+        "deliveries": deliveries,
+        "goodputs": {bt.name: bt.throughput for bt in bulks},
+        "retransmits": {bt.name: bt.retransmits for bt in bulks},
+        "cbr_frames": cbr.frames_received,
+        "elapsed": tb.env.now,
+        "flow_tx": {d: dict(wan.flow_tx_bytes[d]) for d in wan.flow_tx_bytes},
+        "scheduled": tb.env.scheduled_count,
+    }
+
+
+def test_contended_fast_and_slow_paths_identical():
+    """DRR arbitration must not break the two-forms contract: with
+    competing bulks plus a CBR stream on one bottleneck, both paths see
+    the same packets, order, timestamps, and per-flow accounting."""
+    fast = _run_contended(fast_path=True)
+    slow = _run_contended(fast_path=False)
+    assert fast["deliveries"] == slow["deliveries"]
+    assert fast["goodputs"] == slow["goodputs"]
+    assert fast["retransmits"] == slow["retransmits"]
+    assert fast["cbr_frames"] == slow["cbr_frames"]
+    assert fast["elapsed"] == slow["elapsed"]
+    assert fast["flow_tx"] == slow["flow_tx"]
+    assert fast["scheduled"] < slow["scheduled"]
+
+
+def test_contended_fast_path_is_run_to_run_deterministic():
+    a = _run_contended(fast_path=True)
+    b = _run_contended(fast_path=True)
     assert a == b
 
 

@@ -115,6 +115,52 @@ class TestNetworkProbes:
         assert depth == 0.0  # drained at completion
         assert reg.value("netsim.link.up", link=wan.name) == 1.0
 
+    def test_flow_labelled_drops_and_gauges(self):
+        """Per-flow accounting: wire losses surface under the flow's
+        name and match the link's own per-flow tally, and opting a flow
+        into ``instrument_network`` registers per-flow volume gauges."""
+        reg = MetricsRegistry()
+        tb = build_testbed()
+        FaultInjector(tb.net, seed=1).random_loss(
+            tb.wan_link, 0.02, direction="sw-juelich"
+        )
+        bt = BulkTransfer(
+            tb.net, "t3e-600", "sp2", 10 * MBYTE, ip=IP64K, name="probed"
+        )
+        instrument_network(tb.net, reg, flows=["probed"])
+        bt.run()
+        wan = tb.wan_link
+        d = "sw-juelich"
+        assert wan.flow_drops[d]["probed"] > 0
+        assert (
+            reg.value(
+                "netsim.link.flow_drops",
+                link=wan.name,
+                direction=d,
+                reason="wire_loss",
+                flow="probed",
+            )
+            == wan.flow_drops[d]["probed"]
+        )
+        assert (
+            reg.value(
+                "netsim.link.flow_tx_bytes",
+                link=wan.name,
+                direction=d,
+                flow="probed",
+            )
+            == wan.flow_tx_bytes[d]["probed"]
+        )
+        assert (
+            reg.value(
+                "netsim.link.flow_queue_depth",
+                link=wan.name,
+                direction=d,
+                flow="probed",
+            )
+            == 0.0  # drained at completion
+        )
+
     def test_flow_probe_counts_recovery_events(self):
         reg = MetricsRegistry()
         _, _, bt = lossy_wan_run(reg)
