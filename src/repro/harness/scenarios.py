@@ -265,6 +265,118 @@ def kernel_bench(spec: ScenarioSpec) -> dict[str, Any]:
     }
 
 
+@scenario("collectives_ablation")
+def collectives_ablation(spec: ScenarioSpec) -> dict[str, Any]:
+    """Collective-strategy ablation on the simulated two-site testbed.
+
+    Runs one of the paper's exchange patterns under every registered
+    collective strategy and reports, per strategy, the completion time
+    and the WAN traffic it generated:
+
+    * ``allreduce`` — the coupled-model global sum (ring fast path
+      territory: large contiguous int64 field);
+    * ``coupler`` — the MOM-2/IFS flux-coupler step: a buffer
+      ``Allreduce`` of the flux field plus a ``Bcast`` of the coupled
+      correction each step;
+    * ``trace`` — the TRACE/PARTRACE coupling step: the flow solver's
+      velocity-field ``Bcast`` to the particle ranks plus a
+      personalized ``alltoall`` of per-destination boundary strips.
+
+    Every round ends in a barrier.  That keeps all rank clocks equal at
+    each round start, which makes the virtual completion time
+    schedule-independent: concurrent WAN sends from *equal* clocks fill
+    the serialized channel back-to-back, so the round's final
+    ``max``-arrival is the same whatever order the OS scheduled the
+    rank threads in.
+
+    Payloads are integer-valued so every strategy must produce exactly
+    identical results (``results_identical``); ``hier_over_naive`` is
+    the hierarchical/naive completion-time ratio (< 1 means the
+    topology-aware algorithms win, the paper's Section-3 claim).
+    """
+    import numpy as np
+
+    from repro.machines import CRAY_T3E_600, IBM_SP2
+    from repro.metampi import MetaMPI, SUM
+    from repro.metampi.collectives import STRATEGIES
+    from repro.netsim import build_testbed
+
+    pattern = str(spec.get("pattern", "allreduce"))
+    ranks_a = int(spec.get("ranks_a", 3))
+    ranks_b = int(spec.get("ranks_b", 2))
+    elems = int(spec.get("payload_kb", 64)) * 1024 // 8  # int64 elements
+    rounds = int(spec.get("rounds", 4))
+
+    def main(comm):
+        n = comm.size
+        checksum = 0
+        if pattern == "allreduce":
+            field = np.full(elems, comm.rank + 1, dtype=np.int64)
+            for _ in range(rounds):
+                total = comm.allreduce(field, op=SUM)
+                checksum += int(np.asarray(total)[0])
+                comm.barrier()
+        elif pattern == "coupler":
+            flux = np.arange(elems, dtype=np.int64) * (comm.rank + 1)
+            coupled = np.zeros(elems, dtype=np.int64)
+            for _ in range(rounds):
+                comm.Allreduce(flux, coupled, op=SUM)
+                correction = coupled // n if comm.rank == 0 else np.zeros(
+                    elems, dtype=np.int64
+                )
+                comm.Bcast(correction, root=0)
+                checksum += int(correction[-1])
+                comm.barrier()
+        elif pattern == "trace":
+            strip = max(1, elems // n)
+            velocity = (
+                np.arange(elems, dtype=np.int64)
+                if comm.rank == 0
+                else np.zeros(elems, dtype=np.int64)
+            )
+            for _ in range(rounds):
+                comm.Bcast(velocity, root=0)
+                boundary = [
+                    np.full(strip, comm.rank * n + d, dtype=np.int64)
+                    for d in range(n)
+                ]
+                incoming = comm.alltoall(boundary)
+                checksum += int(velocity[-1]) + int(
+                    sum(int(part[0]) for part in incoming)
+                )
+                comm.barrier()
+        else:
+            raise ValueError(f"unknown pattern {pattern!r}")
+        return checksum
+
+    out: dict[str, Any] = {}
+    checksums = {}
+    elapsed = {}
+    for strat in sorted(STRATEGIES):
+        # A fresh testbed per run: WAN costs come from the simulated
+        # Jülich ↔ Sankt Augustin path, not the generic default.
+        mc = MetaMPI(
+            testbed=build_testbed(), wallclock_timeout=120.0, strategy=strat
+        )
+        mc.add_machine(CRAY_T3E_600, ranks=ranks_a)
+        mc.add_machine(IBM_SP2, ranks=ranks_b)
+        results = mc.run(main)
+        checksums[strat] = tuple(r.value for r in results)
+        elapsed[strat] = mc.elapsed
+        wan_msgs = wan_bytes = 0
+        for scopes in mc.runtime.traffic_summary().values():
+            wan = scopes.get("wan")
+            if wan is not None:
+                wan_msgs += wan["messages"]
+                wan_bytes += wan["bytes"]
+        out[f"elapsed_ms_{strat}"] = elapsed[strat] * 1e3
+        out[f"wan_messages_{strat}"] = wan_msgs
+        out[f"wan_bytes_{strat}"] = wan_bytes
+    out["results_identical"] = float(len(set(checksums.values())) == 1)
+    out["hier_over_naive"] = elapsed["hierarchical"] / elapsed["naive"]
+    return out
+
+
 @scenario("demo")
 def demo(spec: ScenarioSpec) -> dict[str, Any]:
     """Synthetic scenario for harness self-tests and docs examples.

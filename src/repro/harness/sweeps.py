@@ -15,7 +15,11 @@ the tolerances its baseline file is written with:
   wall-clock figures ride along informationally;
 * ``contention`` — Sections 2-3 concurrent mix: bulk transfers + D1
   video + ping sharing the backbone, DRR fairness vs. the closed-form
-  max-min fair-share model, on both the OC-48 and OC-12 backbones.
+  max-min fair-share model, on both the OC-48 and OC-12 backbones;
+* ``collectives`` — Section 3 metampi ablation: every collective
+  strategy on the coupled-model exchange patterns; WAN message counts
+  are pinned exactly, results must be identical across strategies, and
+  the hierarchical/naive completion-time ratio is hard-gated.
 
 ``quick=True`` shrinks transfer sizes for CI smoke runs; the grids
 themselves do not change shape, so quick and full baselines share the
@@ -96,6 +100,19 @@ def _contention(quick: bool) -> list[ScenarioSpec]:
     return grid.specs("wan_contention")
 
 
+def _collectives(quick: bool) -> list[ScenarioSpec]:
+    # Payloads sit below the occupancy crossover: past ~100 KByte the
+    # WAN transfer time is pure bandwidth and leader aggregation stops
+    # paying for the per-message sender overhead it eliminates.
+    payload_kb = 32 if quick else 64
+    rounds = 2 if quick else 4
+    grid = ParameterGrid(
+        {"pattern": ["allreduce", "coupler", "trace"]},
+        fixed={"payload_kb": payload_kb, "rounds": rounds},
+    )
+    return grid.specs("collectives_ablation")
+
+
 def _fault_recovery(quick: bool) -> list[ScenarioSpec]:
     mbytes = 20 if quick else 40
     loss_axis = LOSS_AXIS_QUICK if quick else LOSS_AXIS
@@ -171,6 +188,30 @@ SWEEPS: dict[str, Sweep] = {
                     "*/ping_rtt_ms": {"rel": 0.10},
                     "*/wan_flow_drops": {"abs": 10},
                     "*/elapsed_s": {"rel": 0.10},
+                },
+            },
+        ),
+        Sweep(
+            name="collectives",
+            description="Section 3: collective-strategy ablation on the testbed",
+            build=_collectives,
+            tolerances={
+                "default": {"rel": 0.05},
+                "metrics": {
+                    # Message counts are schedule-independent functions
+                    # of the algorithms: pinned exactly.  Byte counts
+                    # include pickled-object overheads that may shift
+                    # slightly across Python versions.
+                    "*/wan_messages_*": {},
+                    "*/wan_bytes_*": {"rel": 0.02},
+                    # All strategies must agree bit-for-bit (integer
+                    # payloads) — any disagreement fails the gate.
+                    "*/results_identical": {},
+                    # The Section-3 claim: hierarchical beats naive.
+                    # Gate the ratio tightly so a strategy regression
+                    # (or an accidental WAN-path change) fails CI.
+                    "*/hier_over_naive": {"abs": 0.2},
+                    "*/elapsed_ms_*": {"rel": 0.10},
                 },
             },
         ),

@@ -15,9 +15,10 @@ implements that library from scratch:
 * the API follows the mpi4py convention: lowercase methods
   (``send``/``recv``/``bcast``...) move pickled Python objects, uppercase
   methods (``Send``/``Recv``/``Bcast``...) move NumPy buffers;
-* collectives are topology-aware (hierarchical: intra-machine first,
-  one exchange across the WAN), with the naive flat algorithms available
-  for the ablation benchmark;
+* collective algorithms are selectable per communicator
+  (:mod:`repro.metampi.collectives`): ``naive`` / ``flat`` / ``ring`` /
+  the default topology-aware ``hierarchical`` family (intra-machine
+  first, one exchange across the WAN per direction);
 * MPI-2: ``Spawn`` (dynamic process creation), named ports with
   ``Open_port``/``Accept``/``Connect`` (attachment), intercommunicator
   ``Merge``, and the language-interoperability layer in
@@ -38,6 +39,11 @@ from repro.metampi.constants import (
 from repro.metampi.errors import MetaMpiError, RankFailed, DeadlockSuspected
 from repro.metampi.status import Status
 from repro.metampi.request import Request
+from repro.metampi.collectives import (
+    STRATEGIES,
+    CollectiveStrategy,
+    create_strategy,
+)
 from repro.metampi.comm import Comm, Intercomm, Intracomm
 from repro.metampi.launcher import MetaMPI, RankResult
 from repro.metampi.interop import FortranArray, as_c_layout, as_fortran_layout
@@ -57,6 +63,9 @@ __all__ = [
     "DeadlockSuspected",
     "Status",
     "Request",
+    "CollectiveStrategy",
+    "STRATEGIES",
+    "create_strategy",
     "Comm",
     "Intracomm",
     "Intercomm",

@@ -4,20 +4,30 @@ API follows the mpi4py convention the testbed's users would recognise:
 lowercase methods communicate pickled Python objects, uppercase methods
 communicate NumPy buffers in place.
 
-Collectives are *metacomputing-aware* (paper Section 3): ranks are
-grouped into islands by machine, and tree algorithms route exactly one
-message per island across the WAN, doing the fan-out/fan-in on the fast
-internal interconnect.  Set ``hierarchical=False`` to get the flat
-binomial algorithms for the ablation benchmark.
+Collective *algorithms* live in :mod:`repro.metampi.collectives`: each
+intracommunicator carries a selectable
+:class:`~repro.metampi.collectives.CollectiveStrategy`
+(``naive`` / ``flat`` / ``ring`` / ``hierarchical``, chainermn-style).
+The default ``hierarchical`` strategy is metacomputing-aware (paper
+Section 3): ranks are grouped into islands by machine, intra-island
+traffic rides the fast internal interconnect, and as little as one
+message per island crosses the WAN.  The legacy ``hierarchical=False``
+constructor argument still selects the flat binomial algorithms for the
+ablation benchmark.
 """
 
 from __future__ import annotations
 
+import contextlib
 import threading
 from typing import Any, Callable, Optional, Sequence
 
 import numpy as np
 
+from repro.metampi.collectives import (
+    CollectiveStrategy,
+    resolve_strategy,
+)
 from repro.metampi.constants import (
     ANY_SOURCE,
     ANY_TAG,
@@ -34,28 +44,6 @@ from repro.metampi.status import Status
 #: Offset used to derive a merged intracommunicator's id from an
 #: intercommunicator's id deterministically on both sides.
 _MERGE_ID_OFFSET = 1_000_000
-
-
-class _ElementwiseOp:
-    """Lift a scalar Op to elementwise application over equal-length
-    sequences (for reduce_scatter)."""
-
-    def __init__(self, op: Op):
-        self.op = op
-
-    def __call__(self, a, b):
-        return [self.op(x, y) for x, y in zip(a, b)]
-
-
-def _binomial_parent_children(n: int) -> tuple[dict[int, int], dict[int, list[int]]]:
-    """Binomial tree over positions 0..n-1 rooted at position 0."""
-    parent: dict[int, int] = {}
-    children: dict[int, list[int]] = {i: [] for i in range(n)}
-    for i in range(1, n):
-        p = i - (1 << (i.bit_length() - 1))
-        parent[i] = p
-        children[p].append(i)
-    return parent, children
 
 
 class Comm:
@@ -236,6 +224,13 @@ class Comm:
             raise MetaMpiError(
                 f"receive buffer size {buf.size} != message size {data.size}"
             )
+        # Reject lossy dtype conversion: receiving a float64 message into
+        # an int32 buffer used to truncate values silently.
+        if not np.can_cast(data.dtype, buf.dtype, casting="safe"):
+            raise MetaMpiError(
+                f"cannot safely cast message dtype {data.dtype} into "
+                f"receive buffer dtype {buf.dtype}"
+            )
         buf.reshape(-1)[:] = data.reshape(-1)
 
     def _post(self, kind: str, data: Any, dest: int, tag: int, user: bool) -> None:
@@ -281,10 +276,22 @@ class Intracomm(Comm):
         runtime: Runtime,
         comm_id: int,
         group: Sequence[int],
-        hierarchical: bool = True,
+        strategy=None,
     ):
         super().__init__(runtime, comm_id, group)
-        self.hierarchical = hierarchical
+        #: The collective algorithm family.  Accepts a strategy name
+        #: (``"naive"``/``"flat"``/``"ring"``/``"hierarchical"``), an
+        #: instance, or — legacy — the old ``hierarchical`` boolean.
+        self.strategy: CollectiveStrategy = resolve_strategy(strategy)
+        #: Per-communicator cache of derived site/leader subcommunicators
+        #: (shared by all rank threads, hence the lock).
+        self._subcomm_cache: dict = {}
+        self._subcomm_lock = threading.Lock()
+
+    @property
+    def hierarchical(self) -> bool:
+        """Legacy accessor: is the strategy topology-aware?"""
+        return self.strategy.topology_aware
 
     # -- island structure -----------------------------------------------------
     def islands(self) -> list[list[int]]:
@@ -297,40 +304,21 @@ class Intracomm(Comm):
 
     def _tree(self, root: int) -> tuple[dict[int, int], dict[int, list[int]]]:
         """Parent/children maps (comm-local) for the collective tree."""
-        n = self.size
-        if not self.hierarchical:
-            order = [(root + i) % n for i in range(n)]
-            p_pos, c_pos = _binomial_parent_children(n)
-            parent = {order[i]: order[p] for i, p in p_pos.items()}
-            children = {
-                order[i]: [order[c] for c in cs] for i, cs in c_pos.items()
-            }
-            return parent, children
+        return self.strategy.tree(self, root)
 
-        islands = self.islands()
-        # Root's island first; the root leads its island.
-        islands.sort(key=lambda isl: (root not in isl, isl[0]))
-        leaders = []
-        for isl in islands:
-            leader = root if root in isl else isl[0]
-            leaders.append(leader)
-        parent: dict[int, int] = {}
-        children: dict[int, list[int]] = {r: [] for r in range(n)}
-        # Binomial tree over the island leaders (the WAN level).
-        lp, lc = _binomial_parent_children(len(leaders))
-        for i, p in lp.items():
-            parent[leaders[i]] = leaders[p]
-        for i, cs in lc.items():
-            children[leaders[i]].extend(leaders[c] for c in cs)
-        # Binomial tree inside each island (the fast level).
-        for isl, leader in zip(islands, leaders):
-            members = [leader] + [r for r in isl if r != leader]
-            mp, mc = _binomial_parent_children(len(members))
-            for i, p in mp.items():
-                parent[members[i]] = members[p]
-            for i, cs in mc.items():
-                children[members[i]].extend(members[c] for c in cs)
-        return parent, children
+    @contextlib.contextmanager
+    def _collective(self, label: str):
+        """Attribute runtime traffic to the *outermost* collective: nested
+        subcommunicator collectives inherit the enclosing label."""
+        ctx = self._me()
+        if ctx.coll_label is not None:
+            yield
+            return
+        ctx.coll_label = f"{self.strategy.name}.{label}"
+        try:
+            yield
+        finally:
+            ctx.coll_label = None
 
     def _coll_tag(self) -> int:
         return self._me().next_collective_tag(self.comm_id, INTERNAL_TAG_BASE)
@@ -344,144 +332,84 @@ class Intracomm(Comm):
     # -- object collectives ----------------------------------------------------
     def bcast(self, obj: Any, root: int = 0) -> Any:
         """Broadcast ``obj`` from ``root``; every rank returns it."""
-        tag = self._coll_tag()
-        parent, children = self._tree(root)
-        me = self.rank
-        if me != root:
-            obj = self._recv_i(parent[me], tag)
-        for child in children[me]:
-            self._send_i("obj", obj, child, tag)
-        return obj
+        with self._collective("bcast"):
+            return self.strategy.bcast(self, obj, root)
 
     def gather(self, obj: Any, root: int = 0) -> Optional[list]:
         """Gather objects to ``root`` (list in rank order) — None elsewhere."""
-        tag = self._coll_tag()
-        parent, children = self._tree(root)
-        me = self.rank
-        bundle: dict[int, Any] = {me: obj}
-        for child in children[me]:
-            bundle.update(self._recv_i(child, tag))
-        if me != root:
-            self._send_i("obj", bundle, parent[me], tag)
-            return None
-        return [bundle[r] for r in range(self.size)]
+        with self._collective("gather"):
+            return self.strategy.gather(self, obj, root)
 
     def scatter(self, values: Optional[Sequence], root: int = 0) -> Any:
         """Scatter a size-length sequence from ``root``; returns own item."""
-        tag = self._coll_tag()
-        parent, children = self._tree(root)
-        me = self.rank
-        if me == root:
-            if values is None or len(values) != self.size:
-                raise MetaMpiError(
-                    "scatter needs a sequence of exactly comm.size items at root"
-                )
-            bundle = {r: values[r] for r in range(self.size)}
-        else:
-            bundle = self._recv_i(parent[me], tag)
-        # Pass each child the slice for its whole subtree.
-        subtree: dict[int, set] = {}
-
-        def collect_subtree(r: int) -> set:
-            s = {r}
-            for c in children[r]:
-                s |= collect_subtree(c)
-            return s
-
-        for child in children[me]:
-            keys = collect_subtree(child)
-            self._send_i("obj", {k: bundle[k] for k in keys}, child, tag)
-        return bundle[me]
+        with self._collective("scatter"):
+            return self.strategy.scatter(self, values, root)
 
     def allgather(self, obj: Any) -> list:
-        """Gather to rank 0, then broadcast the full list."""
-        gathered = self.gather(obj, root=0)
-        return self.bcast(gathered, root=0)
+        """Every rank ends with the rank-ordered list of all objects."""
+        with self._collective("allgather"):
+            return self.strategy.allgather(self, obj)
 
     def reduce(self, value: Any, op: Op = SUM, root: int = 0) -> Any:
         """Reduce to ``root`` (rank-ordered fold); None elsewhere."""
-        items = self.gather(value, root=root)
-        if items is None:
-            return None
-        acc = items[0]
-        for item in items[1:]:
-            acc = op(acc, item)
-        return acc
+        with self._collective("reduce"):
+            return self.strategy.reduce(self, value, op, root)
 
     def allreduce(self, value: Any, op: Op = SUM) -> Any:
-        """Reduce to rank 0, then broadcast the result."""
-        return self.bcast(self.reduce(value, op, root=0), root=0)
+        """Reduce across all ranks; every rank returns the result."""
+        with self._collective("allreduce"):
+            return self.strategy.allreduce(self, value, op)
 
     def alltoall(self, values: Sequence) -> list:
         """Personalized all-to-all exchange."""
         if len(values) != self.size:
             raise MetaMpiError("alltoall needs exactly comm.size items")
-        tag = self._coll_tag()
-        me = self.rank
-        for r in range(self.size):
-            if r != me:
-                self._send_i("obj", values[r], r, tag)
-        out = [None] * self.size
-        out[me] = values[me]
-        for r in range(self.size):
-            if r != me:
-                out[r] = self._recv_i(r, tag)
-        return out
+        with self._collective("alltoall"):
+            return self.strategy.alltoall(self, values)
 
     def barrier(self) -> None:
-        """All ranks synchronize; afterwards all clocks agree.
-
-        Exit time = the maximum clock any rank reached after the first
-        synchronization round, agreed on in a second round.  (The second
-        round's own sender overheads are idealized away so all exit
-        clocks are exactly equal — a µs-scale idealization.)
-        """
-        ctx = self._me()
-        after_first = None
-        self.allgather(ctx.clock)
-        after_first = ctx.clock
-        ctx.clock = max(self.allgather(after_first))
+        """All ranks synchronize; afterwards all clocks agree and every
+        rank's exit clock is >= the slowest rank's entry clock."""
+        with self._collective("barrier"):
+            self.strategy.barrier(self)
 
     def scan(self, value: Any, op: Op = SUM) -> Any:
-        """Inclusive prefix reduction along rank order."""
-        tag = self._coll_tag()
-        me = self.rank
-        acc = value
-        if me > 0:
-            acc = op(self._recv_i(me - 1, tag), value)
-        if me < self.size - 1:
-            self._send_i("obj", acc, me + 1, tag)
-        return acc
+        """Inclusive prefix reduction along rank order (chain algorithm:
+        inherently rank-ordered, identical under every strategy)."""
+        with self._collective("scan"):
+            tag = self._coll_tag()
+            me = self.rank
+            acc = value
+            if me > 0:
+                acc = op(self._recv_i(me - 1, tag), value)
+            if me < self.size - 1:
+                self._send_i("obj", acc, me + 1, tag)
+            return acc
 
     def exscan(self, value: Any, op: Op = SUM) -> Any:
         """Exclusive prefix reduction: rank 0 gets None."""
-        tag = self._coll_tag()
-        me = self.rank
-        prior = None if me == 0 else self._recv_i(me - 1, tag)
-        if me < self.size - 1:
-            outgoing = value if prior is None else op(prior, value)
-            self._send_i("obj", outgoing, me + 1, tag)
-        return prior
+        with self._collective("exscan"):
+            tag = self._coll_tag()
+            me = self.rank
+            prior = None if me == 0 else self._recv_i(me - 1, tag)
+            if me < self.size - 1:
+                outgoing = value if prior is None else op(prior, value)
+                self._send_i("obj", outgoing, me + 1, tag)
+            return prior
 
     def reduce_scatter(self, values: Sequence, op: Op = SUM) -> Any:
         """Elementwise reduction of size-length sequences, item ``i``
         delivered to rank ``i`` (MPI_Reduce_scatter_block semantics)."""
         if len(values) != self.size:
             raise MetaMpiError("reduce_scatter needs exactly comm.size items")
-        reduced = self.reduce(list(values), op=_ElementwiseOp(op), root=0)
-        return self.scatter(reduced, root=0)
+        with self._collective("reduce_scatter"):
+            return self.strategy.reduce_scatter(self, values, op)
 
     # -- buffer collectives --------------------------------------------------
     def Bcast(self, buf: np.ndarray, root: int = 0) -> None:
         """Broadcast ``buf`` from root into every rank's ``buf`` in place."""
-        tag = self._coll_tag()
-        parent, children = self._tree(root)
-        me = self.rank
-        if me != root:
-            data = self._collect_internal(parent[me], tag)
-            self._copy_into(buf, data)
-        for child in children[me]:
-            self._send_i("buf", buf, child, tag)
+        with self._collective("Bcast"):
+            self.strategy.Bcast(self, buf, root)
 
     def Reduce(
         self,
@@ -490,30 +418,16 @@ class Intracomm(Comm):
         op: Op = SUM,
         root: int = 0,
     ) -> None:
-        """Elementwise tree reduction into ``recvbuf`` at root."""
-        tag = self._coll_tag()
-        parent, children = self._tree(root)
-        me = self.rank
-        acc = np.array(sendbuf, copy=True)
-        for child in children[me]:
-            msg = self._collect_internal(child, tag)
-            op.np_ufunc(acc, np.asarray(msg.data).reshape(acc.shape), out=acc)
-        if me != root:
-            self._send_i("buf", acc, parent[me], tag)
-        else:
-            if recvbuf is None:
-                raise MetaMpiError("root must supply recvbuf")
-            recvbuf.reshape(-1)[:] = acc.reshape(-1)
+        """Elementwise reduction into ``recvbuf`` at root."""
+        with self._collective("Reduce"):
+            self.strategy.Reduce(self, sendbuf, recvbuf, op, root)
 
     def Allreduce(
         self, sendbuf: np.ndarray, recvbuf: np.ndarray, op: Op = SUM
     ) -> None:
-        """Reduce to rank 0 then broadcast, filling ``recvbuf`` everywhere."""
-        if self.rank == 0:
-            self.Reduce(sendbuf, recvbuf, op, root=0)
-        else:
-            self.Reduce(sendbuf, None, op, root=0)
-        self.Bcast(recvbuf, root=0)
+        """Reduce across all ranks, filling ``recvbuf`` everywhere."""
+        with self._collective("Allreduce"):
+            self.strategy.Allreduce(self, sendbuf, recvbuf, op)
 
     def Gather(
         self,
@@ -522,12 +436,13 @@ class Intracomm(Comm):
         root: int = 0,
     ) -> None:
         """Gather equal-size buffers into ``recvbuf[rank] = sendbuf``."""
-        parts = self.gather(np.asarray(sendbuf), root=root)
+        with self._collective("Gather"):
+            parts = self.gather(np.asarray(sendbuf), root=root)
         if self.rank == root:
             if recvbuf is None:
                 raise MetaMpiError("root must supply recvbuf")
             stacked = np.stack(parts)
-            recvbuf.reshape(-1)[:] = stacked.reshape(-1)
+            self._copy_into_array(recvbuf, stacked)
 
     def Scatter(
         self,
@@ -546,14 +461,16 @@ class Intracomm(Comm):
                     f"Scatter sendbuf first dim {arr.shape[0]} != size {self.size}"
                 )
             values = [arr[i] for i in range(self.size)]
-        part = self.scatter(values, root=root)
+        with self._collective("Scatter"):
+            part = self.scatter(values, root=root)
         self._copy_into_array(recvbuf, part)
 
     def Allgather(self, sendbuf: np.ndarray, recvbuf: np.ndarray) -> None:
         """All ranks end with the stacked buffers in ``recvbuf``."""
-        parts = self.allgather(np.asarray(sendbuf))
+        with self._collective("Allgather"):
+            parts = self.allgather(np.asarray(sendbuf))
         stacked = np.stack(parts)
-        recvbuf.reshape(-1)[:] = stacked.reshape(-1)
+        self._copy_into_array(recvbuf, stacked)
 
     @staticmethod
     def _copy_into_array(buf: np.ndarray, data: np.ndarray) -> None:
@@ -561,6 +478,11 @@ class Intracomm(Comm):
         if buf.size != data.size:
             raise MetaMpiError(
                 f"buffer size {buf.size} != incoming size {data.size}"
+            )
+        if not np.can_cast(data.dtype, buf.dtype, casting="safe"):
+            raise MetaMpiError(
+                f"cannot safely cast incoming dtype {data.dtype} into "
+                f"buffer dtype {buf.dtype}"
             )
         buf.reshape(-1)[:] = data.reshape(-1)
 
@@ -573,7 +495,7 @@ class Intracomm(Comm):
         new_id = self.bcast(
             self.runtime.next_comm_id() if self.rank == 0 else None, root=0
         )
-        return Intracomm(self.runtime, new_id, self.group, self.hierarchical)
+        return Intracomm(self.runtime, new_id, self.group, self.strategy)
 
     def split(self, color: int, key: int = 0) -> Optional["Intracomm"]:
         """Partition the communicator by ``color``, ordering by ``key``."""
@@ -596,7 +518,7 @@ class Intracomm(Comm):
             self.runtime,
             id_map[color],
             [self.group[r] for r in local_ranks],
-            self.hierarchical,
+            self.strategy,
         )
 
     # -- MPI-2 dynamic process management -----------------------------------
@@ -637,7 +559,7 @@ class Intracomm(Comm):
         )
         if me == root:
             child_intra = Intracomm(
-                self.runtime, child_comm_id, child_world, self.hierarchical
+                self.runtime, child_comm_id, child_world, self.strategy
             )
             child_side = Intercomm(
                 self.runtime, inter_comm_id, child_world, self.group

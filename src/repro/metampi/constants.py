@@ -19,11 +19,17 @@ INTERNAL_TAG_BASE = -1000
 
 @dataclass(frozen=True)
 class Op:
-    """A reduction operation usable by reduce/allreduce/Reduce/Allreduce."""
+    """A reduction operation usable by reduce/allreduce/Reduce/Allreduce.
+
+    ``commutative=False`` makes every collective strategy fold strictly
+    in rank order (ring/hierarchical otherwise reorder the reduction for
+    bandwidth); all builtin ops are commutative, matching MPI.
+    """
 
     name: str
     py: Callable[[Any, Any], Any]
     np_ufunc: Callable  #: in-place capable NumPy ufunc
+    commutative: bool = True
 
     def __call__(self, a, b):
         return self.py(a, b)

@@ -48,6 +48,7 @@ class MetaMPI:
         wallclock_timeout: Optional[float] = 60.0,
         tracer: Any = None,
         hierarchical: bool = True,
+        strategy: Any = None,
     ):
         if transport is None:
             net = getattr(testbed, "net", testbed)
@@ -57,9 +58,19 @@ class MetaMPI:
             wallclock_timeout=wallclock_timeout,
             tracer=tracer,
         )
-        self.hierarchical = hierarchical
+        # ``strategy`` names the collective algorithm family
+        # ("naive"/"flat"/"ring"/"hierarchical"); the legacy
+        # ``hierarchical`` boolean is honoured when no strategy is given.
+        self.strategy = strategy if strategy is not None else hierarchical
         self._layout: list = []
         self.world: Optional[Intracomm] = None
+
+    @property
+    def hierarchical(self) -> bool:
+        """Legacy accessor: does the world use topology-aware collectives?"""
+        from repro.metampi.collectives import resolve_strategy
+
+        return resolve_strategy(self.strategy).topology_aware
 
     # -- assembly -----------------------------------------------------------
     def add_machine(
@@ -102,7 +113,7 @@ class MetaMPI:
             self.runtime,
             self.runtime.next_comm_id(),
             [c.world_rank for c in self._layout],
-            hierarchical=self.hierarchical,
+            strategy=self.strategy,
         )
         self.world = world
         if self.runtime.tracer is not None:

@@ -56,6 +56,9 @@ class RankContext:
     coll_seq: dict[int, int] = field(default_factory=dict)
     #: set for spawned ranks: the intercommunicator back to the parents
     parent_comm: Any = None
+    #: label of the outermost collective in progress ("<strategy>.<op>"),
+    #: None during point-to-point traffic — used for cost attribution
+    coll_label: Optional[str] = None
 
     def next_collective_tag(self, comm_id: int, base: int) -> int:
         """Internal tag for the next collective on ``comm_id``.
@@ -88,6 +91,11 @@ class Runtime:
         self._seq = itertools.count()
         self._comm_ids = itertools.count(1)
         self._channel_free: dict[tuple[str, str], float] = {}
+        #: per-(label, scope) traffic tallies: [messages, bytes, seconds]
+        #: where label is "<strategy>.<collective>" or "p2p" and scope is
+        #: "intra" or "wan" — the data behind :meth:`traffic_summary`.
+        self.traffic: dict[tuple[str, str], list] = {}
+        self._derived_ids: dict[tuple[int, str], int] = {}
         self._ports: dict[str, list] = {}
         self._port_cond = threading.Condition()
         self._port_names = itertools.count(1)
@@ -114,6 +122,20 @@ class Runtime:
 
     def next_comm_id(self) -> int:
         return next(self._comm_ids)
+
+    def derived_comm_id(self, parent_id: int, key: str) -> int:
+        """Deterministic communicator id for a derived subcommunicator.
+
+        All ranks asking for the same ``(parent_id, key)`` — e.g. the
+        hierarchical strategy's per-site communicators — get the same id
+        without any bootstrap communication; the first caller allocates.
+        """
+        with self._lock:
+            cid = self._derived_ids.get((parent_id, key))
+            if cid is None:
+                cid = next(self._comm_ids)
+                self._derived_ids[(parent_id, key)] = cid
+            return cid
 
     def current(self) -> RankContext:
         """The context of the calling thread."""
@@ -203,7 +225,8 @@ class Runtime:
             src.machine, src.host, dst.machine, dst.host
         )
         if key is None:
-            arrival = src.clock + cost.transit(nbytes)
+            seconds = cost.transit(nbytes)
+            arrival = src.clock + seconds
         else:
             # The external attachment serializes concurrent transfers.
             occupancy = nbytes / cost.bandwidth
@@ -211,11 +234,18 @@ class Runtime:
                 start = max(src.clock, self._channel_free.get(key, 0.0))
                 self._channel_free[key] = start + occupancy
             arrival = start + occupancy + cost.latency
+            seconds = occupancy + cost.latency
         src.clock += cost.sender_overhead
+        scope = "intra" if key is None else "wan"
+        label = src.coll_label or "p2p"
+        with self._lock:
+            tally = self.traffic.setdefault((label, scope), [0, 0, 0.0])
+            tally[0] += 1
+            tally[1] += nbytes
+            tally[2] += seconds
         if self.probe is not None:
             self.probe.on_message(
-                src.world_rank, dst_world, nbytes,
-                "intra" if key is None else "wan",
+                src.world_rank, dst_world, nbytes, scope, label
             )
         msg = Message(
             src=src.world_rank,
@@ -287,3 +317,23 @@ class Runtime:
     def elapsed(self) -> float:
         """Metacomputer elapsed virtual time so far."""
         return max((c.clock for c in self.ranks), default=0.0)
+
+    def traffic_summary(self) -> dict:
+        """Per-collective cost accounting, nested by label then scope::
+
+            {"hierarchical.allreduce": {"wan": {"messages": 2, ...}}, ...}
+
+        Labels are ``"<strategy>.<collective>"`` for traffic sent inside
+        a collective (nested subcommunicator phases inherit the outermost
+        label) and ``"p2p"`` for user point-to-point messages.
+        """
+        out: dict[str, dict[str, dict[str, float]]] = {}
+        with self._lock:
+            items = list(self.traffic.items())
+        for (label, scope), (msgs, nbytes, seconds) in items:
+            out.setdefault(label, {})[scope] = {
+                "messages": msgs,
+                "bytes": nbytes,
+                "seconds": seconds,
+            }
+        return out

@@ -197,3 +197,18 @@ class TransportModel:
         if src_spec is dst_spec and src_host == dst_host:
             return None
         return (src_host or src_spec.name, dst_host or dst_spec.name)
+
+    def scope(
+        self,
+        src_spec: MachineSpec,
+        src_host: str,
+        dst_spec: MachineSpec,
+        dst_host: str,
+    ) -> str:
+        """Accounting scope of a message: ``"intra"`` (internal
+        interconnect) or ``"wan"`` (shared external attachment).  The
+        runtime tallies per-collective-strategy traffic under these two
+        scopes; collective strategies are judged mostly on their "wan"
+        column."""
+        key = self.channel_key(src_spec, src_host, dst_spec, dst_host)
+        return "intra" if key is None else "wan"

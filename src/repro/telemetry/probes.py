@@ -325,10 +325,18 @@ class MetampiProbe:
         self._registry = registry
         self._lock = threading.Lock()
         self._pairs: dict = {}
+        self._coll: dict = {}
         self._retries: dict = {}
         self.errors = registry.counter("metampi.transport.errors")
 
-    def on_message(self, src_rank: int, dst_rank: int, nbytes: int, scope: str) -> None:
+    def on_message(
+        self,
+        src_rank: int,
+        dst_rank: int,
+        nbytes: int,
+        scope: str,
+        collective: str = "p2p",
+    ) -> None:
         key = (src_rank, dst_rank, scope)
         with self._lock:
             pair = self._pairs.get(key)
@@ -340,6 +348,19 @@ class MetampiProbe:
                 )
             pair[0].inc()
             pair[1].inc(nbytes)
+            # Per-strategy traffic: which collective family is putting
+            # how many bytes over the WAN (vs. the internal fabrics).
+            coll = self._coll.get((collective, scope))
+            if coll is None:
+                labels = dict(collective=collective, scope=scope)
+                coll = self._coll[(collective, scope)] = (
+                    self._registry.counter(
+                        "metampi.collective.messages", **labels
+                    ),
+                    self._registry.counter("metampi.collective.bytes", **labels),
+                )
+            coll[0].inc()
+            coll[1].inc(nbytes)
 
     def on_retry(self, src_host: str, dst_host: str) -> None:
         key = (src_host, dst_host)

@@ -1,0 +1,414 @@
+"""Tests for the selectable collective strategies: cross-strategy result
+agreement (including non-commutative ops), the barrier clock contract,
+tree edge cases, dtype-safe buffer receives, and the per-strategy WAN
+traffic accounting that the hierarchical algorithms are judged on."""
+
+import numpy as np
+import pytest
+
+from repro.machines import CRAY_T3E_600, CRAY_T90, IBM_SP2, SGI_ONYX2_GMD
+from repro.metampi import (
+    STRATEGIES,
+    MetaMPI,
+    MetaMpiError,
+    Op,
+    RankFailed,
+    SUM,
+    create_strategy,
+)
+from repro.metampi.comm import Intracomm
+from repro.telemetry import MetricsRegistry, instrument_runtime
+
+TWO_MACHINES = ((CRAY_T3E_600, 3), (IBM_SP2, 2))
+STRATS = sorted(STRATEGIES)
+
+#: Non-commutative ops: string concatenation and matrix multiplication.
+CONCAT = Op("concat", lambda a, b: a + b, np.add, commutative=False)
+MATMUL = Op("matmul", lambda a, b: a @ b, np.matmul, commutative=False)
+
+
+def run(fn, layout=TWO_MACHINES, strategy="hierarchical", timeout=30):
+    mc = MetaMPI(wallclock_timeout=timeout, strategy=strategy)
+    for spec, n in layout:
+        mc.add_machine(spec, ranks=n)
+    results = mc.run(fn)
+    return mc, [r.value for r in results]
+
+
+def layout_for(n):
+    """n ranks split across two machines (all on one when n == 1)."""
+    if n == 1:
+        return ((CRAY_T3E_600, 1),)
+    a = (n + 1) // 2
+    return ((CRAY_T3E_600, a), (IBM_SP2, n - a))
+
+
+def make_world(layout, strategy="hierarchical"):
+    """An Intracomm over a fresh layout, without starting rank threads
+    (enough for topology-only inspection like ``_tree``)."""
+    mc = MetaMPI(strategy=strategy)
+    for spec, n in layout:
+        mc.add_machine(spec, ranks=n)
+    runtime = mc.runtime
+    return Intracomm(
+        runtime,
+        runtime.next_comm_id(),
+        [c.world_rank for c in runtime.ranks],
+        strategy=strategy,
+    )
+
+
+def assert_valid_tree(parent, children, n, root):
+    """Every rank reached exactly once; parent/children maps agree."""
+    assert root not in parent
+    assert set(parent) == set(range(n)) - {root}
+    reached = set()
+    stack = [root]
+    while stack:
+        r = stack.pop()
+        assert r not in reached, f"rank {r} reached twice"
+        reached.add(r)
+        for c in children[r]:
+            assert parent[c] == r
+            stack.append(c)
+    assert reached == set(range(n))
+
+
+class TestStrategySelection:
+    def test_create_strategy_unknown_name(self):
+        with pytest.raises(MetaMpiError, match="unknown collective strategy"):
+            create_strategy("bogus")
+
+    def test_instances_are_shared(self):
+        assert create_strategy("ring") is create_strategy("ring")
+
+    @pytest.mark.parametrize("name", STRATS)
+    def test_world_carries_named_strategy(self, name):
+        def main(comm):
+            return comm.strategy.name
+
+        _, vals = run(main, strategy=name)
+        assert vals == [name] * 5
+
+    def test_legacy_hierarchical_flag_still_selects(self):
+        mc = MetaMPI(hierarchical=False)
+        mc.add_machine(CRAY_T3E_600, ranks=2)
+        assert mc.hierarchical is False
+        results = mc.run(lambda comm: comm.strategy.name)
+        assert [r.value for r in results] == ["flat", "flat"]
+
+    def test_subcommunicators_inherit_strategy(self):
+        def main(comm):
+            sub = comm.split(color=comm.rank % 2)
+            dup = comm.dup()
+            return (sub.strategy.name, dup.strategy.name)
+
+        _, vals = run(main, strategy="ring")
+        assert all(v == ("ring", "ring") for v in vals)
+
+
+class TestCrossStrategyAgreement:
+    @pytest.mark.parametrize("strategy", STRATS)
+    def test_core_collectives(self, strategy):
+        def main(comm):
+            s = comm.allreduce(comm.rank + 1, op=SUM)
+            g = comm.gather(comm.rank ** 2, root=1)
+            ag = comm.allgather(comm.rank * 10)
+            a2a = comm.alltoall([f"{comm.rank}->{d}" for d in range(comm.size)])
+            b = comm.bcast("payload" if comm.rank == 2 else None, root=2)
+            rs = comm.reduce_scatter(
+                [comm.rank * comm.size + i for i in range(comm.size)], op=SUM
+            )
+            return (s, g, ag, a2a, b, rs)
+
+        _, vals = run(main, strategy=strategy)
+        for r, (s, g, ag, a2a, b, rs) in enumerate(vals):
+            assert s == 15
+            assert g == ([0, 1, 4, 9, 16] if r == 1 else None)
+            assert ag == [0, 10, 20, 30, 40]
+            assert a2a == [f"{src}->{r}" for src in range(5)]
+            assert b == "payload"
+            assert rs == sum(q * 5 + r for q in range(5))
+
+    @pytest.mark.parametrize("strategy", STRATS)
+    def test_large_buffer_Allreduce(self, strategy):
+        def main(comm):
+            send = np.arange(64, dtype=np.float64) * (comm.rank + 1)
+            recv = np.zeros(64)
+            comm.Allreduce(send, recv, op=SUM)
+            return recv.tolist()
+
+        _, vals = run(main, strategy=strategy)
+        expect = (np.arange(64, dtype=np.float64) * 15).tolist()
+        assert all(v == expect for v in vals)
+
+    @pytest.mark.parametrize("strategy", STRATS)
+    def test_object_allreduce_on_arrays(self, strategy):
+        """The ring fast path also serves the lowercase API when handed
+        an ndarray; results must match the tree strategies exactly."""
+
+        def main(comm):
+            out = comm.allreduce(
+                np.full(16, comm.rank + 1, dtype=np.int64), op=SUM
+            )
+            return np.asarray(out).tolist()
+
+        _, vals = run(main, strategy=strategy)
+        assert all(v == [15] * 16 for v in vals)
+
+
+class TestNonCommutativeOps:
+    @pytest.mark.parametrize("strategy", STRATS)
+    @pytest.mark.parametrize("n", range(1, 10))
+    def test_concat_fold_is_rank_ordered(self, strategy, n):
+        def main(comm):
+            word = f"[{comm.rank}]"
+            r = comm.reduce(word, op=CONCAT, root=0)
+            a = comm.allreduce(word, op=CONCAT)
+            s = comm.scan(word, op=CONCAT)
+            return (r, a, s)
+
+        _, vals = run(main, layout=layout_for(n), strategy=strategy)
+        expect = "".join(f"[{i}]" for i in range(n))
+        assert vals[0][0] == expect
+        for i, (r, a, s) in enumerate(vals):
+            if i > 0:
+                assert r is None
+            assert a == expect
+            assert s == "".join(f"[{j}]" for j in range(i + 1))
+
+    @pytest.mark.parametrize("strategy", STRATS)
+    def test_matmul_object_path(self, strategy):
+        mats = [
+            np.array([[i + 1, i], [1, i + 2]], dtype=np.int64) for i in range(5)
+        ]
+
+        def main(comm):
+            out = comm.allreduce(mats[comm.rank], op=MATMUL)
+            return np.asarray(out).tolist()
+
+        _, vals = run(main, strategy=strategy)
+        expect = mats[0] @ mats[1] @ mats[2] @ mats[3] @ mats[4]
+        assert all(v == expect.tolist() for v in vals)
+
+    @pytest.mark.parametrize("strategy", STRATS)
+    def test_matmul_buffer_Reduce(self, strategy):
+        mats = [
+            np.array([[i + 1, i], [1, i + 2]], dtype=np.float64)
+            for i in range(5)
+        ]
+
+        def main(comm):
+            recv = np.zeros((2, 2)) if comm.rank == 0 else None
+            comm.Reduce(mats[comm.rank], recv, op=MATMUL, root=0)
+            return recv.tolist() if comm.rank == 0 else None
+
+        _, vals = run(main, strategy=strategy)
+        expect = mats[0] @ mats[1] @ mats[2] @ mats[3] @ mats[4]
+        assert vals[0] == expect.tolist()
+
+    @pytest.mark.parametrize("strategy", STRATS)
+    def test_non_contiguous_islands_fall_back(self, strategy):
+        """Reordering the ranks so islands interleave must not break the
+        rank-ordered fold (hierarchical falls back to its tree path)."""
+        key_of = [0, 2, 4, 1, 3]
+
+        def main(comm):
+            sub = comm.split(color=0, key=key_of[comm.rank])
+            return (sub.rank, sub.allreduce(f"[{sub.rank}]", op=CONCAT))
+
+        _, vals = run(main, strategy=strategy)
+        expect = "".join(f"[{i}]" for i in range(5))
+        assert all(v[1] == expect for v in vals)
+
+
+class TestBarrierContract:
+    @pytest.mark.parametrize("strategy", STRATS)
+    def test_exit_clocks_equal_and_past_slowest_entry(self, strategy):
+        def main(comm):
+            # Rank 0 is the slowest to arrive.
+            comm.advance(0.05 * (comm.size - comm.rank))
+            entry = comm.wtime()
+            comm.barrier()
+            return (entry, comm.wtime())
+
+        _, vals = run(main, strategy=strategy)
+        exits = {exit for _, exit in vals}
+        assert len(exits) == 1, f"unequal exit clocks: {sorted(exits)}"
+        slowest_entry = max(entry for entry, _ in vals)
+        assert exits.pop() >= slowest_entry
+
+    @pytest.mark.parametrize("strategy", STRATS)
+    def test_single_rank_barrier(self, strategy):
+        def main(comm):
+            comm.barrier()
+            return comm.wtime()
+
+        _, vals = run(main, layout=((CRAY_T3E_600, 1),), strategy=strategy)
+        assert vals[0] >= 0.0
+
+
+class TestTreeEdgeCases:
+    @pytest.mark.parametrize("strategy", STRATS)
+    @pytest.mark.parametrize("root", [0, 1, 4])
+    def test_root_not_an_island_leader(self, strategy, root):
+        comm = make_world(TWO_MACHINES, strategy)
+        parent, children = comm._tree(root)
+        assert_valid_tree(parent, children, 5, root)
+
+    @pytest.mark.parametrize("strategy", STRATS)
+    def test_single_rank_islands(self, strategy):
+        layout = (
+            (CRAY_T3E_600, 1), (CRAY_T90, 1), (IBM_SP2, 1), (SGI_ONYX2_GMD, 1),
+        )
+        comm = make_world(layout, strategy)
+        for root in range(4):
+            parent, children = comm._tree(root)
+            assert_valid_tree(parent, children, 4, root)
+
+    @pytest.mark.parametrize("strategy", STRATS)
+    def test_all_ranks_on_one_host(self, strategy):
+        comm = make_world(((CRAY_T3E_600, 6),), strategy)
+        for root in (0, 3, 5):
+            parent, children = comm._tree(root)
+            assert_valid_tree(parent, children, 6, root)
+
+    @pytest.mark.parametrize("strategy", STRATS)
+    def test_mixed_island_sizes(self, strategy):
+        layout = ((CRAY_T3E_600, 1), (IBM_SP2, 3), (CRAY_T90, 1))
+        comm = make_world(layout, strategy)
+        for root in range(5):
+            parent, children = comm._tree(root)
+            assert_valid_tree(parent, children, 5, root)
+
+    def test_hierarchical_crosses_wan_once_per_island(self):
+        comm = make_world(TWO_MACHINES, "hierarchical")
+        parent, children = comm._tree(0)
+        wan_edges = [
+            (c, p) for c, p in parent.items() if (c < 3) != (p < 3)
+        ]
+        assert len(wan_edges) == 1
+
+
+class TestDtypeSafety:
+    def test_Recv_rejects_lossy_cast(self):
+        def main(comm):
+            if comm.rank == 0:
+                comm.Send(np.array([1.5, 2.5]), dest=1)
+            elif comm.rank == 1:
+                buf = np.zeros(2, dtype=np.int32)
+                comm.Recv(buf, source=0)
+
+        with pytest.raises(RankFailed, match="cannot safely cast"):
+            run(main)
+
+    def test_Recv_allows_safe_upcast(self):
+        def main(comm):
+            if comm.rank == 0:
+                comm.Send(np.array([1, 2], dtype=np.int32), dest=1)
+                return None
+            if comm.rank == 1:
+                buf = np.zeros(2, dtype=np.float64)
+                comm.Recv(buf, source=0)
+                return buf.tolist()
+            return None
+
+        _, vals = run(main)
+        assert vals[1] == [1.0, 2.0]
+
+    @pytest.mark.parametrize("strategy", STRATS)
+    def test_Bcast_rejects_lossy_cast(self, strategy):
+        def main(comm):
+            if comm.rank == 0:
+                buf = np.array([1.5, 2.5, 3.5])
+            else:
+                buf = np.zeros(3, dtype=np.int32)
+            comm.Bcast(buf, root=0)
+
+        with pytest.raises(RankFailed, match="cannot safely cast"):
+            run(main, strategy=strategy)
+
+
+class TestWanAccounting:
+    def test_hierarchical_allreduce_one_crossing_per_direction(self):
+        rounds = 3
+
+        def main(comm):
+            for _ in range(rounds):
+                comm.allreduce(comm.rank, op=SUM)
+
+        mc, _ = run(main, strategy="hierarchical")
+        wan = mc.runtime.traffic_summary()["hierarchical.allreduce"]["wan"]
+        # Two islands: leader reduce (one crossing) + leader bcast (one
+        # crossing back) per round.
+        assert wan["messages"] == 2 * rounds
+
+    def test_hierarchical_alltoall_one_bundle_per_island_pair(self):
+        def main(comm):
+            comm.alltoall([(comm.rank, d) for d in range(comm.size)])
+
+        mc_naive, _ = run(main, strategy="naive")
+        mc_hier, _ = run(main, strategy="hierarchical")
+        naive_wan = mc_naive.runtime.traffic_summary()["naive.alltoall"]["wan"]
+        hier_wan = mc_hier.runtime.traffic_summary()[
+            "hierarchical.alltoall"
+        ]["wan"]
+        # Naive: every cross-island rank pair sends directly (3*2 each way).
+        assert naive_wan["messages"] == 12
+        # Hierarchical: one leader bundle per island pair per direction.
+        assert hier_wan["messages"] == 2
+
+    def test_p2p_traffic_labelled_separately(self):
+        def main(comm):
+            if comm.rank == 0:
+                comm.send("x", dest=3)
+            elif comm.rank == 3:
+                comm.recv(source=0)
+            comm.barrier()
+
+        mc, _ = run(main, strategy="hierarchical")
+        summary = mc.runtime.traffic_summary()
+        assert summary["p2p"]["wan"]["messages"] == 1
+        assert "hierarchical.barrier" in summary
+
+    def test_per_strategy_telemetry_counters(self):
+        reg = MetricsRegistry()
+        mc = MetaMPI(wallclock_timeout=30, strategy="hierarchical")
+        for spec, n in TWO_MACHINES:
+            mc.add_machine(spec, ranks=n)
+        instrument_runtime(mc, reg)
+
+        def main(comm):
+            comm.allreduce(comm.rank, op=SUM)
+
+        mc.run(main)
+        assert (
+            reg.value(
+                "metampi.collective.messages",
+                collective="hierarchical.allreduce",
+                scope="wan",
+            )
+            == 2
+        )
+        assert (
+            reg.value(
+                "metampi.collective.bytes",
+                collective="hierarchical.allreduce",
+                scope="wan",
+            )
+            > 0
+        )
+
+    def test_hierarchical_beats_naive_on_wan_bytes(self):
+        payload = list(range(256))
+
+        def main(comm):
+            comm.allreduce(payload, op=CONCAT)
+
+        mc_naive, _ = run(main, strategy="naive")
+        mc_hier, _ = run(main, strategy="hierarchical")
+        naive_wan = mc_naive.runtime.traffic_summary()["naive.allreduce"]["wan"]
+        hier_wan = mc_hier.runtime.traffic_summary()[
+            "hierarchical.allreduce"
+        ]["wan"]
+        assert hier_wan["messages"] < naive_wan["messages"]
