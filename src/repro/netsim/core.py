@@ -198,7 +198,14 @@ class Link:
         self.lost = {a.name: 0, b.name: 0}
         self.drop_reasons: dict[str, int] = {}
         self.loss_rate = {a.name: 0.0, b.name: 0.0}
-        self._rng: Optional[random.Random] = None
+        # One RNG per direction: each direction's loss pattern is a
+        # function of its own packet sequence only, so a partition that
+        # owns one direction of a cut link (repro.shard) draws exactly
+        # the stream the unsharded run would.
+        self._loss_rngs: dict[str, Optional[random.Random]] = {
+            a.name: None,
+            b.name: None,
+        }
         self.tx_bytes = {a.name: 0, b.name: 0}
         self.tx_packets = {a.name: 0, b.name: 0}
         #: per-direction, per-flow accounting (flow name -> tally)
@@ -292,16 +299,30 @@ class Link:
     ) -> None:
         """Set random wire loss probability (``direction`` is the sending
         node's name; ``None`` sets both).  Pass a seeded ``rng`` for
-        reproducible loss patterns; one is created otherwise."""
+        reproducible loss patterns; one is created otherwise.
+
+        Each direction keeps its own RNG stream, so one direction's
+        traffic volume never perturbs the other's loss pattern (and a
+        sharded run, where the two directions live in different worker
+        processes, draws bit-identical streams).  When ``rng`` is given
+        for both directions at once, each direction gets an independent
+        child seeded from it rather than sharing the object.
+        """
         if not 0.0 <= rate < 1.0:
             raise ValueError(f"loss rate must be in [0, 1), got {rate}")
-        if rng is not None:
-            self._rng = rng
-        elif self._rng is None and rate > 0.0:
-            self._rng = random.Random(0)
-        for d in [direction] if direction else [self.a.name, self.b.name]:
+        directions = [direction] if direction else [self.a.name, self.b.name]
+        for d in directions:
             if d not in self.loss_rate:
                 raise KeyError(f"{d} is not an endpoint of {self.name}")
+        for d in directions:
+            if rng is not None:
+                self._loss_rngs[d] = (
+                    rng
+                    if len(directions) == 1
+                    else random.Random(rng.getrandbits(64))
+                )
+            elif self._loss_rngs[d] is None and rate > 0.0:
+                self._loss_rngs[d] = random.Random(0)
             self.loss_rate[d] = rate
 
     def _account_tx(self, direction: str, packet: Packet) -> int:
@@ -328,24 +349,18 @@ class Link:
         )
 
     def _tx_done(self, direction: str, packet: Packet, serialization: float) -> None:
-        env = self.env
         self.busy_time[direction] += serialization
         self._tx_begin[direction] = None
         if not self.up:
             self._lose(direction, "tx_link_down", packet.flow)
         else:
             rate = self.loss_rate[direction]
-            if rate > 0.0 and self._rng is not None and self._rng.random() < rate:
+            rng = self._loss_rngs[direction]
+            if rate > 0.0 and rng is not None and rng.random() < rate:
                 self._lose(direction, "wire_loss", packet.flow)
             else:
-                # Propagation does not occupy the transmitter: a bare
-                # delivery callback (inline when zero) lets back-to-back
-                # packets pipeline with no process spawn.
                 dst = self.b if direction == self.a.name else self.a
-                if self.propagation:
-                    env.call_later(self.propagation, self._deliver_now, dst, packet)
-                else:
-                    self._deliver_now(dst, packet)
+                self._emit(dst, packet)
         waiting = self._queues[direction]
         if len(waiting):
             self._start_tx(direction, waiting.dequeue())
@@ -368,7 +383,8 @@ class Link:
                 self._lose(sname, "tx_link_down", packet.flow)
                 continue
             rate = self.loss_rate[sname]
-            if rate > 0.0 and self._rng is not None and self._rng.random() < rate:
+            rng = self._loss_rngs[sname]
+            if rate > 0.0 and rng is not None and rng.random() < rate:
                 self._lose(sname, "wire_loss", packet.flow)
                 continue
             # Propagation does not occupy the transmitter: hand off to a
@@ -388,6 +404,20 @@ class Link:
         if begin is not None:
             busy += self.env.now - begin
         return busy / self.env.now
+
+    def _emit(self, dst: "Node", packet: Packet) -> None:
+        """Put a fully-serialized packet on the wire towards ``dst``.
+
+        Propagation does not occupy the transmitter: a bare delivery
+        callback (inline when zero) lets back-to-back packets pipeline
+        with no process spawn.  This is the boundary seam the sharded
+        runner (:mod:`repro.shard.boundary`) overrides to capture
+        packets whose destination lives in another worker process.
+        """
+        if self.propagation:
+            self.env.call_later(self.propagation, self._deliver_now, dst, packet)
+        else:
+            self._deliver_now(dst, packet)
 
     def _deliver_now(self, dst: "Node", packet: Packet) -> None:
         packet.hops += 1
@@ -751,8 +781,24 @@ class Network:
         self.links: dict[str, Link] = {}
         self.no_route_drops = 0
         self.probe: Optional[Any] = None
+        #: When the network is one partition of a sharded run
+        #: (:mod:`repro.shard`), the set of node names this process owns;
+        #: ``None`` means the whole network is local (the normal case).
+        self.local_nodes: Optional[frozenset[str]] = None
         self._routes: dict[tuple[str, str], str] = {}
         self._invalidation_listeners: list[Callable[[], None]] = []
+
+    def drives(self, name: str) -> bool:
+        """Whether this process owns (drives traffic for) node ``name``.
+
+        Flow constructors consult this before starting their active
+        sender processes: in a sharded run every shard builds the full
+        topology and flow set — keeping construction bit-identical to
+        the unsharded reference — but only the shard owning a flow's
+        source host injects its traffic.  Receiver halves are passive
+        (they only react to arriving packets) and stay armed everywhere.
+        """
+        return self.local_nodes is None or name in self.local_nodes
 
     def add(self, node: Node) -> Node:
         """Register a node (idempotent by name)."""

@@ -13,9 +13,14 @@ Three fault classes:
   out of service for a window; the network invalidates routes, queued
   packets are flushed, and packets on the wire are lost.
 * **random wire loss** — :meth:`FaultInjector.random_loss` sets a
-  per-link, per-direction loss probability.  Each call derives its own
-  child RNG from the injector's seed, so runs are bit-for-bit
-  deterministic regardless of scheduling.
+  per-link, per-direction loss probability.  Each afflicted direction
+  gets its own child RNG whose seed is derived from the injector's seed
+  plus the fault's identity (kind, link name, direction, parameters) —
+  never from the order faults happen to be scheduled in — so adding,
+  removing or reordering other faults leaves a loss pattern untouched,
+  and a sharded run (:mod:`repro.shard`), where each direction of a cut
+  link lives in a different worker process, draws streams bit-identical
+  to the unsharded reference.
 * **gateway crash/restart** — :meth:`FaultInjector.gateway_crash` crashes
   a :class:`~repro.netsim.core.Gateway` workstation: its forwarding queue
   is flushed, arriving packets are black-holed, and its attached links go
@@ -28,6 +33,7 @@ as ``(time, description)`` for benchmark reports.
 
 from __future__ import annotations
 
+import hashlib
 import random
 from typing import Optional, Union
 
@@ -39,20 +45,39 @@ LinkRef = Union[Link, str, "tuple[str, str]"]
 class FaultInjector:
     """Schedules failures on a :class:`Network`, deterministically.
 
-    ``seed`` drives a master RNG; every stochastic fault draws a child
-    seed from it, so adding one fault never perturbs another's pattern.
+    ``seed`` plus each fault's identity (kind, element, direction,
+    parameters) determines that fault's child seed — scheduling order
+    plays no part, so adding one fault never perturbs another's
+    pattern, and the same fault built in two different processes (the
+    sharded runner builds the injector once per shard) draws the same
+    stream.
     """
 
     def __init__(self, net: Network, seed: int = 0):
         self.net = net
         self.env = net.env
         self.seed = seed
-        self._rng = random.Random(seed)
+        self._fault_counts: dict[tuple, int] = {}
         self.log: list[tuple[float, str]] = []
 
     # -- plumbing ---------------------------------------------------------
     def _record(self, what: str) -> None:
         self.log.append((self.env.now, what))
+
+    def _child_rng(self, *identity: object) -> random.Random:
+        """A child RNG seeded from the injector seed and a fault identity.
+
+        Two calls with the same identity get distinct streams via a
+        per-identity occurrence counter (a repeated loss window on the
+        same link is a new fault, not a replay); everything else about
+        the seed is a pure function of ``(seed, identity)``.
+        """
+        key = tuple(str(part) for part in identity)
+        nth = self._fault_counts.get(key, 0)
+        self._fault_counts[key] = nth + 1
+        material = "|".join((str(self.seed), *key, str(nth)))
+        digest = hashlib.sha256(material.encode("utf-8")).digest()
+        return random.Random(int.from_bytes(digest[:8], "big"))
 
     def resolve_link(self, ref: LinkRef) -> Link:
         """Accept a :class:`Link`, a registered link name, or an
@@ -107,16 +132,30 @@ class FaultInjector:
             # rate should fail at the call site, not mid-simulation.
             raise ValueError(f"loss probability must be in [0, 1): {probability}")
         target = self.resolve_link(link)
-        child = random.Random(self._rng.getrandbits(64))
+        directions = (
+            [direction] if direction else [target.a.name, target.b.name]
+        )
+        # One child per afflicted direction, each a pure function of the
+        # fault's identity: the loss pattern one direction sees never
+        # depends on the other direction's traffic or on what other
+        # faults were scheduled before this one.
+        children = {
+            d: self._child_rng(
+                "random_loss", target.name, d, probability, start, duration
+            )
+            for d in directions
+        }
 
         def window():
             if start > 0:
                 yield self.env.timeout(start)
-            target.set_loss(probability, direction=direction, rng=child)
+            for d in directions:
+                target.set_loss(probability, direction=d, rng=children[d])
             self._record(f"link {target.name} loss p={probability}")
             if duration is not None:
                 yield self.env.timeout(duration)
-                target.set_loss(0.0, direction=direction)
+                for d in directions:
+                    target.set_loss(0.0, direction=d)
                 self._record(f"link {target.name} loss cleared")
             return None
 

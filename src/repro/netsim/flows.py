@@ -127,8 +127,15 @@ class BulkTransfer:
         self._dst_host = net.host(dst)
         self._src_host.register_sink(self.name, self._on_ack)
         self._dst_host.register_sink(self.name, self._on_data)
-        self.env.process(self._sender())
-        self.env.process(self._retransmit_timer())
+        #: True when this process owns the sender half.  In a sharded
+        #: run (repro.shard) only the shard owning ``src`` injects
+        #: traffic and completes ``done``; other shards keep the passive
+        #: receiver half armed (``_on_data`` acknowledges wherever the
+        #: data actually arrives).
+        self.driven = net.drives(src)
+        if self.driven:
+            self.env.process(self._sender())
+            self.env.process(self._retransmit_timer())
 
     # -- sender --------------------------------------------------------------
     def _sender(self):
@@ -398,13 +405,14 @@ class CbrFlow:
         self.interarrival = RunningStats()
         self.latency = RunningStats()
         self._rx_segments: dict[int, int] = {}
-        self._frame_sent_at: dict[int, float] = {}
         self._last_arrival: Optional[float] = None
         self._segments_received = 0
         self._last_segment_time: Optional[float] = None
         self._segments_per_frame = len(self.ip.segments(frame_bytes))
         net.host(dst).register_sink(self.name, self._on_segment)
-        self.env.process(self._sender())
+        self.driven = net.drives(src)
+        if self.driven:
+            self.env.process(self._sender())
 
     def _path_rtt_estimate(self) -> float:
         """Zero-load round trip of one full segment, for the drain window."""
@@ -418,7 +426,6 @@ class CbrFlow:
     def _sender(self):
         host = self.net.host(self.src)
         for frame in range(self.n_frames):
-            self._frame_sent_at[frame] = self.env.now
             for payload in self.ip.segments(self.frame_bytes):
                 host.send(
                     Packet(
@@ -465,7 +472,12 @@ class CbrFlow:
         got = self._rx_segments.get(frame, 0) + 1
         self._rx_segments[frame] = got
         if got == self._segments_per_frame:
-            transit = now - self._frame_sent_at[frame]
+            # All of a frame's segments are injected in the same instant,
+            # so any segment's origin stamp is the frame send time.  Using
+            # the packet (not sender-side state) keeps the receiver half
+            # self-contained — in a sharded run it lives in another
+            # process than the sender.
+            transit = now - packet.created
             if (
                 self.playout_deadline is not None
                 and transit > self.playout_deadline
@@ -536,7 +548,9 @@ class PingFlow:
         self._dst_host = net.host(dst)
         self._dst_host.register_sink(self.name, self._echo)
         self._src_host.register_sink(self.name + ".reply", self._pong)
-        self.env.process(self._sender())
+        self.driven = net.drives(src)
+        if self.driven:
+            self.env.process(self._sender())
 
     def _sender(self):
         host = self._src_host

@@ -1,0 +1,62 @@
+"""Sharded parallel simulation of the testbed (conservative protocol).
+
+The WAN is the natural process boundary: the 500 µs Jülich ↔ Sankt
+Augustin propagation delay is guaranteed lookahead, so each side of the
+backbone can simulate independently in barrier windows of that length
+and exchange crossing packets at the barriers — bit-identical to the
+unsharded simulation, but on multiple cores.
+
+* :mod:`repro.shard.partition` — cut the topology at WAN links into a
+  deterministic :class:`PartitionPlan` (node assignment, cut set,
+  lookahead).
+* :mod:`repro.shard.boundary` — :class:`ShardCutLink` proxies that
+  capture crossing packets as timestamped :class:`RemoteArrival`
+  batches and replay remote batches at exact arrival times.
+* :mod:`repro.shard.workloads` — deterministic workload builders every
+  worker constructs identically (``wan_bulk``, ``wan_multiflow``).
+* :mod:`repro.shard.runner` — the barrier-window coordinator
+  (:func:`run_workload`) with forked-process and in-process serial
+  modes, horizon jumping over empty spans, and per-shard sync stats.
+"""
+
+from repro.shard.boundary import (
+    RemoteArrival,
+    ShardCutLink,
+    adopt_partition,
+    inject_arrivals,
+)
+from repro.shard.partition import (
+    WAN_CUT_PROPAGATION,
+    CutLink,
+    PartitionError,
+    PartitionPlan,
+    partition_network,
+)
+from repro.shard.runner import ShardRunResult, ShardStats, run_workload
+from repro.shard.workloads import (
+    WORKLOADS,
+    PartitionView,
+    WorkloadState,
+    build_workload,
+    shard_workload,
+)
+
+__all__ = [
+    "WAN_CUT_PROPAGATION",
+    "CutLink",
+    "PartitionError",
+    "PartitionPlan",
+    "PartitionView",
+    "RemoteArrival",
+    "ShardCutLink",
+    "ShardRunResult",
+    "ShardStats",
+    "WORKLOADS",
+    "WorkloadState",
+    "adopt_partition",
+    "build_workload",
+    "inject_arrivals",
+    "partition_network",
+    "run_workload",
+    "shard_workload",
+]

@@ -1,0 +1,140 @@
+"""Boundary proxies: cut links that capture instead of deliver.
+
+Every shard builds the *full* topology (construction must be identical
+everywhere — same object graph, same RNG seeds, same flow names), then
+:func:`adopt_partition` marks which nodes this worker actually drives
+and converts each cut link into a :class:`ShardCutLink`.  The proxy
+keeps the real link's rate, framing, queues and fault state — the
+transmit side of a cut link is simulated normally by the shard that
+owns the sending endpoint — and intervenes only at the emit seam: a
+packet whose destination endpoint lives in another shard is not
+scheduled for local delivery but appended to the shard's outbox as a
+:class:`RemoteArrival` stamped with its exact arrival time
+(``now + propagation``).
+
+Capture happens at *serialization end*, not arrival: by then the packet
+is committed to the wire, and the propagation delay is precisely the
+lookahead that makes the arrival timestamp land beyond the current
+barrier window — so the batch can be exchanged at the barrier and
+replayed on the owning shard before the window containing the arrival
+opens (see DESIGN.md, "Conservative sharded execution").
+
+Fault events need no forwarding protocol: every shard schedules the
+same fault windows from the same identity-derived seeds
+(:mod:`repro.netsim.faults`), so a cut link's up/down and loss state
+changes replay identically on both copies.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.netsim.core import Link, Network, Packet
+from repro.shard.partition import PartitionPlan
+
+
+@dataclass(frozen=True)
+class RemoteArrival:
+    """One packet crossing a cut, stamped with its exact arrival time.
+
+    ``seq`` is the capture order within the sending shard's window;
+    together with the sending shard's id it gives same-timestamp
+    arrivals a deterministic replay order regardless of exchange
+    transport (in-process list vs. multiprocessing pipe).
+    """
+
+    ts: float  #: absolute arrival time at the remote endpoint
+    link: str  #: cut link name (the same link exists in every shard)
+    dst: str  #: remote endpoint node name
+    seq: int  #: capture order within the sending shard's window
+    packet: Packet = field(compare=False)
+
+
+class ShardCutLink(Link):
+    """A :class:`Link` whose far endpoint lives in another shard.
+
+    Installed by class swap (``link.__class__ = ShardCutLink``) so the
+    object identity — and every reference the topology, routing tables
+    and fault injectors already hold — survives conversion.  Transmit
+    accounting, queueing, loss draws and link-down handling all run the
+    inherited code; only the final emit/deliver step is redirected for
+    remote destinations.
+    """
+
+    # No extra __slots__: Link instances carry a __dict__, which is what
+    # lets the class swap attach _shard_remote/_shard_outbox in place.
+
+    _shard_remote: frozenset[str]
+    _shard_outbox: list[RemoteArrival]
+
+    def _capture(self, dst, packet: Packet) -> None:
+        outbox = self._shard_outbox
+        outbox.append(
+            RemoteArrival(
+                ts=self.env.now + self.propagation,
+                link=self.name,
+                dst=dst.name,
+                seq=len(outbox),
+                packet=packet,
+            )
+        )
+
+    def _emit(self, dst, packet: Packet) -> None:
+        if dst.name in self._shard_remote:
+            self._capture(dst, packet)
+        else:
+            Link._emit(self, dst, packet)
+
+    def _deliver(self, dst, packet: Packet):
+        # Slow-path form: the per-packet delivery process captures at
+        # its bootstrap resume (same timestamp as serialization end).
+        if dst.name in self._shard_remote:
+            self._capture(dst, packet)
+            return None
+        yield from Link._deliver(self, dst, packet)
+        return None
+
+
+def adopt_partition(
+    net: Network, plan: PartitionPlan, shard: int
+) -> list[RemoteArrival]:
+    """Mark ``net`` as shard ``shard`` of ``plan``; return its outbox.
+
+    Sets :attr:`Network.local_nodes` (flows consult it via
+    :meth:`Network.drives` to decide whether to start their active
+    sender processes) and swaps every cut link touching this shard to a
+    :class:`ShardCutLink` sharing one outbox list.  With a single-shard
+    plan this is a no-op returning an (eternally empty) outbox.
+    """
+    if not 0 <= shard < plan.n_shards:
+        raise ValueError(
+            f"shard {shard} out of range for a {plan.n_shards}-shard plan"
+        )
+    outbox: list[RemoteArrival] = []
+    net.local_nodes = plan.shards[shard]
+    for cut in plan.cuts_touching(shard):
+        link = net.links[cut.name]
+        link.__class__ = ShardCutLink
+        link._shard_remote = cut.remote_nodes(shard)
+        link._shard_outbox = outbox
+    return outbox
+
+
+def inject_arrivals(
+    net: Network, batch: list[tuple[int, RemoteArrival]]
+) -> int:
+    """Schedule a window's cross-shard arrivals for exact-time replay.
+
+    ``batch`` pairs each arrival with its sending shard id.  Arrivals
+    are sorted by ``(ts, src_shard, seq)`` — a total, transport-
+    independent order — and scheduled with ``call_at`` so same-time
+    arrivals fire in that order (the kernel is FIFO at equal times).
+    Replay repeats exactly what :meth:`Link._deliver_now` would have
+    done locally.  Returns the number of packets scheduled.
+    """
+    env = net.env
+    for _, arr in sorted(batch, key=lambda e: (e[1].ts, e[0], e[1].seq)):
+        dst = net.nodes[arr.dst]
+        link = net.links[arr.link]
+        env.call_at(arr.ts, link._deliver_now, dst, arr.packet)
+    return len(batch)

@@ -1,0 +1,431 @@
+"""The conservative sharded runner: barrier windows sized by lookahead.
+
+One coordinator drives N workers, each simulating one partition of the
+topology.  Time advances in windows of length ``L = plan.lookahead``
+(the minimum cross-partition propagation delay): every worker runs its
+:class:`~repro.sim.Environment` to the shared horizon ``h_k = k·L``,
+the coordinator exchanges the captured cross-cut packets, injects them
+at their exact arrival timestamps, and opens the next window.  Safety
+is the classic conservative argument — an event executed at local time
+``t > h_{k-1}`` can produce a remote arrival no earlier than
+``t + L > h_k``, so exchanging at the barrier always beats the
+arrival's window (proof in DESIGN.md).
+
+When a round moves no messages and every pending event is far away,
+the coordinator jumps the window index to ``ceil(t_min / L)`` (the
+window containing the earliest pending event or in-flight arrival)
+instead of grinding through empty barriers — this is what keeps RTO
+backoff waits and link-outage windows cheap.  The jump is safe because
+the skipped span provably contains no events on any shard.
+
+Termination is full drain: every worker's queue is empty and the round
+exchanged nothing.  The unsharded reference (``shards=1``) runs to
+drain through the same harvest path, so metrics and recorded delivery
+tuples are directly comparable — and must be bit-identical.
+
+Two execution modes with identical results: ``serial`` round-robins
+the workers in one process (the 1-CPU / CI fallback, selectable with
+``REPRO_SHARD_SERIAL=1``); ``process`` forks one worker per shard and
+exchanges batches over multiprocessing pipes (wall-clock speedup).
+"""
+
+from __future__ import annotations
+
+import math
+import os
+import time
+import traceback
+from dataclasses import asdict, dataclass
+from typing import Any, Optional
+
+from repro.netsim.core import Host, Network
+from repro.shard.boundary import RemoteArrival, inject_arrivals
+from repro.shard.partition import PartitionPlan, partition_network
+from repro.shard.workloads import PartitionView, build_workload
+
+_INF = float("inf")
+
+
+@dataclass
+class ShardStats:
+    """Per-shard synchronization telemetry for one run."""
+
+    shard: int
+    windows: int = 0  #: advance() calls (barrier rounds participated in)
+    stalls: int = 0  #: windows that dispatched zero events
+    null_syncs: int = 0  #: windows that sent no messages (pure time grant)
+    msgs_sent: int = 0
+    msgs_recv: int = 0
+    #: sum of crossing packets' ip_bytes — deterministic across modes,
+    #: unlike pickled pipe volume, so baselines can pin it exactly
+    bytes_sent: int = 0
+    events_dispatched: int = 0
+    max_queue_depth: int = 0
+    window_wall_s: float = 0.0  #: wall-clock spent inside advance windows
+
+
+@dataclass
+class ShardRunResult:
+    """Everything a sharded (or reference) run produced."""
+
+    workload: str
+    params: dict
+    requested_shards: int
+    n_shards: int
+    mode: str  #: "reference" | "serial" | "process"
+    lookahead: float
+    metrics: dict[str, Any]
+    shard_stats: list[ShardStats]
+    rounds: int = 0
+    horizon_jumps: int = 0
+    wall_s: float = 0.0
+    #: sorted ``(t, host, flow, kind, seq)`` tuples when ``record=True``
+    deliveries: Optional[list[tuple]] = None
+    plan: Optional[PartitionPlan] = None
+
+    def stats_dict(self) -> dict[str, Any]:
+        """Flat dict form for JSONL trend lines and telemetry probes."""
+        return {
+            "workload": self.workload,
+            "requested_shards": self.requested_shards,
+            "n_shards": self.n_shards,
+            "mode": self.mode,
+            "lookahead": self.lookahead,
+            "rounds": self.rounds,
+            "horizon_jumps": self.horizon_jumps,
+            "wall_s": self.wall_s,
+            "shards": [asdict(s) for s in self.shard_stats],
+        }
+
+
+def _arm_recording(net: Network) -> list[tuple]:
+    """Wrap the sinks of every locally-owned host to log delivery tuples.
+
+    The tuple ``(t, host, flow, kind, seq)`` is the repo's canonical
+    delivery identity (see tests/test_sim_determinism.py); recording
+    only owned hosts means per-shard lists concatenate without
+    duplicates (traffic for a host only ever flows on its owner).
+    """
+    deliveries: list[tuple] = []
+    append = deliveries.append
+    for name in sorted(net.nodes):
+        node = net.nodes[name]
+        if not isinstance(node, Host) or not net.drives(name):
+            continue
+        for flow, sink in list(node._sinks.items()):
+            def wrapped(packet, now, _sink=sink, _host=name):
+                append((now, _host, packet.flow, packet.kind, packet.seq))
+                _sink(packet, now)
+
+            node._sinks[flow] = wrapped
+    return deliveries
+
+
+class _ShardWorker:
+    """One partition's simulation plus its window/exchange bookkeeping.
+
+    Used directly by serial mode and inside the forked child by process
+    mode, so both modes execute the identical code path.
+    """
+
+    def __init__(
+        self,
+        workload: str,
+        params: dict,
+        plan: PartitionPlan,
+        shard: int,
+        record: bool,
+    ):
+        self.plan = plan
+        self.shard = shard
+        view = PartitionView(plan=plan, shard=shard)
+        self.state = build_workload(workload, params, view)
+        self.deliveries = _arm_recording(self.state.net) if record else None
+        self.stats = ShardStats(shard=shard)
+
+    def advance(
+        self, horizon: float, inbox: list[tuple[int, RemoteArrival]]
+    ) -> tuple[dict[int, list[RemoteArrival]], float, int]:
+        """Run one window; return (outboxes by dest shard, peek, depth)."""
+        t0 = time.perf_counter()
+        stats = self.stats
+        if inbox:
+            stats.msgs_recv += inject_arrivals(self.state.net, inbox)
+        dispatched = self.state.env.advance(horizon)
+        stats.windows += 1
+        stats.events_dispatched += dispatched
+        if dispatched == 0:
+            stats.stalls += 1
+        outbox = self.state.outbox
+        by_dest: dict[int, list[RemoteArrival]] = {}
+        if outbox:
+            shard_of = self.plan.shard_of
+            for arr in outbox:
+                by_dest.setdefault(shard_of(arr.dst), []).append(arr)
+                stats.bytes_sent += arr.packet.ip_bytes
+            stats.msgs_sent += len(outbox)
+            # Clear in place: the ShardCutLink proxies hold this list.
+            outbox.clear()
+        else:
+            stats.null_syncs += 1
+        depth = self.state.env.queue_depth
+        if depth > stats.max_queue_depth:
+            stats.max_queue_depth = depth
+        stats.window_wall_s += time.perf_counter() - t0
+        return by_dest, self.state.env.peek(), depth
+
+    def finish(self) -> tuple[dict, Optional[list[tuple]], ShardStats]:
+        return self.state.collect(), self.deliveries, self.stats
+
+
+def _worker_main(conn, workload, params, plan, shard, record) -> None:
+    """Forked child: serve advance/finish requests over a pipe."""
+    try:
+        worker = _ShardWorker(workload, params, plan, shard, record)
+        conn.send(("ready", shard))
+        while True:
+            msg = conn.recv()
+            if msg[0] == "advance":
+                conn.send(("ok", worker.advance(msg[1], msg[2])))
+            elif msg[0] == "finish":
+                conn.send(("done", worker.finish()))
+                return
+            else:  # pragma: no cover - defensive
+                raise RuntimeError(f"unknown command {msg[0]!r}")
+    except Exception:
+        try:
+            conn.send(("error", traceback.format_exc()))
+        except (BrokenPipeError, OSError):  # pragma: no cover
+            pass
+    finally:
+        conn.close()
+
+
+def _resolve_mode(mode: str, n_shards: int) -> str:
+    if mode not in ("auto", "serial", "process"):
+        raise ValueError(f"unknown mode {mode!r}")
+    if n_shards == 1:
+        return "reference"
+    if mode != "auto":
+        return mode
+    if os.environ.get("REPRO_SHARD_SERIAL"):
+        return "serial"
+    import multiprocessing
+
+    if (os.cpu_count() or 1) < 2:
+        return "serial"  # 1-CPU runner: fork overhead buys nothing
+    if "fork" not in multiprocessing.get_all_start_methods():
+        return "serial"
+    return "process"
+
+
+def _merge_metrics(per_shard: list[dict[str, Any]]) -> dict[str, Any]:
+    merged: dict[str, Any] = {}
+    for metrics in per_shard:
+        for key, value in metrics.items():
+            if key in merged and merged[key] != value:
+                raise RuntimeError(
+                    f"shards disagree on metric {key!r}: "
+                    f"{merged[key]!r} != {value!r}"
+                )
+            merged[key] = value
+    return merged
+
+
+class _SerialTransport:
+    """Round-robin the workers inline (one process, same results)."""
+
+    def __init__(self, workload, params, plan, record):
+        self.workers = [
+            _ShardWorker(workload, params, plan, s, record)
+            for s in range(plan.n_shards)
+        ]
+
+    def advance_all(self, horizon, inboxes):
+        return [
+            w.advance(horizon, inboxes[w.shard]) for w in self.workers
+        ]
+
+    def finish_all(self):
+        return [w.finish() for w in self.workers]
+
+    def close(self):
+        pass
+
+
+class _ProcessTransport:
+    """One forked worker per shard, batches exchanged over pipes."""
+
+    def __init__(self, workload, params, plan, record):
+        import multiprocessing
+
+        ctx = multiprocessing.get_context("fork")
+        self.conns = []
+        self.procs = []
+        try:
+            for shard in range(plan.n_shards):
+                parent, child = ctx.Pipe()
+                proc = ctx.Process(
+                    target=_worker_main,
+                    args=(child, workload, params, plan, shard, record),
+                    daemon=True,
+                )
+                proc.start()
+                child.close()
+                self.conns.append(parent)
+                self.procs.append(proc)
+            for conn in self.conns:
+                self._recv(conn, "ready")
+        except BaseException:
+            self.close()
+            raise
+
+    @staticmethod
+    def _recv(conn, expect: str):
+        tag, payload = conn.recv()
+        if tag == "error":
+            raise RuntimeError(f"shard worker failed:\n{payload}")
+        if tag != expect:  # pragma: no cover - defensive
+            raise RuntimeError(f"expected {expect!r}, got {tag!r}")
+        return payload
+
+    def advance_all(self, horizon, inboxes):
+        for shard, conn in enumerate(self.conns):
+            conn.send(("advance", horizon, inboxes[shard]))
+        return [self._recv(conn, "ok") for conn in self.conns]
+
+    def finish_all(self):
+        for conn in self.conns:
+            conn.send(("finish",))
+        return [self._recv(conn, "done") for conn in self.conns]
+
+    def close(self):
+        for conn in self.conns:
+            try:
+                conn.close()
+            except OSError:  # pragma: no cover
+                pass
+        for proc in self.procs:
+            proc.join(timeout=5)
+            if proc.is_alive():  # pragma: no cover - defensive
+                proc.terminate()
+                proc.join(timeout=5)
+
+
+def run_workload(
+    workload: str,
+    params: Optional[dict] = None,
+    shards: int = 1,
+    mode: str = "auto",
+    record: bool = False,
+) -> ShardRunResult:
+    """Run a registered shard workload, sharded or as the reference.
+
+    ``shards=1`` (or a topology with nothing to cut) runs the plain
+    unsharded simulation to drain.  Otherwise the topology is
+    partitioned at its WAN links (capped at the number of WAN-separated
+    islands) and executed under the barrier-window protocol in
+    ``mode`` — ``auto`` picks forked processes when the machine has
+    them to give (≥2 CPUs, fork available, ``REPRO_SHARD_SERIAL``
+    unset) and the in-process serial scheduler otherwise.  Results are
+    mode-independent; only wall-clock differs.
+
+    ``record=True`` additionally captures every host delivery as a
+    ``(t, host, flow, kind, seq)`` tuple (sorted) — the bit-identity
+    currency of the determinism tests.
+    """
+    params = dict(params or {})
+    t_start = time.perf_counter()
+
+    # Probe build: the partition plan is a pure function of the topology,
+    # which every builder constructs identically.
+    probe = build_workload(workload, params, PartitionView())
+    plan = partition_network(probe.net, shards)
+    run_mode = _resolve_mode(mode, plan.n_shards)
+
+    if plan.n_shards == 1:
+        deliveries = _arm_recording(probe.net) if record else None
+        stats = ShardStats(shard=0)
+        probe.env.run()
+        stats.windows = 1
+        stats.events_dispatched = probe.env.scheduled_count
+        return ShardRunResult(
+            workload=workload,
+            params=params,
+            requested_shards=shards,
+            n_shards=1,
+            mode=run_mode,
+            lookahead=plan.lookahead,
+            metrics=probe.collect(),
+            shard_stats=[stats],
+            rounds=1,
+            wall_s=time.perf_counter() - t_start,
+            deliveries=sorted(deliveries) if deliveries is not None else None,
+            plan=plan,
+        )
+
+    del probe  # sharded runs rebuild per worker; drop the probe's state
+    window = plan.lookahead
+    transport = (
+        _ProcessTransport(workload, params, plan, record)
+        if run_mode == "process"
+        else _SerialTransport(workload, params, plan, record)
+    )
+    rounds = 0
+    horizon_jumps = 0
+    try:
+        inboxes: list[list] = [[] for _ in range(plan.n_shards)]
+        k = 1
+        while True:
+            horizon = k * window
+            replies = transport.advance_all(horizon, inboxes)
+            rounds += 1
+            inboxes = [[] for _ in range(plan.n_shards)]
+            moved = 0
+            t_min = _INF
+            for src_shard, (by_dest, peek, _depth) in enumerate(replies):
+                if peek < t_min:
+                    t_min = peek
+                for dest, batch in by_dest.items():
+                    inboxes[dest].extend(
+                        (src_shard, arr) for arr in batch
+                    )
+                    moved += len(batch)
+                    for arr in batch:
+                        if arr.ts < t_min:
+                            t_min = arr.ts
+            if moved == 0 and t_min == _INF:
+                break  # every queue drained, nothing in flight
+            # Jump empty spans: safe because no shard holds an event (or
+            # in-flight arrival) before t_min, so the widened window
+            # behaves exactly like the single window ending at its
+            # horizon (DESIGN.md gives the inequality).
+            k_next = max(k + 1, math.ceil(t_min / window))
+            if k_next > k + 1:
+                horizon_jumps += 1
+            k = k_next
+        finals = transport.finish_all()
+    finally:
+        transport.close()
+
+    metrics = _merge_metrics([m for m, _, _ in finals])
+    deliveries: Optional[list[tuple]] = None
+    if record:
+        deliveries = sorted(
+            tup for _, dels, _ in finals for tup in (dels or [])
+        )
+    return ShardRunResult(
+        workload=workload,
+        params=params,
+        requested_shards=shards,
+        n_shards=plan.n_shards,
+        mode=run_mode,
+        lookahead=plan.lookahead,
+        metrics=metrics,
+        shard_stats=[s for _, _, s in finals],
+        rounds=rounds,
+        horizon_jumps=horizon_jumps,
+        wall_s=time.perf_counter() - t_start,
+        deliveries=deliveries,
+        plan=plan,
+    )

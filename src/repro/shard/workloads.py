@@ -1,0 +1,251 @@
+"""Shardable workloads: deterministic builders runnable on any shard.
+
+A sharded run executes the *same builder* once per worker process.  For
+the partitions to agree bit-for-bit with the unsharded reference, the
+builder must be a pure function of ``(params, view)``:
+
+* build the **full** topology and **all** flows in the same order with
+  the same explicit names and seeds on every shard (class-level
+  auto-naming counters diverge across processes, so builders must pass
+  ``name=`` everywhere);
+* call :meth:`PartitionView.adopt` **before** creating flows — flows
+  consult :meth:`~repro.netsim.core.Network.drives` at construction to
+  decide whether to start their active sender processes;
+* schedule faults through a seeded :class:`~repro.netsim.faults.
+  FaultInjector` (identity-derived child seeds make the schedules
+  replay identically on every shard).
+
+The builder returns a :class:`WorkloadState` whose ``collect`` emits
+only metrics this shard *owns* (sender-side metrics where it drives the
+source, receiver-side where it drives the destination); the runner
+merges the per-shard dicts and rejects conflicting values.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Callable, Optional
+
+from repro.netsim.core import Network
+from repro.netsim.flows import BulkTransfer, CbrFlow
+from repro.netsim.faults import FaultInjector
+from repro.netsim.ip import ClassicalIP
+from repro.netsim.testbed import build_testbed
+from repro.shard.boundary import RemoteArrival, adopt_partition
+from repro.shard.partition import PartitionPlan
+from repro.sim import Environment
+from repro.util.units import MBYTE
+
+
+@dataclass(frozen=True)
+class PartitionView:
+    """Which shard of which plan a builder is constructing for.
+
+    ``plan=None`` (or a one-shard plan) is the unsharded reference
+    view: the network drives every node and no links are converted.
+    """
+
+    plan: Optional[PartitionPlan] = None
+    shard: int = 0
+
+    @property
+    def sharded(self) -> bool:
+        return self.plan is not None and self.plan.n_shards > 1
+
+    def adopt(self, net: Network) -> list[RemoteArrival]:
+        """Apply this view to a freshly built network; return its outbox."""
+        if not self.sharded:
+            return []
+        return adopt_partition(net, self.plan, self.shard)
+
+
+@dataclass
+class WorkloadState:
+    """A built workload: the environment to run plus how to harvest it."""
+
+    env: Environment
+    net: Network
+    outbox: list[RemoteArrival]
+    collect: Callable[[], dict[str, Any]]
+    flows: list = field(default_factory=list)
+
+
+WorkloadBuilder = Callable[[dict, PartitionView], WorkloadState]
+
+WORKLOADS: dict[str, WorkloadBuilder] = {}
+
+
+def shard_workload(name: str) -> Callable[[WorkloadBuilder], WorkloadBuilder]:
+    """Register a builder under ``name`` (for the runner and CLI)."""
+
+    def register(builder: WorkloadBuilder) -> WorkloadBuilder:
+        WORKLOADS[name] = builder
+        return builder
+
+    return register
+
+
+def _bulk_metrics(net: Network, bt: BulkTransfer, prefix: str = "") -> dict:
+    """Owned metrics for one bulk transfer (sender/receiver split)."""
+    out: dict[str, Any] = {}
+    if net.drives(bt.src):
+        out[prefix + "goodput_mbps"] = bt.throughput / 1e6
+        out[prefix + "retransmits"] = bt.retransmits
+        out[prefix + "timeouts"] = bt.timeouts
+        out[prefix + "fast_retransmits"] = bt.fast_retransmits
+        out[prefix + "elapsed_s"] = bt.end_time - bt.start_time
+    if net.drives(bt.dst):
+        out[prefix + "segments_delivered"] = bt.segments_delivered
+    return out
+
+
+@shard_workload("wan_bulk")
+def wan_bulk(params: dict, view: PartitionView) -> WorkloadState:
+    """One bulk TCP transfer across the backbone, with optional seeded
+    wire loss and/or a mid-transfer WAN outage — the sharded twin of the
+    harness ``wan_bulk_transfer`` scenario."""
+    env = Environment(fast_path=bool(params.get("fast_path", True)))
+    tb = build_testbed(
+        env,
+        oc48=bool(params.get("oc48", True)),
+        wan_queue_packets=params.get("wan_queue_packets", float("inf")),
+    )
+    outbox = view.adopt(tb.net)
+
+    src = str(params.get("src", tb.T3E_600))
+    dst = str(params.get("dst", tb.SP2))
+    nbytes = int(params.get("mbytes", 40)) * MBYTE
+    ip = ClassicalIP(mtu=int(params.get("mtu", 64 * 1024)))
+    seed = int(params.get("seed", 0))
+
+    loss_rate = float(params.get("loss_rate", 0.0))
+    if loss_rate > 0.0:
+        FaultInjector(tb.net, seed=seed).random_loss(
+            tb.wan_link, loss_rate, direction=tb.SW_JUELICH
+        )
+    outage_at = params.get("outage_at")
+    if outage_at is not None:
+        FaultInjector(tb.net, seed=seed).link_down(
+            tb.wan_link,
+            at=float(outage_at),
+            duration=float(params.get("outage_len", 1.0)),
+        )
+
+    bt = BulkTransfer(tb.net, src, dst, nbytes, ip=ip, name="shard-bulk")
+
+    def collect() -> dict[str, Any]:
+        return _bulk_metrics(tb.net, bt)
+
+    return WorkloadState(
+        env=env, net=tb.net, outbox=outbox, collect=collect, flows=[bt]
+    )
+
+
+@shard_workload("wan_multiflow")
+def wan_multiflow(params: dict, view: PartitionView) -> WorkloadState:
+    """Bidirectional multi-flow WAN load: bulks both ways plus an
+    optional D1 video stream — the speedup workload (both shards have
+    real work, so a 2-shard run can approach 2×)."""
+    env = Environment(fast_path=bool(params.get("fast_path", True)))
+    tb = build_testbed(env, oc48=bool(params.get("oc48", True)))
+    outbox = view.adopt(tb.net)
+
+    nbytes = int(params.get("mbytes", 20)) * MBYTE
+    ip = ClassicalIP(mtu=int(params.get("mtu", 64 * 1024)))
+    seed = int(params.get("seed", 0))
+
+    loss_rate = float(params.get("loss_rate", 0.0))
+    if loss_rate > 0.0:
+        FaultInjector(tb.net, seed=seed).random_loss(tb.wan_link, loss_rate)
+
+    # Forward (Jülich → GMD) and reverse (GMD → Jülich) bulks, explicit
+    # names throughout: every shard must construct the identical set.
+    pairs = [
+        ("bulk-fwd-0", tb.T3E_600, tb.E500_GMD),
+        ("bulk-fwd-1", tb.T3E_1200, tb.ONYX2_GMD),
+        ("bulk-rev-0", tb.SP2, tb.T3E_600),
+        ("bulk-rev-1", tb.E500_GMD, tb.T3E_1200),
+    ]
+    if params.get("heavy"):
+        # The speedup benchmark's denser mix: every supercomputer busy.
+        pairs += [
+            ("bulk-fwd-2", tb.T90, tb.SP2),
+            ("bulk-rev-2", tb.ONYX2_GMD, tb.T90),
+        ]
+    flows: list = [
+        BulkTransfer(tb.net, src, dst, nbytes, ip=ip, name=name)
+        for name, src, dst in pairs
+    ]
+    if params.get("heavy"):
+        # Intra-site traffic rides along (the real testbed's local HiPPI
+        # and campus-ATM load): it never crosses the cut, so it is pure
+        # per-shard compute.  The small-MTU pairs are sized so the two
+        # partitions' per-window work stays within a few percent of each
+        # other — balance, not volume, caps the parallel speedup.
+        local_ip = ClassicalIP(mtu=9180)
+        for name, src, dst, size in (
+            ("bulk-loc-gmd-0", tb.SP2, tb.E500_GMD, nbytes // 2),
+            ("bulk-loc-gmd-1", tb.E500_GMD, tb.ONYX2_GMD, 3 * nbytes // 8),
+            ("bulk-loc-jue-0", tb.FRONTEND, tb.ONYX2_JUELICH, nbytes // 2),
+            ("bulk-loc-jue-1", tb.ONYX2_JUELICH, tb.FRONTEND, 3 * nbytes // 8),
+        ):
+            flows.append(
+                BulkTransfer(tb.net, src, dst, size, ip=local_ip, name=name)
+            )
+
+    videos: list[CbrFlow] = []
+    if params.get("video", True):
+        # Heavy mode streams D1 both ways at the ATM MTU so the video
+        # load lands on both partitions every 500 us window; the plain
+        # mix keeps the single paper-style stream on the bulk MTU.
+        if params.get("heavy"):
+            video_ip = ClassicalIP(mtu=9180)
+            streams = [
+                ("video-d1", tb.ONYX2_JUELICH, tb.ONYX2_GMD),
+                ("video-d1-rev", tb.ONYX2_GMD, tb.ONYX2_JUELICH),
+            ]
+        else:
+            video_ip = ip
+            streams = [("video-d1", tb.ONYX2_JUELICH, tb.ONYX2_GMD)]
+        for name, src, dst in streams:
+            videos.append(
+                CbrFlow(
+                    tb.net,
+                    src,
+                    dst,
+                    frame_bytes=int(params.get("frame_bytes", 829440)),
+                    interval=1.0 / 25.0,
+                    n_frames=int(params.get("n_frames", 50)),
+                    ip=video_ip,
+                    name=name,
+                )
+            )
+        flows.extend(videos)
+
+    def collect() -> dict[str, Any]:
+        out: dict[str, Any] = {}
+        for flow in flows:
+            if isinstance(flow, BulkTransfer):
+                out.update(_bulk_metrics(tb.net, flow, prefix=flow.name + "_"))
+        for video in videos:
+            if tb.net.drives(video.dst):
+                out[video.name + "_frames_received"] = video.frames_received
+                out[video.name + "_frames_late"] = video.frames_late
+                out[video.name + "_jitter_ms"] = video.jitter * 1e3
+        return out
+
+    return WorkloadState(
+        env=env, net=tb.net, outbox=outbox, collect=collect, flows=flows
+    )
+
+
+def build_workload(
+    name: str, params: dict, view: PartitionView
+) -> WorkloadState:
+    """Look up and invoke a registered builder."""
+    try:
+        builder = WORKLOADS[name]
+    except KeyError:
+        known = ", ".join(sorted(WORKLOADS))
+        raise KeyError(f"no shard workload {name!r} (known: {known})") from None
+    return builder(dict(params), view)

@@ -178,3 +178,33 @@ class Environment:
                 obj(*args)
         self._now = horizon
         return None
+
+    def advance(self, horizon: float) -> int:
+        """Run to ``horizon`` (inclusive), returning entries dispatched.
+
+        The window primitive of the conservative sharded runner
+        (:mod:`repro.shard`): a partition advances its clock one safe
+        window at a time, and the dispatch count feeds the per-shard
+        stall telemetry (a window that dispatched nothing is a horizon
+        stall).  Semantically identical to ``run(until=horizon)``.
+        """
+        if horizon < self._now:
+            raise SimulationError("cannot advance() backwards in time")
+        queue = self._queue
+        pop = heapq.heappop
+        dispatched = 0
+        while queue and queue[0][0] <= horizon:
+            when, _, obj, args = pop(queue)
+            self._now = when
+            if args is None:
+                obj._fire()
+            else:
+                obj(*args)
+            dispatched += 1
+        self._now = horizon
+        return dispatched
+
+    @property
+    def queue_depth(self) -> int:
+        """Entries currently pending in the event queue (telemetry)."""
+        return len(self._queue)

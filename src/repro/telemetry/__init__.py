@@ -49,6 +49,7 @@ from repro.telemetry.probes import (
     instrument_pipeline,
     instrument_rt_client,
     instrument_runtime,
+    instrument_shard_run,
 )
 from repro.telemetry.timeseries import RingBuffer, Sampler
 
@@ -77,6 +78,7 @@ __all__ = [
     "instrument_pipeline",
     "instrument_rt_client",
     "instrument_runtime",
+    "instrument_shard_run",
     "RingBuffer",
     "Sampler",
 ]

@@ -1,0 +1,251 @@
+"""repro.shard — partitioner units and sharded-vs-reference identity.
+
+The partitioner tests pin the cut-placement rules on synthetic
+topologies (every WAN position on a chain, multi-island merges, the
+degenerate one-shard plan).  The identity tests are the subsystem's
+contract: a sharded run is *indistinguishable* from the unsharded
+reference — same merged metrics and the same delivery tuples — for any
+shard count, scheduling mode, and fault schedule.
+"""
+
+import pytest
+
+from repro.netsim.core import Host, Network, Switch
+from repro.netsim.testbed import WAN_PROPAGATION, build_testbed
+from repro.shard import (
+    PartitionError,
+    partition_network,
+    run_workload,
+)
+from repro.sim import Environment
+from repro.telemetry import MetricsRegistry, NullRegistry, instrument_shard_run
+
+WAN = 500e-6  # comfortably above the partitioner's WAN threshold
+LOCAL = 2e-6  # comfortably below it
+
+
+def _chain(names, wan_pairs):
+    """A linear host chain; links in ``wan_pairs`` get WAN propagation."""
+    env = Environment()
+    net = Network(env)
+    for name in names:
+        net.add(Host(env, name))
+    for a, b in zip(names, names[1:]):
+        prop = WAN if (a, b) in wan_pairs else LOCAL
+        net.link(a, b, 622e6, prop)
+    return net
+
+
+# ---------------------------------------------------------------------------
+# Partitioner units
+
+
+def test_testbed_partitions_at_the_wan_link():
+    tb = build_testbed(Environment())
+    plan = partition_network(tb.net, 2)
+    assert plan.n_shards == 2
+    assert [cut.name for cut in plan.cuts] == ["wan-oc48"]
+    assert plan.lookahead == pytest.approx(WAN_PROPAGATION)
+    # The two sites land on opposite shards, each site kept whole.
+    juelich = plan.shard_of("t3e-600")
+    gmd = plan.shard_of("sp2")
+    assert juelich != gmd
+    for node in ("t3e-1200", "t90", "frontend", "onyx2-juelich"):
+        assert plan.shard_of(node) == juelich
+    for node in ("e500-gmd", "onyx2-gmd"):
+        assert plan.shard_of(node) == gmd
+    (cut,) = plan.cuts_touching(juelich)
+    assert cut.a_shard != cut.b_shard
+
+
+def test_single_partition_is_degenerate():
+    tb = build_testbed(Environment())
+    plan = partition_network(tb.net, 1)
+    assert plan.n_shards == 1
+    assert plan.cuts == ()
+    assert plan.lookahead == float("inf")
+    assert plan.shards[0] == frozenset(tb.net.nodes)
+
+
+def test_more_shards_than_wan_islands_caps():
+    tb = build_testbed(Environment())
+    plan = partition_network(tb.net, 8)
+    assert plan.requested == 8
+    assert plan.n_shards == 2  # one WAN link -> two islands, no more
+
+
+def test_no_wan_links_collapses_to_one_shard():
+    net = _chain(["a", "b", "c"], wan_pairs=set())
+    plan = partition_network(net, 4)
+    assert plan.n_shards == 1
+    assert plan.cuts == ()
+
+
+@pytest.mark.parametrize(
+    "wan_pairs, expected_islands",
+    [
+        ({("a", "b")}, [{"a"}, {"b", "c", "d"}]),
+        ({("b", "c")}, [{"a", "b"}, {"c", "d"}]),
+        ({("c", "d")}, [{"a", "b", "c"}, {"d"}]),
+        ({("a", "b"), ("c", "d")}, [{"a"}, {"b", "c"}, {"d"}]),
+    ],
+)
+def test_every_wan_cut_placement(wan_pairs, expected_islands):
+    net = _chain(["a", "b", "c", "d"], wan_pairs)
+    plan = partition_network(net, len(expected_islands))
+    shards = [set(s) for s in plan.shards]
+    assert sorted(shards, key=sorted) == sorted(expected_islands, key=sorted)
+    # Every cut genuinely crosses shards and sets the lookahead.
+    assert len(plan.cuts) == len(wan_pairs)
+    for cut in plan.cuts:
+        assert plan.shard_of(cut.a) != plan.shard_of(cut.b)
+    assert plan.lookahead == pytest.approx(WAN)
+
+
+def test_three_islands_merged_into_two_shards():
+    net = _chain(["a", "b", "c", "d"], {("a", "b"), ("c", "d")})
+    plan = partition_network(net, 2)
+    assert plan.n_shards == 2
+    # All nodes covered exactly once.
+    seen = [n for shard in plan.shards for n in shard]
+    assert sorted(seen) == ["a", "b", "c", "d"]
+    # Only cuts whose endpoints landed on different shards remain.
+    for cut in plan.cuts:
+        assert plan.shard_of(cut.a) != plan.shard_of(cut.b)
+
+
+def test_invalid_partition_requests():
+    tb = build_testbed(Environment())
+    with pytest.raises(PartitionError):
+        partition_network(tb.net, 0)
+    with pytest.raises(PartitionError):
+        partition_network(tb.net, 2, min_cut_propagation=0.0)
+
+
+def test_partitioner_ignores_link_state():
+    # A downed WAN link still defines the cut: partitioning is static.
+    tb = build_testbed(Environment())
+    tb.wan_link.up = False
+    plan = partition_network(tb.net, 2)
+    assert plan.n_shards == 2
+
+
+def test_switches_partition_too():
+    env = Environment()
+    net = Network(env)
+    for name in ("h1", "h2"):
+        net.add(Host(env, name))
+    for name in ("s1", "s2"):
+        net.add(Switch(env, name))
+    net.link("h1", "s1", 622e6, LOCAL)
+    net.link("s1", "s2", 2.4e9, WAN)
+    net.link("s2", "h2", 622e6, LOCAL)
+    plan = partition_network(net, 2)
+    assert plan.shard_of("h1") == plan.shard_of("s1")
+    assert plan.shard_of("h2") == plan.shard_of("s2")
+    assert plan.shard_of("s1") != plan.shard_of("s2")
+
+
+# ---------------------------------------------------------------------------
+# Sharded-vs-reference identity (the subsystem's contract)
+
+
+def _identical(ref, sharded):
+    assert sharded.metrics == ref.metrics
+    assert sharded.deliveries == ref.deliveries
+
+
+@pytest.mark.parametrize("shards", [2, 3, 4])
+def test_shard_count_never_changes_wan_bulk(shards):
+    params = {"mbytes": 2}
+    ref = run_workload("wan_bulk", params, shards=1, record=True)
+    sharded = run_workload(
+        "wan_bulk", params, shards=shards, mode="serial", record=True
+    )
+    _identical(ref, sharded)
+    assert sharded.n_shards == 2  # testbed has exactly two WAN islands
+    assert sharded.rounds > 0
+
+
+def test_shard_identity_multiflow_with_video():
+    params = {"mbytes": 2, "n_frames": 3}
+    ref = run_workload("wan_multiflow", params, shards=1, record=True)
+    sharded = run_workload(
+        "wan_multiflow", params, shards=2, mode="serial", record=True
+    )
+    _identical(ref, sharded)
+    # The video receiver lives on the far shard; its metrics must have
+    # been merged from there.
+    assert "video-d1_frames_received" in sharded.metrics
+
+
+def test_shard_identity_under_loss_and_outage():
+    params = {"mbytes": 2, "loss_rate": 0.02, "outage_at": 0.02, "outage_len": 0.1}
+    ref = run_workload("wan_bulk", params, shards=1, record=True)
+    sharded = run_workload(
+        "wan_bulk", params, shards=2, mode="serial", record=True
+    )
+    _identical(ref, sharded)
+    assert sharded.metrics["retransmits"] > 0  # the faults actually fired
+
+
+def test_shard_identity_slow_kernel_path():
+    params = {"mbytes": 2, "fast_path": False}
+    ref = run_workload("wan_bulk", params, shards=1, record=True)
+    sharded = run_workload(
+        "wan_bulk", params, shards=2, mode="serial", record=True
+    )
+    _identical(ref, sharded)
+
+
+def test_process_mode_matches_serial_and_reference():
+    params = {"mbytes": 2}
+    ref = run_workload("wan_bulk", params, shards=1, record=True)
+    serial = run_workload(
+        "wan_bulk", params, shards=2, mode="serial", record=True
+    )
+    try:
+        proc = run_workload(
+            "wan_bulk", params, shards=2, mode="process", record=True
+        )
+    except (OSError, ValueError) as exc:  # pragma: no cover - no fork
+        pytest.skip(f"process mode unavailable: {exc}")
+    _identical(ref, serial)
+    _identical(ref, proc)
+    assert proc.mode == "process"
+    # Sync profiles agree too: same windows, same message volume.
+    assert proc.rounds == serial.rounds
+    assert [s.msgs_sent for s in proc.shard_stats] == [
+        s.msgs_sent for s in serial.shard_stats
+    ]
+
+
+def test_runner_stats_shape():
+    res = run_workload("wan_bulk", {"mbytes": 2}, shards=2, mode="serial")
+    stats = res.stats_dict()
+    assert stats["n_shards"] == 2
+    assert stats["rounds"] == res.rounds
+    assert len(res.shard_stats) == 2
+    for shard in res.shard_stats:
+        assert shard.windows <= res.rounds
+        assert shard.events_dispatched > 0
+
+
+def test_shard_run_telemetry_probe():
+    res = run_workload("wan_bulk", {"mbytes": 2}, shards=2, mode="serial")
+    reg = MetricsRegistry()
+    assert instrument_shard_run(res, reg) is reg
+    labels = {"workload": "wan_bulk", "mode": "serial"}
+    assert reg.value("shard.rounds", **labels) == res.rounds
+    for stats in res.shard_stats:
+        per = {**labels, "shard": str(stats.shard)}
+        assert reg.value("shard.msgs_sent", **per) == stats.msgs_sent
+        assert reg.value("shard.events_dispatched", **per) == (
+            stats.events_dispatched
+        )
+    # Cross-cut traffic is symmetric for one bidirectional TCP flow:
+    # everything one shard sends, the other receives.
+    sent = [s.msgs_sent for s in res.shard_stats]
+    recv = [s.msgs_recv for s in res.shard_stats]
+    assert sent == list(reversed(recv))
+    assert instrument_shard_run(res, NullRegistry()) is None
