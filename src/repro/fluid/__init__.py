@@ -1,0 +1,27 @@
+"""Fluid/packet hybrid flow engine (see DESIGN — hybrid engine).
+
+Long-lived bulk flows simulated analytically as piecewise-constant
+max-min fair rates (:class:`FluidEngine`), heavy-tailed open-loop
+workloads to feed them (:class:`WorkloadGenerator`), and the coupling
+layer that lets latency-sensitive packet-level flows see the fluid
+traffic as background load (:class:`HybridSimulation`).
+"""
+
+from repro.fluid.engine import CompletedFlow, FluidEngine
+from repro.fluid.hybrid import HybridSimulation
+from repro.fluid.workload import (
+    BoundedPareto,
+    FlowArrival,
+    WorkloadGenerator,
+    diurnal_factor,
+)
+
+__all__ = [
+    "BoundedPareto",
+    "CompletedFlow",
+    "FlowArrival",
+    "FluidEngine",
+    "HybridSimulation",
+    "WorkloadGenerator",
+    "diurnal_factor",
+]

@@ -79,6 +79,13 @@ def build_parser() -> argparse.ArgumentParser:
         default=None,
         help="write all sweep metrics as telemetry-schema JSONL",
     )
+    parser.add_argument(
+        "--junit-xml",
+        metavar="PATH",
+        default=None,
+        help="write the regression-gate verdicts as JUnit XML "
+        "(one testsuite per sweep, one testcase per baseline metric)",
+    )
     shard = parser.add_argument_group(
         "sharded execution",
         "run one repro.shard workload sharded and verify it against the "
@@ -163,6 +170,98 @@ def run_sharded(args) -> int:
     return 2
 
 
+def write_junit_xml(path: str, reports, results) -> None:
+    """Write the regression-gate verdicts as JUnit XML.
+
+    One ``<testsuite>`` per sweep, one ``<testcase>`` per baseline
+    metric; regressions and missing metrics become ``<failure>``
+    elements, scenario crashes become ``<error>`` entries — the shape CI
+    annotates directly.
+    """
+    import xml.etree.ElementTree as ET
+
+    by_name = {r.name: r for r in results}
+    root = ET.Element("testsuites")
+    total = failures = errors = 0
+    for report in reports:
+        suite = ET.SubElement(
+            root, "testsuite", name=f"sweep.{report.sweep}.{report.mode}"
+        )
+        n = f = 0
+        for d in report.deviations:
+            case = ET.SubElement(
+                suite,
+                "testcase",
+                classname=f"sweep.{report.sweep}",
+                name=d.metric,
+            )
+            n += 1
+            if d.status in ("regression", "missing"):
+                f += 1
+                fail = ET.SubElement(
+                    case,
+                    "failure",
+                    message=f"{d.status}: expected {d.expected!r}, "
+                    f"got {d.actual!r}",
+                )
+                fail.text = d.format().strip()
+        e = 0
+        result = by_name.get(report.sweep)
+        if result is not None:
+            for r in result.results:
+                if not r.ok:
+                    case = ET.SubElement(
+                        suite,
+                        "testcase",
+                        classname=f"sweep.{report.sweep}",
+                        name=r.spec.label(),
+                    )
+                    ET.SubElement(case, "error", message=str(r.error))
+                    n += 1
+                    e += 1
+        suite.set("tests", str(n))
+        suite.set("failures", str(f))
+        suite.set("errors", str(e))
+        total += n
+        failures += f
+        errors += e
+    root.set("tests", str(total))
+    root.set("failures", str(failures))
+    root.set("errors", str(errors))
+    ET.ElementTree(root).write(path, encoding="unicode", xml_declaration=True)
+
+
+def format_summary(results, reports) -> str:
+    """The final one-line-per-sweep verdict table.
+
+    Printed after every sweep has run so a multi-regression ``--check``
+    run ends with a single screen the failure can be read off, instead
+    of the verdict being buried per-sweep pages up.
+    """
+    by_name = {r.sweep: r for r in reports}
+    header = (
+        f"{'sweep':<16} {'scenarios':>9} {'failed':>6} "
+        f"{'regressions':>11} {'wall_s':>8}  verdict"
+    )
+    lines = ["", "== sweep summary " + "=" * (len(header) - 17), header]
+    exit_code = 0
+    for result in results:
+        report = by_name.get(result.name)
+        n_reg = len(report.regressions) if report is not None else 0
+        ok = result.ok and n_reg == 0
+        if not ok:
+            exit_code = 2
+        lines.append(
+            f"{result.name:<16} {len(result.results):>9} {result.failed:>6} "
+            f"{n_reg if report is not None else '-':>11} "
+            f"{result.wall_time:>8.2f}  {'PASS' if ok else 'FAIL'}"
+        )
+    lines.append(
+        "overall: PASS" if exit_code == 0 else "overall: FAIL (exit 2)"
+    )
+    return "\n".join(lines)
+
+
 def main(argv: Optional[Sequence[str]] = None) -> int:
     args = build_parser().parse_args(argv)
 
@@ -189,6 +288,7 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
     )
 
     results: list[SweepResult] = []
+    reports = []
     failed_gate = False
     for name in names:
         sweep = get_sweep(name)
@@ -208,10 +308,17 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
             print(f"wrote baseline {path} [{mode}]")
         elif args.check:
             report = check_sweep(result, mode, directory=args.baselines_dir)
+            reports.append(report)
             print(report.format())
             if not report.passed:
                 failed_gate = True
         print()
+
+    if args.junit_xml:
+        write_junit_xml(args.junit_xml, reports, results)
+        print(f"wrote JUnit XML to {args.junit_xml}")
+    if args.check:
+        print(format_summary(results, reports))
 
     if args.export:
         import json

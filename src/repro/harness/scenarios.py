@@ -435,6 +435,253 @@ def sharded_wan(spec: ScenarioSpec) -> dict[str, Any]:
     return out
 
 
+def _workload(spec: ScenarioSpec):
+    """The shared heavy-tailed workload of the fluid scenarios: Poisson
+    sessions over the testbed's cross-site pairs, bounded-Pareto sizes,
+    a diurnal curve compressed to simulation scale."""
+    from repro.fluid import BoundedPareto, WorkloadGenerator
+    from repro.util.units import KBYTE, MBYTE
+
+    pairs = [
+        ("t3e-600", "sp2"),
+        ("t3e-1200", "e500-gmd"),
+        ("t90", "onyx2-gmd"),
+        ("sp2", "t3e-600"),
+    ]
+    return WorkloadGenerator(
+        pairs[: int(spec.get("n_pairs", 4))],
+        n_sessions=int(spec.get("sessions", 2000)),
+        session_rate=float(spec.get("session_rate", 40.0)),
+        seed=spec.seed,
+        sizes=BoundedPareto(
+            shape=float(spec.get("pareto_shape", 1.3)),
+            lo=int(spec.get("size_lo_kb", 256)) * KBYTE,
+            hi=int(spec.get("size_hi_mb", 64)) * MBYTE,
+        ),
+        diurnal_amplitude=float(spec.get("diurnal_amplitude", 0.3)),
+        diurnal_period=float(spec.get("diurnal_period", 60.0)),
+    )
+
+
+@scenario("fluid_wan")
+def fluid_wan(spec: ScenarioSpec) -> dict[str, Any]:
+    """The heavy-tailed "millions of users" scenario on the pure fluid
+    engine: an open-loop Poisson/Pareto/diurnal workload drains through
+    the max-min water-filling with no packets at all, so thousands of
+    sessions complete in seconds of wall clock.
+
+    ``schedule_sha`` pins the workload generator's determinism contract
+    (same seed ⇒ bit-identical schedule across Python versions and
+    serial/pooled runs); FCT statistics, mean/peak concurrency, WAN
+    utilization and the re-solve count are pure functions of the spec.
+    ``wall_s`` / ``flows_per_sec`` are machine-dependent and gated with
+    infinite tolerance.
+    """
+    from repro.fluid import FluidEngine
+    from repro.telemetry.metrics import MetricsRegistry
+    from repro.telemetry.probes import instrument_fluid
+    from repro.util.units import MBYTE
+
+    tb = _testbed(spec)
+    wg = _workload(spec)
+    registry = MetricsRegistry()
+    eng = FluidEngine(
+        tb.net,
+        ip=_ip(spec),
+        window_bytes=int(spec.get("window_mbytes", 8)) * MBYTE,
+    )
+    instrument_fluid(eng, registry)
+    eng.offer(wg.schedule())
+    t0 = time.perf_counter()
+    eng.run()
+    wall = time.perf_counter() - t0
+
+    out: dict[str, Any] = {
+        "schedule_sha": wg.digest(),
+        "arrived": eng.arrived,
+        "completed": len(eng.completed),
+        "resolves": eng.resolves,
+        "peak_active": eng.peak_active,
+        "mean_active": eng.mean_active(),
+        "sim_end_s": eng.now,
+        "wan_util_ju_to_gmd": eng.mean_utilization(
+            f"link:{tb.wan_link.name}:sw-juelich"
+        ),
+        "wan_util_gmd_to_ju": eng.mean_utilization(
+            f"link:{tb.wan_link.name}:sw-gmd"
+        ),
+        "wall_s": wall,
+        "flows_per_sec": len(eng.completed) / wall if wall > 0 else 0.0,
+    }
+    for key, value in eng.fct_stats().items():
+        out[f"fct_{key}_s"] = value
+    # The probe sees every event the engine reports (counter/engine drift
+    # would mean a lost telemetry hook).
+    out["probe_consistent"] = int(
+        registry.counter("fluid.flows.completed").value == len(eng.completed)
+        and registry.counter("fluid.resolves").value == eng.resolves
+    )
+    return out
+
+
+@scenario("hybrid_wan")
+def hybrid_wan(spec: ScenarioSpec) -> dict[str, Any]:
+    """Fluid bulk traffic and latency-sensitive packet flows sharing the
+    backbone: the heavy-tailed workload runs on the fluid engine while a
+    ping probe and the D1 video stream stay packet-level, seeing the
+    fluid load as stretched serialization through the background seam.
+
+    ``ping_rtt_inflation`` (loaded RTT over the unloaded reference RTT,
+    ≥ 1) is the quantity the hybrid exists to measure: what bulk load
+    does to interactive latency — the paper's Section-3 concern — at a
+    scale no packet simulation reaches.
+    """
+    from repro.fluid import HybridSimulation
+    from repro.netsim import CbrFlow, PingFlow
+    from repro.util.units import MBYTE
+
+    tb = _testbed(spec)
+    ip = _ip(spec)
+    hyb = HybridSimulation(
+        tb.net,
+        ip=ip,
+        window_bytes=int(spec.get("window_mbytes", 8)) * MBYTE,
+    )
+
+    ping = PingFlow(
+        tb.net,
+        "frontend",
+        "e500-gmd",
+        count=int(spec.get("pings", 40)),
+        interval=0.05,
+        name="ping",
+    )
+    hyb.add_packet_flow(ping)
+    video = None
+    if bool(spec.get("video", True)):
+        video = CbrFlow(
+            tb.net,
+            "onyx2-juelich",
+            "onyx2-gmd",
+            frame_bytes=1_350_000,
+            interval=0.04,
+            n_frames=int(spec.get("frames", 25)),
+            ip=ip,
+            name="d1-video",
+        )
+        hyb.add_packet_flow(video)
+
+    # Unloaded reference: the identical ping on an idle testbed — the
+    # honest denominator for the inflation figure (a characterize_path
+    # RTT would price full segments, not 16-byte probes).
+    ref_tb = _testbed(spec)
+    ref_ping = PingFlow(
+        ref_tb.net,
+        "frontend",
+        "e500-gmd",
+        count=int(spec.get("pings", 40)),
+        interval=0.05,
+        name="ping",
+    )
+    ref_tb.net.env.run()
+    ref_rtt = ref_ping.rtt.mean
+
+    wg = _workload(spec)
+    hyb.offer(wg.schedule())
+    t0 = time.perf_counter()
+    hyb.drain()
+    wall = time.perf_counter() - t0
+
+    eng = hyb.engine
+    out: dict[str, Any] = {
+        "schedule_sha": wg.digest(),
+        "completed": len(eng.completed),
+        "resolves": eng.resolves,
+        "peak_active": eng.peak_active,
+        "peak_background": hyb.peak_background,
+        "ping_rtt_ms": ping.rtt.mean * 1e3,
+        "ping_rtt_inflation": (
+            ping.rtt.mean / ref_rtt if ref_rtt > 0 else 1.0
+        ),
+        "ping_lost": ping.lost,
+        "wall_s": wall,
+    }
+    for key, value in eng.fct_stats().items():
+        out[f"fct_{key}_s"] = value
+    if video is not None:
+        out["video_delivered_mbps"] = video.delivered_rate / 1e6
+        out["video_bad_frames"] = video.frames_late + video.frames_lost
+    return out
+
+
+@scenario("fluid_vs_packet")
+def fluid_vs_packet(spec: ScenarioSpec) -> dict[str, Any]:
+    """The hybrid engine's validity gate: on scales both engines can
+    reach, fluid and packet results must agree.
+
+    Runs 1..n concurrent bulk transfers from distinct sources across
+    the shared GMD attachment twice — packet-level
+    :class:`~repro.netsim.flows.BulkTransfer` and fluid — and reports
+    the worst relative disagreement in per-flow completion time and
+    goodput over the whole grid.  ``within_5pct`` is pinned exactly by
+    the baseline: the CI contract that the fluid approximation stays
+    inside the same 5% envelope the max-min model was validated to in
+    the contention sweep.  Distinct sources matter: same-host flows
+    contend on the sender stack in ways outside the fluid model's
+    validity envelope (see DESIGN — hybrid engine).
+    """
+    from repro.netsim import BulkTransfer
+    from repro.fluid import FluidEngine
+    from repro.util.units import MBYTE
+
+    ip = _ip(spec)
+    mbytes = int(spec.get("mbytes", 16))
+    window = int(spec.get("window_mbytes", 8)) * MBYTE
+    max_flows = int(spec.get("max_flows", 3))
+    sources = ["t3e-600", "t3e-1200", "t90"][:max_flows]
+    dst = str(spec.get("dst", "e500-gmd"))
+
+    fct_err = 0.0
+    gp_err = 0.0
+    for n in range(1, max_flows + 1):
+        tb = _testbed(spec)
+        flows = [
+            BulkTransfer(
+                tb.net,
+                sources[i],
+                dst,
+                mbytes * MBYTE,
+                ip=ip,
+                window_bytes=window,
+                name=f"b{i}",
+            )
+            for i in range(n)
+        ]
+        tb.net.env.run()
+        packet = {
+            f.name: (f.end_time - f.start_time, f.throughput) for f in flows
+        }
+
+        tb2 = _testbed(spec)
+        eng = FluidEngine(tb2.net, ip=ip, window_bytes=window)
+        for i in range(n):
+            eng.schedule_flow(0.0, f"b{i}", sources[i], dst, mbytes * MBYTE)
+        eng.run()
+        fluid = {f.name: (f.fct, f.mean_rate) for f in eng.completed}
+
+        for name, (p_fct, p_gp) in packet.items():
+            f_fct, f_gp = fluid[name]
+            fct_err = max(fct_err, abs(f_fct - p_fct) / p_fct)
+            gp_err = max(gp_err, abs(f_gp - p_gp) / p_gp)
+
+    return {
+        "fct_rel_err_max": fct_err,
+        "goodput_rel_err_max": gp_err,
+        "within_5pct": int(fct_err < 0.05 and gp_err < 0.05),
+        "grid_points": max_flows,
+    }
+
+
 @scenario("demo")
 def demo(spec: ScenarioSpec) -> dict[str, Any]:
     """Synthetic scenario for harness self-tests and docs examples.

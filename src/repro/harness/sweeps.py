@@ -23,7 +23,12 @@ the tolerances its baseline file is written with:
 * ``sharded`` — the :mod:`repro.shard` determinism gate: sharded runs
   (2 and over-requested 4 shards, with loss and outage faults) must be
   bit-identical to their unsharded references, with the barrier/sync
-  counters pinned exactly.
+  counters pinned exactly;
+* ``hybrid`` — the fluid/packet hybrid engine gate: fluid-vs-packet
+  agreement within 5% on the overlap grid (pinned exactly via
+  ``within_5pct``), the workload generator's schedule digest pinned
+  bit-identical, and the heavy-tailed scale scenarios on both
+  backbones with FCT statistics gated.
 
 ``quick=True`` shrinks transfer sizes for CI smoke runs; the grids
 themselves do not change shape, so quick and full baselines share the
@@ -136,6 +141,31 @@ def _fault_recovery(quick: bool) -> list[ScenarioSpec]:
         )
     )
     return specs
+
+
+def _hybrid(quick: bool) -> list[ScenarioSpec]:
+    sessions = 1000 if quick else 10000
+    rate = 40.0 if quick else 90.0
+    return [
+        # The validity gate: fluid-vs-packet agreement on the overlap
+        # grid (1..3 distinct-source bulk flows).  ``within_5pct`` is
+        # pinned exactly.
+        make_spec("fluid_vs_packet", mbytes=16 if quick else 32, max_flows=3),
+        # Pure fluid at scale on both backbones.
+        make_spec(
+            "fluid_wan", sessions=sessions, session_rate=rate, oc48=True
+        ),
+        make_spec(
+            "fluid_wan", sessions=sessions, session_rate=rate, oc48=False
+        ),
+        # The coupled run: heavy-tailed fluid load under live ping + D1.
+        make_spec(
+            "hybrid_wan",
+            sessions=200 if quick else 1000,
+            session_rate=rate,
+            frames=15 if quick else 25,
+        ),
+    ]
 
 
 def _sharded(quick: bool) -> list[ScenarioSpec]:
@@ -263,6 +293,36 @@ SWEEPS: dict[str, Sweep] = {
                 "metrics": {
                     # Wall-clock ratio is machine-dependent noise.
                     "*/speedup_wall": {"rel": 1e9, "abs": 1e9},
+                },
+            },
+        ),
+        Sweep(
+            name="hybrid",
+            description="Fluid/packet hybrid: cross-validation + heavy-tailed scale",
+            build=_hybrid,
+            tolerances={
+                "default": {"rel": 0.05},
+                "metrics": {
+                    # The CI contract: the fluid approximation stays
+                    # inside the validated 5% envelope, and the workload
+                    # generator's schedule is bit-identical everywhere.
+                    "*/within_5pct": {},
+                    "*/schedule_sha": {},
+                    "*/arrived": {},
+                    "*/completed": {},
+                    "*/grid_points": {},
+                    "*/probe_consistent": {},
+                    "*/ping_lost": {"abs": 2},
+                    "*/video_bad_frames": {"abs": 2},
+                    # Solver-trajectory figures can shift slightly with
+                    # float detail; gate drift loosely.
+                    "*/resolves": {"rel": 0.02},
+                    "*/peak_active": {"rel": 0.05},
+                    "*/fct_p99_s": {"rel": 0.10},
+                    "*/fct_max_s": {"rel": 0.10},
+                    # Wall-clock figures are machine-dependent noise.
+                    "*/wall_s": {"rel": 1e9, "abs": 1e9},
+                    "*/flows_per_sec": {"rel": 1e9, "abs": 1e9},
                 },
             },
         ),

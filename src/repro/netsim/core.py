@@ -213,6 +213,11 @@ class Link:
         self.flow_tx_packets: dict[str, dict[str, int]] = {a.name: {}, b.name: {}}
         self.flow_drops: dict[str, dict[str, int]] = {a.name: {}, b.name: {}}
         self.busy_time = {a.name: 0.0, b.name: 0.0}
+        #: Fluid background share per direction (fraction of ``rate``
+        #: consumed by analytically-simulated flows; see repro.fluid).
+        #: Zero keeps the transmitter bit-identical to the seamless link.
+        self.background_share = {a.name: 0.0, b.name: 0.0}
+        self._eff_rate = {a.name: rate, b.name: rate}
         self._tx_begin: dict[str, Optional[float]] = {a.name: None, b.name: None}
         self._fast = env.fast_path
         self._busy = {a.name: False, b.name: False}
@@ -234,6 +239,28 @@ class Link:
         """Scale ``flow``'s DRR share on both directions (default 1.0)."""
         for q in self._queues.values():
             q.set_weight(flow, weight)
+
+    def set_background_load(self, direction: str, share: float) -> None:
+        """Reserve ``share`` of one direction's capacity for fluid flows.
+
+        The seam the hybrid engine (:mod:`repro.fluid.hybrid`) drives:
+        long-lived bulk flows simulated analytically do not enqueue
+        packets here, but the capacity they occupy must still slow the
+        packet-level traffic sharing the link.  Serialization of every
+        subsequent packet runs at ``rate × (1 - share)``; ``share`` is a
+        fraction in ``[0, 1)``.  A zero share restores the exact
+        unloaded transmitter, so packet-only runs stay bit-identical.
+        Already-scheduled serializations are unaffected (piecewise-
+        constant coupling at flow-event granularity).
+        """
+        if not 0.0 <= share < 1.0:
+            raise ValueError(
+                f"background share must be in [0, 1), got {share}"
+            )
+        if direction not in self._eff_rate:
+            raise KeyError(f"{direction} is not an endpoint of {self.name}")
+        self.background_share[direction] = share
+        self._eff_rate[direction] = self.rate * (1.0 - share)
 
     def _drop(
         self, direction: str, reason: str, count: int = 1,
@@ -342,7 +369,7 @@ class Link:
         """Begin serializing ``packet``; completion is a scheduled callback."""
         self._busy[direction] = True
         wire = self._account_tx(direction, packet)
-        serialization = wire * 8 / self.rate
+        serialization = wire * 8 / self._eff_rate[direction]
         self._tx_begin[direction] = self.env.now
         self.env.call_later(
             serialization, self._tx_done, direction, packet, serialization
@@ -374,7 +401,7 @@ class Link:
         while True:
             packet: Packet = yield q.get()
             wire = self._account_tx(sname, packet)
-            serialization = wire * 8 / self.rate
+            serialization = wire * 8 / self._eff_rate[sname]
             self._tx_begin[sname] = self.env.now
             yield self.env.timeout(serialization)
             self.busy_time[sname] += serialization
@@ -680,6 +707,11 @@ class Gateway(Node):
     def __init__(self, env: Environment, name: str, per_packet: float = 120e-6):
         super().__init__(env, name)
         self.per_packet = per_packet
+        #: Fluid background share of the forwarding worker (repro.fluid):
+        #: the fraction of this serial CPU occupied by analytically-
+        #: simulated flows.  Zero keeps forwarding bit-identical.
+        self.background_share = 0.0
+        self._eff_per_packet = per_packet
         self._queue = DrrScheduler(env)
         self.forwarded = 0
         self.up = True
@@ -700,6 +732,22 @@ class Gateway(Node):
             self.flow_drops[flow] = self.flow_drops.get(flow, 0) + count
         if self.probe is not None:
             self.probe.on_drop(self, reason, count, flow)
+
+    def set_background_load(self, share: float) -> None:
+        """Reserve ``share`` of the forwarding worker for fluid flows.
+
+        The gateway-side seam of the hybrid engine: the serial
+        forwarding CPU spends ``share`` of its cycles on analytically-
+        simulated packets, so every packet-level forwarding now takes
+        ``per_packet / (1 - share)``.  Zero restores the exact unloaded
+        worker (packet-only runs stay bit-identical).
+        """
+        if not 0.0 <= share < 1.0:
+            raise ValueError(
+                f"background share must be in [0, 1), got {share}"
+            )
+        self.background_share = share
+        self._eff_per_packet = self.per_packet / (1.0 - share)
 
     def crash(self) -> None:
         """Take the gateway down: flush and black-hole traffic until restart."""
@@ -735,7 +783,7 @@ class Gateway(Node):
     def _start_service(self, packet: Packet) -> None:
         self._busy = True
         if self.per_packet:
-            self.env.call_later(self.per_packet, self._service_done, packet)
+            self.env.call_later(self._eff_per_packet, self._service_done, packet)
         else:
             self._service_done(packet)
 
@@ -757,7 +805,7 @@ class Gateway(Node):
         while True:
             packet = yield self._queue.get()
             if self.per_packet:
-                yield self.env.timeout(self.per_packet)
+                yield self.env.timeout(self._eff_per_packet)
             if not self.up:
                 self._drop("gateway_down", flow=packet.flow)
                 continue

@@ -14,6 +14,7 @@ from __future__ import annotations
 
 import math
 from dataclasses import dataclass, field
+from typing import Any, Mapping
 
 from repro.netsim.core import Gateway, Network
 from repro.netsim.ip import ClassicalIP
@@ -173,6 +174,96 @@ class FlowDemand:
     rate: float = float("inf")  #: fixed offered-rate cap, bit/s of payload
 
 
+def max_min_rates(
+    costs: Mapping[str, Mapping[str, float]],
+    caps: Mapping[str, float],
+    counts: Mapping[str, int] | None = None,
+) -> dict[str, float]:
+    """Water-fill max-min rates from precomputed per-bit resource costs.
+
+    ``costs`` maps each demand name to ``{resource: seconds per bit}``;
+    ``caps`` bounds each demand's own rate (``inf`` for uncapped).
+    ``counts`` optionally aggregates *classes* of identical demands: a
+    class with count ``m`` occupies ``m × rate × cost`` of each resource
+    and the returned rate is the per-member rate.  Aggregation is exact
+    for max-min fairness — members of a class face identical constraints,
+    so progressive filling raises them in lockstep — and is what lets
+    the fluid engine (:mod:`repro.fluid`) re-solve thousands of
+    concurrent flows as a handful of path classes.
+
+    This is the solver core of :func:`fair_share_throughputs`, exposed
+    separately so event-driven callers can cache the expensive
+    path-characterization step and re-solve on every flow event.
+    """
+    n_of = counts or {}
+    rates = {name: 0.0 for name in costs}
+    live = set(costs)
+    while live:
+        # Tightest constraint over live flows: resource slack shared by
+        # everyone using it, or a live flow's distance to its own cap.
+        delta = float("inf")
+        live_resources = {r for n in live for r in costs[n]}
+        for r in live_resources:
+            load = sum(
+                n_of.get(n, 1) * rates[n] * c[r]
+                for n, c in costs.items()
+                if r in c
+            )
+            demand = sum(
+                n_of.get(n, 1) * costs[n][r] for n in live if r in costs[n]
+            )
+            if demand > 0:  # zero-cost resources constrain nothing
+                delta = min(delta, max(0.0, 1.0 - load) / demand)
+        for n in live:
+            delta = min(delta, caps[n] - rates[n])
+        if delta == float("inf"):
+            # No finite constraint left (free paths, uncapped flows).
+            for n in live:
+                rates[n] = float("inf")
+            break
+        for n in live:
+            rates[n] += delta
+        saturated = set()
+        for r in live_resources:
+            load = sum(
+                n_of.get(n, 1) * rates[n] * c[r]
+                for n, c in costs.items()
+                if r in c
+            )
+            if load >= 1.0 - 1e-9:
+                saturated.add(r)
+        frozen = {
+            n
+            for n in live
+            if (
+                caps[n] != float("inf")
+                and rates[n] >= caps[n] - 1e-9 * max(1.0, caps[n])
+            )
+            or any(r in saturated for r in costs[n])
+        }
+        if not frozen:  # numerical stall guard: never loop forever
+            break
+        live -= frozen
+    return rates
+
+
+def demand_cap(flow: Any, char: PathCharacterization) -> float:
+    """The flow's own rate ceiling, duck-typed off the flow object:
+    a fixed offered rate (``rate``), a CBR frame cadence, a ping probe
+    cadence, or the TCP window limit ``W·8/RTT``."""
+    cap = float(getattr(flow, "rate", float("inf")))
+    frame_bytes = getattr(flow, "frame_bytes", None)
+    if frame_bytes is not None:  # CbrFlow: fixed frame cadence
+        cap = min(cap, frame_bytes * 8 / flow.interval)
+    payload = getattr(flow, "payload", None)
+    if payload is not None:  # PingFlow: tiny probes on a timer
+        cap = min(cap, payload * 8 / flow.interval)
+    window = getattr(flow, "window_bytes", float("inf"))
+    if window != float("inf") and char.rtt > 0:
+        cap = min(cap, window * 8 / char.rtt)
+    return cap
+
+
 def fair_share_throughputs(
     net: Network, flows, ip: ClassicalIP | None = None
 ) -> dict[str, float]:
@@ -205,57 +296,8 @@ def fair_share_throughputs(
         char = characterize_path(net, flow.src, flow.dst, flow_ip)
         bits = char.mss * 8
         costs[name] = {r: t / bits for r, t in char.resources.items()}
-        cap = float(getattr(flow, "rate", float("inf")))
-        frame_bytes = getattr(flow, "frame_bytes", None)
-        if frame_bytes is not None:  # CbrFlow: fixed frame cadence
-            cap = min(cap, frame_bytes * 8 / flow.interval)
-        payload = getattr(flow, "payload", None)
-        if payload is not None:  # PingFlow: tiny probes on a timer
-            cap = min(cap, payload * 8 / flow.interval)
-        window = getattr(flow, "window_bytes", float("inf"))
-        if window != float("inf") and char.rtt > 0:
-            cap = min(cap, window * 8 / char.rtt)
-        caps[name] = cap
-
-    rates = {name: 0.0 for name in costs}
-    live = set(costs)
-    while live:
-        # Tightest constraint over live flows: resource slack shared by
-        # everyone using it, or a live flow's distance to its own cap.
-        delta = float("inf")
-        live_resources = {r for n in live for r in costs[n]}
-        for r in live_resources:
-            load = sum(rates[n] * c[r] for n, c in costs.items() if r in c)
-            demand = sum(costs[n][r] for n in live if r in costs[n])
-            if demand > 0:  # zero-cost resources constrain nothing
-                delta = min(delta, max(0.0, 1.0 - load) / demand)
-        for n in live:
-            delta = min(delta, caps[n] - rates[n])
-        if delta == float("inf"):
-            # No finite constraint left (free paths, uncapped flows).
-            for n in live:
-                rates[n] = float("inf")
-            break
-        for n in live:
-            rates[n] += delta
-        saturated = set()
-        for r in live_resources:
-            load = sum(rates[n] * c[r] for n, c in costs.items() if r in c)
-            if load >= 1.0 - 1e-9:
-                saturated.add(r)
-        frozen = {
-            n
-            for n in live
-            if (
-                caps[n] != float("inf")
-                and rates[n] >= caps[n] - 1e-9 * max(1.0, caps[n])
-            )
-            or any(r in saturated for r in costs[n])
-        }
-        if not frozen:  # numerical stall guard: never loop forever
-            break
-        live -= frozen
-    return rates
+        caps[name] = demand_cap(flow, char)
+    return max_min_rates(costs, caps)
 
 
 @dataclass(frozen=True)

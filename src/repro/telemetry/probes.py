@@ -451,6 +451,50 @@ def instrument_rt_client(client, registry: MetricsRegistry):
     return client.probe
 
 
+# -- repro.fluid -------------------------------------------------------------
+
+class FluidProbe:
+    """Hook target for a :class:`~repro.fluid.engine.FluidEngine`.
+
+    Arrival/completion/re-solve are already *rare* events at fluid
+    granularity (thousands per run, not millions), so unlike the packet
+    probes every hook can afford real work: the FCT histogram is
+    observed per completion, the gauges track the live engine state.
+    """
+
+    __slots__ = ("arrivals", "completions", "resolves", "fct", "active", "rate")
+
+    def __init__(self, registry: MetricsRegistry):
+        self.arrivals = registry.counter("fluid.flows.arrived")
+        self.completions = registry.counter("fluid.flows.completed")
+        self.resolves = registry.counter("fluid.resolves")
+        self.fct = registry.histogram("fluid.fct_seconds")
+        self.active = registry.gauge("fluid.flows.active")
+        self.rate = registry.gauge("fluid.completed.mean_rate_bps")
+
+    def on_arrival(self, engine, name: str) -> None:
+        self.arrivals.inc()
+        self.active.set(engine.active)
+
+    def on_complete(self, engine, done) -> None:
+        self.completions.inc()
+        self.fct.observe(done.fct)
+        self.rate.set(done.mean_rate)
+        self.active.set(engine.active)
+
+    def on_resolve(self, engine) -> None:
+        self.resolves.inc()
+
+
+def instrument_fluid(engine, registry: MetricsRegistry):
+    """Attach a :class:`FluidProbe` to a fluid engine (no-op when the
+    registry is disabled — the engine's hooks stay single-branch)."""
+    if not registry.enabled:
+        return None
+    engine.probe = FluidProbe(registry)
+    return engine.probe
+
+
 # -- repro.shard -------------------------------------------------------------
 
 def instrument_shard_run(result, registry: MetricsRegistry):
