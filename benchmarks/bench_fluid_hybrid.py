@@ -23,8 +23,10 @@ import pytest
 
 from repro.fluid import BoundedPareto, FluidEngine, WorkloadGenerator
 from repro.harness import SweepRunner, check_sweep, open_cache, sweep_specs
-from repro.netsim import ClassicalIP, build_testbed
+from repro.netsim import CbrFlow, ClassicalIP, PingFlow, build_testbed
+from repro.netsim.core import packet_pool
 from repro.netsim.ip import TESTBED_MTU
+from repro.util import git_short_sha
 
 QUICK = bool(os.environ.get("REPRO_BENCH_QUICK"))
 MODE = "quick" if QUICK else "full"
@@ -48,7 +50,12 @@ PAIRS = [
 def _append_trend(row: dict) -> None:
     """Append one measurement to the shared throughput-trend JSONL."""
     os.makedirs(os.path.dirname(TREND_PATH), exist_ok=True)
-    row = {"ts": round(time.time(), 3), "bench_mode": MODE, **row}
+    row = {
+        "ts": round(time.time(), 3),
+        "sha": git_short_sha(),
+        "bench_mode": MODE,
+        **row,
+    }
     with open(TREND_PATH, "a", encoding="utf-8") as fh:
         fh.write(json.dumps(row, sort_keys=True) + "\n")
 
@@ -119,6 +126,78 @@ def test_fluid_flows_per_sec_report(report):
     assert wall < WALL_BUDGET_S, (
         f"{N_SESSIONS} sessions took {wall:.1f}s wall (budget {WALL_BUDGET_S}s)"
     )
+
+
+def test_arena_reuse_report(report):
+    """Arena payoff on the packet side of the hybrid: a CBR/ping flow
+    mix where both free-list arenas (Packet objects and kernel heap
+    entries) run at steady state.  Reports the allocation reduction."""
+    tb = build_testbed()
+    env = tb.env
+    allocs0, reuses0 = packet_pool.allocs, packet_pool.reuses
+    flows = [
+        CbrFlow(
+            tb.net,
+            "sp2",
+            "t3e-600",
+            frame_bytes=64 * 1024,
+            interval=2e-3,
+            n_frames=200,
+            ip=ClassicalIP(TESTBED_MTU),
+            name="arena-cbr-fwd",
+            drain_timeout=1.0,
+        ),
+        CbrFlow(
+            tb.net,
+            "t3e-1200",
+            "e500-gmd",
+            frame_bytes=64 * 1024,
+            interval=2e-3,
+            n_frames=200,
+            ip=ClassicalIP(TESTBED_MTU),
+            name="arena-cbr-rev",
+            drain_timeout=1.0,
+        ),
+        PingFlow(tb.net, "t90", "onyx2-gmd", count=400, interval=1e-3),
+    ]
+    t0 = time.perf_counter()
+    env.run(until=env.all_of([f.done for f in flows]))
+    wall = time.perf_counter() - t0
+    pkt_allocs = packet_pool.allocs - allocs0
+    pkt_reuses = packet_pool.reuses - reuses0
+    pkt_total = pkt_allocs + pkt_reuses
+    entry_total = env.scheduled_count
+    entry_reuses = entry_total - env.pool_allocs
+    rows = [
+        f"{'packet acquires':<28} {pkt_total:>12,d}",
+        f"{'  constructed':<28} {pkt_allocs:>12,d}",
+        f"{'  recycled':<28} {pkt_reuses:>12,d} "
+        f"({pkt_reuses / pkt_total:.0%})" if pkt_total else "",
+        f"{'heap entries scheduled':<28} {entry_total:>12,d}",
+        f"{'  allocated':<28} {env.pool_allocs:>12,d}",
+        f"{'  recycled':<28} {entry_reuses:>12,d} "
+        f"({entry_reuses / entry_total:.0%})" if entry_total else "",
+        f"{'wall clock':<28} {wall:>11.2f}s",
+    ]
+    report.add(
+        "E-fluid-c: arena reuse, packet-side flow mix", "\n".join(rows)
+    )
+    _append_trend(
+        {
+            "bench": "arena_reuse",
+            "packet_acquires": pkt_total,
+            "packet_allocs": pkt_allocs,
+            "packet_reuses": pkt_reuses,
+            "entry_scheduled": entry_total,
+            "entry_allocs": env.pool_allocs,
+            "wall_s": round(wall, 4),
+        }
+    )
+
+    # The arenas must actually absorb the steady-state churn: most
+    # packets and heap entries come back recycled, not freshly built.
+    assert pkt_total > 0 and pkt_reuses > pkt_allocs
+    assert entry_reuses > env.pool_allocs
 
 
 def test_fluid_run_is_deterministic(report):

@@ -35,6 +35,7 @@ from repro.netsim import BulkTransfer, ClassicalIP, build_testbed
 from repro.netsim.ip import TESTBED_MTU
 from repro.shard import run_workload
 from repro.sim import Environment
+from repro.util import git_short_sha
 
 QUICK = bool(os.environ.get("REPRO_BENCH_QUICK"))
 MODE = "quick" if QUICK else "full"
@@ -60,7 +61,12 @@ SHARD_PARAMS = {
 def _append_trend(row: dict) -> None:
     """Append one measurement to the pkts/s trend JSONL."""
     os.makedirs(os.path.dirname(TREND_PATH), exist_ok=True)
-    row = {"ts": round(time.time(), 3), "bench_mode": MODE, **row}
+    row = {
+        "ts": round(time.time(), 3),
+        "sha": git_short_sha(),
+        "bench_mode": MODE,
+        **row,
+    }
     with open(TREND_PATH, "a", encoding="utf-8") as fh:
         fh.write(json.dumps(row, sort_keys=True) + "\n")
 

@@ -36,6 +36,12 @@ def build_parser() -> argparse.ArgumentParser:
     )
     parser.add_argument("--list", action="store_true", help="list sweeps and exit")
     parser.add_argument(
+        "--profile",
+        action="store_true",
+        help="run ONE scenario (the first of the selected sweep) inline "
+        "under cProfile and print the top-25 cumulative functions",
+    )
+    parser.add_argument(
         "--quick", action="store_true", help="CI-sized transfers and grids"
     )
     parser.add_argument(
@@ -170,6 +176,40 @@ def run_sharded(args) -> int:
     return 2
 
 
+def run_profile(args) -> int:
+    """The ``--profile`` path: one scenario, inline, under cProfile.
+
+    Profiles the first scenario of the selected sweep (``--sweep`` to
+    choose, ``--quick`` for the CI-sized variant) in this process — no
+    pool, no cache — so the profile shows the simulator's own hot path,
+    and prints the top 25 functions by cumulative time.  Perf work
+    starts from this data, not from guesses.
+    """
+    import cProfile
+    import pstats
+
+    from repro.harness.registry import get_scenario
+
+    name = (args.sweeps or sorted(SWEEPS))[0]
+    specs = get_sweep(name).specs(args.quick)
+    if not specs:
+        print(f"sweep {name} has no scenarios")
+        return 1
+    spec = specs[0]
+    fn = get_scenario(spec.scenario)
+    print(f"profiling sweep {name}, scenario {spec.label()}")
+    profiler = cProfile.Profile()
+    profiler.enable()
+    metrics = dict(fn(spec))
+    profiler.disable()
+    for key in sorted(metrics):
+        value = metrics[key]
+        shown = f"{value:.6g}" if isinstance(value, float) else value
+        print(f"  {key} = {shown}")
+    pstats.Stats(profiler).sort_stats("cumulative").print_stats(25)
+    return 0
+
+
 def write_junit_xml(path: str, reports, results) -> None:
     """Write the regression-gate verdicts as JUnit XML.
 
@@ -267,6 +307,9 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
 
     if args.workload:
         return run_sharded(args)
+
+    if args.profile:
+        return run_profile(args)
 
     if args.list:
         for name in sorted(SWEEPS):

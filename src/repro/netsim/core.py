@@ -18,6 +18,7 @@ from __future__ import annotations
 
 import itertools
 import random
+from bisect import bisect_right
 from collections import deque
 from dataclasses import dataclass, field
 from typing import Any, Callable, Optional
@@ -25,10 +26,16 @@ from typing import Any, Callable, Optional
 from repro.netsim.atm import aal5_wire_bytes
 from repro.netsim.hippi import hippi_wire_bytes
 from repro.netsim.ip import LLC_SNAP_HEADER
-from repro.netsim.sched import DrrScheduler
+from repro.netsim.sched import DrrScheduler, replay_deficit
 from repro.sim import Environment, Store
 
 _packet_ids = itertools.count()
+
+#: Upper bound on packets a lazy transmitter pre-commits per heap pop
+#: when one flow holds a link direction's whole backlog (see
+#: :meth:`Link._lazy_batch`).  Bounded so a mid-burst fault or a
+#: competing flow only ever has to unwind a handful of decisions.
+LINK_BATCH = 8
 
 
 def _count_by_flow(packets) -> dict[str, int]:
@@ -60,6 +67,87 @@ class Packet:
     meta: dict = field(default_factory=dict)
     uid: int = field(default_factory=lambda: next(_packet_ids))
     hops: int = 0
+    #: True while the packet is owned by a :class:`PacketPool` cycle;
+    #: the delivering host returns it to the pool after the sink runs.
+    pooled: bool = False
+
+
+class PacketPool:
+    """Arena-style reuse of :class:`Packet` objects.
+
+    High-rate sources (CBR video frames, ping trains — thousands of
+    flows in the hybrid runs) acquire packets here instead of
+    constructing them; the delivering :class:`Host` returns each packet
+    to the pool after its sink callback finishes, because the canonical
+    consumers (flow sinks, delivery recording) copy scalars out and
+    never retain the object.  Dropped or lost packets simply fall to the
+    garbage collector — only clean deliveries recycle.
+
+    Every acquire resets all fields and assigns a *fresh* ``uid``, so a
+    recycled object is indistinguishable from a newly constructed one.
+    ``allocs``/``reuses`` quantify the allocation pressure saved (the
+    hybrid benchmark reports them).
+    """
+
+    __slots__ = ("_free", "limit", "allocs", "reuses")
+
+    def __init__(self, limit: int = 4096):
+        self._free: list[Packet] = []
+        self.limit = limit
+        self.allocs = 0
+        self.reuses = 0
+
+    def acquire(
+        self,
+        flow: str,
+        src: str,
+        dst: str,
+        ip_bytes: int,
+        payload_bytes: int,
+        kind: str = "data",
+        seq: int = 0,
+    ) -> Packet:
+        """A packet with the given header fields, recycled if possible."""
+        free = self._free
+        if free:
+            self.reuses += 1
+            p = free.pop()
+            p.flow = flow
+            p.src = src
+            p.dst = dst
+            p.ip_bytes = ip_bytes
+            p.payload_bytes = payload_bytes
+            p.kind = kind
+            p.seq = seq
+            p.created = 0.0
+            if p.meta:
+                p.meta.clear()
+            p.uid = next(_packet_ids)
+            p.hops = 0
+            p.pooled = True
+            return p
+        self.allocs += 1
+        return Packet(
+            flow=flow,
+            src=src,
+            dst=dst,
+            ip_bytes=ip_bytes,
+            payload_bytes=payload_bytes,
+            kind=kind,
+            seq=seq,
+            pooled=True,
+        )
+
+    def release(self, packet: Packet) -> None:
+        """Return a delivered packet to the arena (host-side seam)."""
+        packet.pooled = False
+        if len(self._free) < self.limit:
+            self._free.append(packet)
+
+
+#: The shared arena used by pool-aware flows (one per process is fine:
+#: acquire/release only ever run inside the simulation loop).
+packet_pool = PacketPool()
 
 
 class Framing:
@@ -126,6 +214,98 @@ class PlainFraming(Framing):
         return ip_bytes + self.overhead
 
 
+class _LinkBatch:
+    """Bookkeeping for one pre-committed burst of serializations.
+
+    Everything the unwind paths need to reconstruct the exact unbatched
+    state at any instant: the DRR snapshot (``d0``/``quantum``/
+    ``weight``), per-member service ``starts``/``tdones``/``sers``
+    (serialization seconds, for busy-time refolds) and the pre-batch
+    busy-time ``b0``.
+    """
+
+    __slots__ = (
+        "flow", "d0", "quantum", "weight",
+        "starts", "tdones", "packets", "costs", "sers", "b0", "entries",
+    )
+
+    def __init__(self, flow, d0, quantum, weight, starts, tdones,
+                 packets, costs, sers, b0, entries):
+        self.flow = flow
+        self.d0 = d0
+        self.quantum = quantum
+        self.weight = weight
+        self.starts = starts
+        self.tdones = tdones
+        self.packets = packets
+        self.costs = costs
+        self.sers = sers
+        self.b0 = b0
+        #: live heap entries of the members' pre-scheduled arrivals, in
+        #: member order — unwinding cancels the unserved tail in place
+        self.entries = entries
+
+    def unstarted(self, now: float) -> int:
+        """Members whose service has not begun by ``now`` — still
+        'waiting' for the purposes of the transmit-queue bound."""
+        return len(self.starts) - bisect_right(self.starts, now)
+
+
+class _DirState:
+    """Hot per-direction transmitter state: one dict lookup, then slots.
+
+    The transmit path used to consult a dozen separate per-direction
+    dicts keyed by the sending node's name; at hundreds of kilopackets
+    per second those string-keyed lookups dominated the per-packet
+    budget.  Everything private to one direction of the transmitter now
+    lives on this slotted record, fetched once per operation.  The hot
+    transmit counters live here too; the Link exposes them through
+    read-time dict views (``tx_bytes``, ``busy_time``, …) so tests and
+    telemetry keep their per-direction-dict surface.
+    """
+
+    __slots__ = (
+        "q",          # DrrScheduler (same object as Link._queues[d])
+        "dst",        # far Node of this direction
+        "fold",       # far switch latency folded into arrivals, or None
+        "eff",        # effective serialization rate (background load)
+        "ws",         # ip_bytes -> (wire_bytes, serialization_s) memo
+        "bu",         # busy_until: end of the last committed serialization
+        "busy",       # classic-form busy flag
+        "tx_begin",   # classic-form serialization start (or None)
+        "inflight",   # (t_done, packet, heap entry) | None  (lazy form)
+        "batch",      # active _LinkBatch | None
+        "armed",      # resume entry armed at bu
+        "resume",     # the armed resume heap entry (for cancellation)
+        "classic",    # direction forced onto the completion-event form
+        "txb",        # transmitted wire bytes (Link.tx_bytes view)
+        "txp",        # transmitted packets (Link.tx_packets view)
+        "fb",         # per-flow wire bytes (Link.flow_tx_bytes view)
+        "fp",         # per-flow packets (Link.flow_tx_packets view)
+        "bt",         # serialization-busy seconds (Link.busy_time view)
+    )
+
+    def __init__(self, q: DrrScheduler, dst: "Node", fold, rate: float):
+        self.q = q
+        self.dst = dst
+        self.fold = fold
+        self.eff = rate
+        self.ws: dict[int, tuple] = {}
+        self.bu = 0.0
+        self.busy = False
+        self.tx_begin: Optional[float] = None
+        self.inflight: Optional[tuple] = None
+        self.batch: Optional[_LinkBatch] = None
+        self.armed = False
+        self.resume: Optional[list] = None
+        self.classic = False
+        self.txb = 0
+        self.txp = 0
+        self.fb: dict[str, int] = {}
+        self.fp: dict[str, int] = {}
+        self.bt = 0.0
+
+
 class Link:
     """A full-duplex point-to-point link between two nodes.
 
@@ -164,6 +344,12 @@ class Link:
     drop and state-change events.  Uninstrumented links pay one ``is
     None`` branch per event and nothing else.
     """
+
+    #: Class-level opt-out of the lazy pre-scheduled-arrival transmitter.
+    #: Subclasses that override :meth:`_emit` as a capture seam (the
+    #: sharded runner's cut links) set this False so every packet still
+    #: funnels through ``_emit`` at serialization end.
+    _lazy_ok = True
 
     def __init__(
         self,
@@ -206,21 +392,35 @@ class Link:
             a.name: None,
             b.name: None,
         }
-        self.tx_bytes = {a.name: 0, b.name: 0}
-        self.tx_packets = {a.name: 0, b.name: 0}
-        #: per-direction, per-flow accounting (flow name -> tally)
-        self.flow_tx_bytes: dict[str, dict[str, int]] = {a.name: {}, b.name: {}}
-        self.flow_tx_packets: dict[str, dict[str, int]] = {a.name: {}, b.name: {}}
+        #: per-direction, per-flow drop tallies (flow name -> count);
+        #: transmit counters live on the per-direction state records and
+        #: surface through the dict-view properties below.
         self.flow_drops: dict[str, dict[str, int]] = {a.name: {}, b.name: {}}
-        self.busy_time = {a.name: 0.0, b.name: 0.0}
         #: Fluid background share per direction (fraction of ``rate``
         #: consumed by analytically-simulated flows; see repro.fluid).
         #: Zero keeps the transmitter bit-identical to the seamless link.
         self.background_share = {a.name: 0.0, b.name: 0.0}
-        self._eff_rate = {a.name: rate, b.name: rate}
-        self._tx_begin: dict[str, Optional[float]] = {a.name: None, b.name: None}
         self._fast = env.fast_path
-        self._busy = {a.name: False, b.name: False}
+        # -- per-direction transmitter state -------------------------------
+        # One slotted record per direction holds everything private: the
+        # classic completion-event machine's flags, and the lazy form's
+        # pre-scheduled-arrival state.  The lazy form schedules ONE heap
+        # entry per packet — the arrival at the far node — directly at
+        # serialization start; faults invalidate a pre-scheduled arrival
+        # by cancelling its heap entry in place (Environment.cancel).
+        # ``fold``: when the far node is a plain Switch with nonzero
+        # latency, the arrival entry targets its forward() directly at
+        # arrival + latency — one heap entry fewer per hop.
+        self._dir: dict[str, _DirState] = {}
+        for me, far in ((a, b), (b, a)):
+            fold = (
+                far.latency
+                if type(far) is Switch and far.latency > 0.0
+                else None
+            )
+            self._dir[me.name] = _DirState(
+                self._queues[me.name], far, fold, rate
+            )
         if not self._fast:
             env.process(self._transmitter(a, b))
             env.process(self._transmitter(b, a))
@@ -235,10 +435,54 @@ class Link:
         """Framed wire bytes of ``packet`` — the DRR service cost."""
         return self.framing.wire(packet.ip_bytes)
 
+    # -- public counter views ----------------------------------------------
+    # The transmit path updates slotted per-direction records; these
+    # read-time views keep the historical {direction: value} surface for
+    # tests, telemetry probes and the terminal exporter.  Reads are cold
+    # (sampling cadence), writes are per-packet — so the dict is built on
+    # read, not maintained on write.
+
+    @property
+    def tx_bytes(self) -> dict[str, int]:
+        """Transmitted wire bytes per direction."""
+        return {d: st.txb for d, st in self._dir.items()}
+
+    @property
+    def tx_packets(self) -> dict[str, int]:
+        """Transmitted packets per direction."""
+        return {d: st.txp for d, st in self._dir.items()}
+
+    @property
+    def flow_tx_bytes(self) -> dict[str, dict[str, int]]:
+        """Per-direction, per-flow transmitted wire bytes."""
+        return {d: st.fb for d, st in self._dir.items()}
+
+    @property
+    def flow_tx_packets(self) -> dict[str, dict[str, int]]:
+        """Per-direction, per-flow transmitted packets."""
+        return {d: st.fp for d, st in self._dir.items()}
+
+    @property
+    def busy_time(self) -> dict[str, float]:
+        """Serialization-busy seconds per direction (raw tally; use
+        :meth:`busy_seconds` for the form-independent elapsed figure)."""
+        return {d: st.bt for d, st in self._dir.items()}
+
     def set_flow_weight(self, flow: str, weight: float) -> None:
         """Scale ``flow``'s DRR share on both directions (default 1.0)."""
+        rearm = []
+        if self._fast and self._lazy_ok:
+            # A batch pre-committed DRR decisions under the old weight;
+            # unwind the unserved tail so it re-queues and is re-decided
+            # under the new weight, exactly as the unbatched fold would.
+            for d, st in self._dir.items():
+                if not st.classic and st.batch is not None:
+                    self._lazy_interrupt(d, st)
+                    rearm.append((d, st))
         for q in self._queues.values():
             q.set_weight(flow, weight)
+        for d, st in rearm:
+            self._lazy_rearm(d, st, service=True)
 
     def set_background_load(self, direction: str, share: float) -> None:
         """Reserve ``share`` of one direction's capacity for fluid flows.
@@ -257,10 +501,28 @@ class Link:
             raise ValueError(
                 f"background share must be in [0, 1), got {share}"
             )
-        if direction not in self._eff_rate:
+        st = self._dir.get(direction)
+        if st is None:
             raise KeyError(f"{direction} is not an endpoint of {self.name}")
+        needs_rearm = False
+        if (
+            self._fast
+            and self._lazy_ok
+            and not st.classic
+            and st.batch is not None
+        ):
+            # Batched members not yet serializing were pre-timed at the
+            # old effective rate; unwind them so they restart under the
+            # new rate.  A single in-service packet keeps its scheduled
+            # completion — already-started serializations are unaffected
+            # by the piecewise-constant coupling, exactly as classic.
+            self._lazy_interrupt(direction, st)
+            needs_rearm = True
         self.background_share[direction] = share
-        self._eff_rate[direction] = self.rate * (1.0 - share)
+        st.eff = self.rate * (1.0 - share)
+        st.ws.clear()  # serialization memo was computed at the old rate
+        if needs_rearm:
+            self._lazy_rearm(direction, st, service=True)
 
     def _drop(
         self, direction: str, reason: str, count: int = 1,
@@ -290,15 +552,96 @@ class Link:
         if not self.up:
             self._drop(direction, "link_down", flow=packet.flow)
             return
-        q = self._queues[direction]
-        if self._fast and not self._busy[direction]:
-            # Idle transmitter: start serializing right now — no queue
-            # residency, no DRR state touched (parity with the slow
-            # path's direct hand-off to a blocked getter).
+        st = self._dir[direction]
+        if self._fast and self._lazy_ok and not st.classic:
+            env = self.env
+            now = env._now
+            q = st.q
+            if st.bu <= now and not st.busy and not q._total:
+                # Idle transmitter: start serializing right now — no
+                # queue residency, no DRR state touched (parity with the
+                # slow path's direct hand-off to a blocked getter).
+                # The whole of _lazy_start is inlined here because this
+                # lane carries nearly every packet of an unsaturated run.
+                b = st.batch
+                if b is not None:
+                    # Fully-served batch whose commit entry has not fired
+                    # yet (same-instant tie): settle its books first.
+                    st.batch = None
+                    if st.armed:
+                        env.cancel(st.resume)
+                        st.armed = False
+                        st.resume = None
+                    q.commit_claim(b.flow)
+                ip = packet.ip_bytes
+                ws = st.ws.get(ip)
+                if ws is None:
+                    wire = self.framing.wire(ip)
+                    s = wire * 8 / st.eff
+                    st.ws[ip] = (wire, s)
+                else:
+                    wire = ws[0]
+                    s = ws[1]
+                st.txb += wire
+                st.txp += 1
+                flow = packet.flow
+                per = st.fb
+                per[flow] = per.get(flow, 0) + wire
+                per = st.fp
+                per[flow] = per.get(flow, 0) + 1
+                t_done = now + s
+                st.bt += s
+                st.bu = t_done
+                fold = st.fold
+                if fold is None:
+                    entry = env.call_at(
+                        t_done + self.propagation, self._arrive, st.dst, packet
+                    )
+                else:
+                    entry = env.call_at(
+                        t_done + self.propagation + fold,
+                        self._sw_arrive, st.dst, packet,
+                    )
+                st.inflight = (t_done, packet, entry)
+                return
+            b = st.batch
+            if b is not None and (
+                packet.flow != b.flow
+                or self.framing.wire(packet.ip_bytes) > b.quantum
+                or (b.starts[-1] <= now and not q.depth(b.flow))
+            ):
+                # The arrival invalidates the burst's pre-committed DRR
+                # decisions (competing flow, quantum growth, or a refill
+                # after the flow logically left the round): unwind the
+                # unserved tail before letting the packet in.
+                self._lazy_unwind(direction, st)
+                b = None
+            # The queue bound counts waiting packets only — including
+            # claimed batch members whose service has not begun.
+            waiting = q._total if b is None else q._total + b.unstarted(now)
+            if waiting >= self.queue_packets:
+                self._drop(direction, "queue_full", flow=packet.flow)
+                return
+            q.put_nowait(packet)
+            if not st.armed and not st.busy:
+                bu = st.bu
+                if bu > now:
+                    st.armed = True
+                    st.resume = env.call_at(
+                        bu, self._lazy_resume_cb, direction, st
+                    )
+                else:
+                    # Service-boundary tie with a cancelled resume:
+                    # make the dequeue decision right here.
+                    self._lazy_service(direction, st)
+            return
+        if self._fast and not st.busy:
+            # Classic fast form (wire loss armed, or a shard cut link).
             self._start_tx(direction, packet)
             return
         # The queue bound counts waiting packets only; the in-service
         # packet left the queue when its serialization began (both paths).
+        q = st.q
         if len(q) >= self.queue_packets:
             self._drop(direction, "queue_full", flow=packet.flow)
             return
@@ -310,6 +653,24 @@ class Link:
             return
         self.up = up
         if not up:
+            if self._fast and self._lazy_ok:
+                # Convert each direction's lazy in-flight packet (if any)
+                # to a completion-time judgement — it will be lost as
+                # ``tx_link_down`` at its t_done, like the classic form —
+                # and unwind batches so their unserved tail is back in
+                # the queue before the flush below counts it.
+                for d, st in self._dir.items():
+                    if st.classic:
+                        continue
+                    rec = self._lazy_interrupt(d, st)
+                    if rec is not None:
+                        t_done, packet, entry = rec
+                        self.env.cancel(entry)
+                        st.inflight = None
+                        st.busy = True
+                        self.env.call_at(
+                            t_done, self._finish_interrupted, d, packet
+                        )
             for direction, q in self._queues.items():
                 for flow, count in _count_by_flow(q.clear()).items():
                     self._drop(direction, "link_down", count, flow=flow)
@@ -351,33 +712,46 @@ class Link:
             elif self._loss_rngs[d] is None and rate > 0.0:
                 self._loss_rngs[d] = random.Random(0)
             self.loss_rate[d] = rate
+            if self._fast and self._lazy_ok:
+                # Random wire loss must draw its RNG at serialization
+                # *end*, so a lossy direction runs the classic
+                # completion-event form.  Turning loss on mid-flight
+                # converts the lazy in-service packet to a completion-
+                # time judgement (its pre-scheduled arrival is killed).
+                st = self._dir[d]
+                was_classic = st.classic
+                st.classic = rate > 0.0
+                if st.classic and not was_classic:
+                    self._convert_inflight(d)
 
-    def _account_tx(self, direction: str, packet: Packet) -> int:
+    def _account_tx(self, st: "_DirState", packet: Packet) -> int:
         """Tally one transmission (aggregate and per flow); wire bytes."""
         wire = self.framing.wire(packet.ip_bytes)
-        self.tx_bytes[direction] += wire
-        self.tx_packets[direction] += 1
+        st.txb += wire
+        st.txp += 1
         flow = packet.flow
-        per_flow = self.flow_tx_bytes[direction]
+        per_flow = st.fb
         per_flow[flow] = per_flow.get(flow, 0) + wire
-        per_flow = self.flow_tx_packets[direction]
+        per_flow = st.fp
         per_flow[flow] = per_flow.get(flow, 0) + 1
         return wire
 
     # -- fast path: callback-driven transmit state machine -----------------
     def _start_tx(self, direction: str, packet: Packet) -> None:
         """Begin serializing ``packet``; completion is a scheduled callback."""
-        self._busy[direction] = True
-        wire = self._account_tx(direction, packet)
-        serialization = wire * 8 / self._eff_rate[direction]
-        self._tx_begin[direction] = self.env.now
+        st = self._dir[direction]
+        st.busy = True
+        wire = self._account_tx(st, packet)
+        serialization = wire * 8 / st.eff
+        st.tx_begin = self.env.now
         self.env.call_later(
             serialization, self._tx_done, direction, packet, serialization
         )
 
     def _tx_done(self, direction: str, packet: Packet, serialization: float) -> None:
-        self.busy_time[direction] += serialization
-        self._tx_begin[direction] = None
+        st = self._dir[direction]
+        st.bt += serialization
+        st.tx_begin = None
         if not self.up:
             self._lose(direction, "tx_link_down", packet.flow)
         else:
@@ -388,24 +762,279 @@ class Link:
             else:
                 dst = self.b if direction == self.a.name else self.a
                 self._emit(dst, packet)
-        waiting = self._queues[direction]
-        if len(waiting):
-            self._start_tx(direction, waiting.dequeue())
+        self._continue_after_tx(direction)
+
+    def _continue_after_tx(self, direction: str) -> None:
+        """Post-completion service decision, honouring the current mode
+        (a direction can leave classic mode when its loss rate drops)."""
+        st = self._dir[direction]
+        waiting = st.q
+        if waiting._total:
+            if st.classic or not self._lazy_ok:
+                self._start_tx(direction, waiting.dequeue())
+                return
+            st.busy = False
+            self._lazy_service(direction, st)
         else:
-            self._busy[direction] = False
+            st.busy = False
+
+    # -- fast path, lazy form: one pre-scheduled arrival per packet --------
+    def _lazy_start(self, direction: str, st: "_DirState",
+                    packet: Packet, now: float) -> None:
+        """Serialize ``packet`` starting at ``now``, pre-scheduling its
+        arrival at the far node — the only heap entry the packet needs.
+
+        Timestamps mirror the classic form bit-for-bit: the completion
+        and arrival instants are built with the same float-add sequence
+        (``now + serialization`` then ``+ propagation`` then, when the
+        far node is a folded switch, ``+ latency``) the chained
+        callbacks would produce.  Busy time is credited eagerly;
+        :meth:`busy_seconds` subtracts the un-elapsed tail so pro-rated
+        utilization stays exact.  (:meth:`send` inlines this body on its
+        idle lane; keep the two in sync.)
+        """
+        ip = packet.ip_bytes
+        ws = st.ws.get(ip)
+        if ws is None:
+            wire = self.framing.wire(ip)
+            s = wire * 8 / st.eff
+            st.ws[ip] = (wire, s)
+        else:
+            wire = ws[0]
+            s = ws[1]
+        st.txb += wire
+        st.txp += 1
+        flow = packet.flow
+        per = st.fb
+        per[flow] = per.get(flow, 0) + wire
+        per = st.fp
+        per[flow] = per.get(flow, 0) + 1
+        t_done = now + s
+        st.bt += s
+        st.bu = t_done
+        fold = st.fold
+        if fold is None:
+            entry = self.env.call_at(
+                t_done + self.propagation, self._arrive, st.dst, packet
+            )
+        else:
+            entry = self.env.call_at(
+                t_done + self.propagation + fold, self._sw_arrive, st.dst, packet
+            )
+        st.inflight = (t_done, packet, entry)
+
+    def _arrive(self, dst: "Node", packet: Packet) -> None:
+        # Lazy pre-scheduled arrival.  No staleness check: an arrival
+        # invalidated by a fault or unwind had its heap entry cancelled
+        # in place (Environment.cancel), so only live entries reach here.
+        packet.hops += 1
+        dst.receive(packet, self)
+
+    def _sw_arrive(self, sw: "Node", packet: Packet) -> None:
+        # Folded form of arrive-at-switch + switch latency + forward,
+        # with the route-cache hit inlined (the overwhelmingly common
+        # case on a stable topology) to skip one call per switch hop.
+        packet.hops += 1
+        link = sw._fwd.get(packet.dst)
+        if link is not None:
+            link.send(sw, packet)
+        else:
+            sw.forward(packet)
+
+    def _lazy_service(self, direction: str, st: "_DirState") -> None:
+        """Make a dequeue decision now (the transmitter just went idle)."""
+        q = st.q
+        n = q._total
+        if not n:
+            return
+        now = self.env._now
+        if n > 1 and self.probe is None and q.single_backlog():
+            self._lazy_batch(direction, st, q, now)
+            return
+        self._lazy_start(direction, st, q.dequeue(), now)
+        if q._total:
+            st.armed = True
+            st.resume = self.env.call_at(
+                st.bu, self._lazy_resume_cb, direction, st
+            )
+
+    def _lazy_batch(self, direction: str, st: "_DirState",
+                    q: DrrScheduler, now: float) -> None:
+        """Pre-commit a bounded burst of back-to-back serializations.
+
+        Only reachable when a single flow owns the backlog (DRR order is
+        FIFO, so the service decisions are forced) and no probe is
+        sampling mid-burst counters.  One arrival entry per packet plus
+        one commit entry per burst replaces two entries per packet; the
+        live arrival entries are retained so a mid-burst unwind can
+        cancel the unserved tail in place.
+        """
+        flow, packets, costs, d0, quantum, weight = q.claim(LINK_BATCH)
+        env = self.env
+        eff = st.eff
+        prop = self.propagation
+        dst = st.dst
+        fold = st.fold
+        b0 = st.bt
+        call_at = env.call_at
+        starts: list[float] = []
+        tdones: list[float] = []
+        sers: list[float] = []
+        entries: list[list] = []
+        t = now
+        bt = b0
+        total_wire = 0
+        for p, wire in zip(packets, costs):
+            starts.append(t)
+            total_wire += wire
+            s = wire * 8 / eff
+            bt += s
+            sers.append(s)
+            t = t + s
+            tdones.append(t)
+            if fold is None:
+                entries.append(call_at(t + prop, self._arrive, dst, p))
+            else:
+                entries.append(call_at(t + prop + fold, self._sw_arrive, dst, p))
+        n = len(packets)
+        st.txb += total_wire
+        st.txp += n
+        per = st.fb
+        per[flow] = per.get(flow, 0) + total_wire
+        per = st.fp
+        per[flow] = per.get(flow, 0) + n
+        st.bt = bt
+        st.bu = t
+        st.inflight = None
+        st.batch = _LinkBatch(
+            flow, d0, quantum, weight, starts, tdones, packets, costs, sers,
+            b0, entries,
+        )
+        st.armed = True
+        st.resume = call_at(t, self._lazy_resume_cb, direction, st)
+
+    def _lazy_resume_cb(self, direction: str, st: "_DirState") -> None:
+        # An interrupt cancels this entry in place, so reaching here
+        # means the wake-up is current — no epoch guard needed.
+        st.armed = False
+        st.resume = None
+        b = st.batch
+        if b is not None:
+            st.batch = None
+            st.q.commit_claim(b.flow)
+        self._lazy_service(direction, st)
+
+    def _lazy_interrupt(self, direction: str, st: "_DirState"):
+        """Normalize lazy state at an interruption instant.
+
+        Cancels any armed resume, unwinds an active batch back to 'one
+        in-service packet, everything else queued' — cancelling the
+        unserved tail's pre-scheduled arrivals in place, restoring the
+        DRR deficit the unbatched fold would hold and refolding busy
+        time over the served prefix — and returns the in-service
+        ``(t_done, packet, entry)`` record, or ``None`` when idle.  The
+        caller decides the in-service packet's fate (keep its lazy
+        arrival, or cancel it and re-judge at ``t_done``).
+        """
+        now = self.env._now
+        env = self.env
+        if st.armed:
+            env.cancel(st.resume)
+            st.armed = False
+            st.resume = None
+        b = st.batch
+        if b is not None:
+            st.batch = None
+            i = bisect_right(b.starts, now)
+            for e in b.entries[i:]:
+                env.cancel(e)
+            busy = b.b0
+            for s in b.sers[:i]:
+                busy += s
+            st.bt = busy
+            st.q.restore_front(
+                b.flow,
+                b.packets[i:],
+                replay_deficit(b.d0, b.costs[:i], b.quantum, b.weight),
+            )
+            t_done = b.tdones[i - 1]
+            st.bu = t_done
+            st.inflight = (t_done, b.packets[i - 1], b.entries[i - 1])
+        rec = st.inflight
+        if rec is not None and rec[0] > now:
+            return rec
+        return None
+
+    def _lazy_unwind(self, direction: str, st: "_DirState") -> None:
+        """Contention-triggered unwind (from :meth:`send`): the
+        in-service packet keeps its pre-scheduled arrival; queued work
+        resumes with a fresh dequeue decision at its completion."""
+        self._lazy_interrupt(direction, st)
+        self._lazy_rearm(direction, st, service=False)
+        # At a service boundary (busy_until <= now): send() falls
+        # through to the enqueue path and services inline.
+
+    def _lazy_rearm(self, direction: str, st: "_DirState", service: bool) -> None:
+        """Re-establish the wake-up after an interrupt cancelled it:
+        a fresh resume entry at ``busy_until`` if the transmitter is
+        still (logically) serializing, else — when ``service`` — an
+        immediate dequeue decision for any restored backlog."""
+        bu = st.bu
+        if bu > self.env._now:
+            st.armed = True
+            st.resume = self.env.call_at(
+                bu, self._lazy_resume_cb, direction, st
+            )
+        elif service and not st.busy and st.q._total:
+            self._lazy_service(direction, st)
+
+    def _convert_inflight(self, direction: str) -> None:
+        """Fault-triggered conversion: cancel the in-service packet's
+        pre-scheduled arrival and re-judge it at its completion instant
+        (link state / wire loss are evaluated there, like the classic
+        form).  ``busy`` is held True so arrivals enqueue classically
+        until :meth:`_finish_interrupted` runs."""
+        st = self._dir[direction]
+        rec = self._lazy_interrupt(direction, st)
+        if rec is not None:
+            t_done, packet, entry = rec
+            self.env.cancel(entry)
+            st.inflight = None
+            st.busy = True
+            self.env.call_at(t_done, self._finish_interrupted, direction, packet)
+        elif not st.busy and st.q._total:
+            # Interrupted exactly at a service boundary with queued work
+            # and a cancelled resume: decide service now.
+            self._continue_after_tx(direction)
+
+    def _finish_interrupted(self, direction: str, packet: Packet) -> None:
+        """Completion judgement for a converted in-service packet."""
+        st = self._dir[direction]
+        if not self.up:
+            self._lose(direction, "tx_link_down", packet.flow)
+        else:
+            rate = self.loss_rate[direction]
+            rng = self._loss_rngs[direction]
+            if rate > 0.0 and rng is not None and rng.random() < rate:
+                self._lose(direction, "wire_loss", packet.flow)
+            else:
+                self._emit(st.dst, packet)
+        st.busy = False
+        self._continue_after_tx(direction)
 
     # -- slow path: the process-per-direction reference transmitter --------
     def _transmitter(self, src: "Node", dst: "Node"):
         sname = src.name
+        st = self._dir[sname]
         q = self._queues[sname]
         while True:
             packet: Packet = yield q.get()
-            wire = self._account_tx(sname, packet)
-            serialization = wire * 8 / self._eff_rate[sname]
-            self._tx_begin[sname] = self.env.now
+            wire = self._account_tx(st, packet)
+            serialization = wire * 8 / st.eff
+            st.tx_begin = self.env.now
             yield self.env.timeout(serialization)
-            self.busy_time[sname] += serialization
-            self._tx_begin[sname] = None
+            st.bt += serialization
+            st.tx_begin = None
             if not self.up:
                 self._lose(sname, "tx_link_down", packet.flow)
                 continue
@@ -418,6 +1047,27 @@ class Link:
             # dedicated delivery event so back-to-back packets pipeline.
             self.env.process(self._deliver(dst, packet))
 
+    def busy_seconds(self, from_node: str) -> float:
+        """Seconds one direction has spent serializing, up to now.
+
+        The raw ``busy_time`` tally is not directly comparable across
+        transmitter forms: the classic/slow forms credit a serialization
+        at *completion* (``tx_begin`` marks one in progress), while the
+        lazy form credits eagerly at *start* (``bu`` marks the
+        un-elapsed tail).  This folds both into the exact elapsed-busy
+        figure, so utilization math has a single source of truth.
+        """
+        now = self.env.now
+        st = self._dir[from_node]
+        busy = st.bt
+        begin = st.tx_begin
+        if begin is not None:
+            busy += now - begin
+        tail = st.bu - now
+        if tail > 0.0:
+            busy -= tail
+        return busy
+
     def utilization(self, from_node: str) -> float:
         """Busy fraction of one direction since t=0 (simulated).
 
@@ -426,11 +1076,7 @@ class Link:
         """
         if self.env.now <= 0:
             return 0.0
-        busy = self.busy_time[from_node]
-        begin = self._tx_begin[from_node]
-        if begin is not None:
-            busy += self.env.now - begin
-        return busy / self.env.now
+        return self.busy_seconds(from_node) / self.env.now
 
     def _emit(self, dst: "Node", packet: Packet) -> None:
         """Put a fully-serialized packet on the wire towards ``dst``.
@@ -467,9 +1113,13 @@ class Node:
         self.name = name
         self.links: list[Link] = []
         self.network: Optional["Network"] = None
+        # Resolved next-hop link per destination, flushed by
+        # Network.invalidate_routes on any topology/link-state change.
+        self._fwd: dict[str, Link] = {}
 
     def attach(self, link: Link) -> None:
         self.links.append(link)
+        self._fwd.clear()
 
     def link_to(self, neighbor: str) -> Link:
         """The link connecting this node to ``neighbor``."""
@@ -485,15 +1135,19 @@ class Node:
         dropped and counted in ``Network.no_route_drops`` — the IP
         behaviour — rather than crashing the forwarding process.
         """
-        assert self.network is not None, "node not registered with a Network"
-        try:
-            nxt = self.network.next_hop(self.name, packet.dst)
-        except ValueError:
-            self.network.no_route_drops += 1
-            if self.network.probe is not None:
-                self.network.probe.on_no_route(self.name, packet.dst)
-            return
-        self.link_to(nxt).send(self, packet)
+        dst = packet.dst
+        link = self._fwd.get(dst)
+        if link is None:
+            assert self.network is not None, "node not registered with a Network"
+            try:
+                nxt = self.network.next_hop(self.name, dst)
+            except ValueError:
+                self.network.no_route_drops += 1
+                if self.network.probe is not None:
+                    self.network.probe.on_no_route(self.name, dst)
+                return
+            link = self._fwd[dst] = self.link_to(nxt)
+        link.send(self, packet)
 
     def receive(self, packet: Packet, link: Link) -> None:  # pragma: no cover
         raise NotImplementedError
@@ -543,6 +1197,47 @@ class _SerialStage:
             self.busy = False
 
 
+class _TandemStage:
+    """Two serial FIFO stages collapsed into one heap entry per packet.
+
+    A pair of chained :class:`_SerialStage` machines (host stack CPU
+    feeding the I/O bus, or vice versa) costs two heap entries per
+    packet, but their completion instants are a pure Lindley recursion:
+    ``c_k = max(a_k, c_{k-1}) + cost1`` (first stage),
+    ``b_k = max(c_k, b_{k-1}) + cost2`` (second stage).  Computing the
+    recursion inline at arrival and scheduling only the final
+    completion ``b_k`` halves the entries while emitting at bit-identical
+    times — each completion is one float add from its max base, exactly
+    the chained machines' ``call_later`` arithmetic.  Emission order is
+    FIFO because ``b_k`` is strictly increasing in ``k``.
+    """
+
+    __slots__ = ("env", "cost1", "cost2", "emit", "_c_prev", "_b_prev")
+
+    def __init__(
+        self,
+        env: Environment,
+        cost1: Callable[["Packet"], float],
+        cost2: Callable[["Packet"], float],
+        emit: Callable[["Packet"], None],
+    ):
+        self.env = env
+        self.cost1 = cost1
+        self.cost2 = cost2
+        self.emit = emit
+        self._c_prev = 0.0
+        self._b_prev = 0.0
+
+    def put_nowait(self, packet: "Packet") -> bool:
+        now = self.env._now
+        c = (now if now > self._c_prev else self._c_prev) + self.cost1(packet)
+        b = (c if c > self._b_prev else self._b_prev) + self.cost2(packet)
+        self._c_prev = c
+        self._b_prev = b
+        self.env.call_at(b, self.emit, packet)
+        return True
+
+
 class Host(Node):
     """An end host with a protocol stack and an I/O bus.
 
@@ -582,10 +1277,12 @@ class Host(Node):
             self._tx_entry = self._rx_entry = None
         elif env.fast_path:
             if has_cpu and has_bus:
-                tx_bus = _SerialStage(env, self._bus_cost, self._nic_out)
-                self._tx_entry = _SerialStage(env, self._cpu_cost, tx_bus.put_nowait)
-                rx_stack = _SerialStage(env, self._cpu_cost, self._deliver)
-                self._rx_entry = _SerialStage(env, self._bus_cost, rx_stack.put_nowait)
+                self._tx_entry = _TandemStage(
+                    env, self._cpu_cost, self._bus_cost, self._nic_out
+                )
+                self._rx_entry = _TandemStage(
+                    env, self._bus_cost, self._cpu_cost, self._deliver
+                )
             elif has_cpu:
                 self._tx_entry = _SerialStage(env, self._cpu_cost, self._nic_out)
                 self._rx_entry = _SerialStage(env, self._cpu_cost, self._deliver)
@@ -637,6 +1334,10 @@ class Host(Node):
         sink = self._sinks.get(packet.flow)
         if sink is not None:
             sink(packet, self.env.now)
+        # Delivery is the end of a packet's life: sinks read scalars and
+        # return, so a pooled packet can rejoin the arena right away.
+        if packet.pooled:
+            packet_pool.release(packet)
 
     # -- API for flows -------------------------------------------------------
     def send(self, packet: Packet) -> None:
@@ -795,7 +1496,7 @@ class Gateway(Node):
         else:
             self._forward_one(packet)
         waiting = self._queue
-        if len(waiting):
+        if waiting._total:
             self._start_service(waiting.dequeue())
         else:
             self._busy = False
@@ -896,6 +1597,8 @@ class Network:
     def invalidate_routes(self) -> None:
         """Flush cached routes and notify listeners of a topology change."""
         self._routes.clear()
+        for node in self.nodes.values():
+            node._fwd.clear()
         for listener in self._invalidation_listeners:
             listener()
 

@@ -5,12 +5,32 @@ from __future__ import annotations
 import bisect
 from typing import Optional
 
-from repro.netsim.core import Network, Packet
+import numpy as np
+
+from repro.netsim.core import Network, Packet, packet_pool
 from repro.netsim.ip import ClassicalIP, IP_HEADER, TCP_HEADER
 from repro.sim import Environment, Event
 from repro.util.stats import RunningStats
 
 _ACK_BYTES = IP_HEADER + TCP_HEADER
+
+
+def _burst_departures(t0: float, interval: float, n: int) -> list[float]:
+    """The ``n + 1`` departure instants of a fixed-interval burst.
+
+    Computed as one vectorized prefix sum instead of ``n`` generator
+    resumes.  ``np.add.accumulate`` applies float64 adds sequentially
+    (each partial sum is an output element), so every instant is
+    bit-identical to the chained ``now + interval`` a timeout-driven
+    sender would produce; the values convert back to Python floats so
+    no ``np.float64`` leaks into the event queue's time comparisons.
+    The extra final entry is the post-burst instant (drain/deadline
+    anchor).
+    """
+    arr = np.empty(n + 1)
+    arr[0] = t0
+    arr[1:] = interval
+    return [float(t) for t in np.add.accumulate(arr)]
 
 
 class TransferStalled(RuntimeError):
@@ -412,7 +432,22 @@ class CbrFlow:
         net.host(dst).register_sink(self.name, self._on_segment)
         self.driven = net.drives(src)
         if self.driven:
-            self.env.process(self._sender())
+            if self.env.fast_path and n_frames > 0:
+                # Burst form: departure instants are precomputed as one
+                # vectorized prefix sum, and each frame is emitted by a
+                # bare callback — no generator resumes, no per-frame
+                # Timeout allocation.  Packets come from the arena.
+                self._host = net.host(src)
+                self._payloads = [
+                    (p, self.ip.datagram_bytes(p))
+                    for p in self.ip.segments(frame_bytes)
+                ]
+                self._dep = _burst_departures(
+                    self.env.now, self.interval, n_frames
+                )
+                self.env.call_later(0.0, self._emit_frame, 0)
+            else:
+                self.env.process(self._sender())
 
     def _path_rtt_estimate(self) -> float:
         """Zero-load round trip of one full segment, for the drain window."""
@@ -458,12 +493,66 @@ class CbrFlow:
             if self.env.now - last > quiet:
                 break  # path is silent: the remainder was lost
             yield self.env.timeout(self.interval)
+        self._finish()
+        return None
+
+    # -- fast path: callback burst chain ------------------------------------
+    def _emit_frame(self, frame: int) -> None:
+        """Emit every segment of ``frame``, then arm the next departure.
+
+        One heap entry per frame.  The next entry is scheduled *after*
+        this frame's segments are injected — the same relative order the
+        generator's ``send…; yield timeout`` shape produced — and at the
+        precomputed departure instant, which matches the chained
+        ``now + interval`` float adds bit for bit.
+        """
+        host = self._host
+        name = self.name
+        src = self.src
+        dst = self.dst
+        acquire = packet_pool.acquire
+        for payload, ip_bytes in self._payloads:
+            host.send(acquire(name, src, dst, ip_bytes, payload, "data", frame))
+        nxt = frame + 1
+        if nxt < self.n_frames:
+            self.env.call_at(self._dep[nxt], self._emit_frame, nxt)
+        else:
+            self.env.call_at(self._dep[nxt], self._begin_drain)
+
+    def _begin_drain(self) -> None:
+        """Start the drain phase (fires one interval past the last frame,
+        exactly where the generator's final ``timeout`` resumed)."""
+        self._drain_total = self.n_frames * self._segments_per_frame
+        self._drain_quiet = max(4 * self.interval, 2 * self._path_rtt_estimate())
+        self._drain_deadline = (
+            self.env.now + self.drain_timeout
+            if self.drain_timeout is not None
+            else float("inf")
+        )
+        self._drain_anchor = self.env.now
+        self._drain_poll()
+
+    def _drain_poll(self) -> None:
+        # Callback form of the generator's drain loop: identical poll
+        # cadence (interval-spaced), identical exit conditions.
+        now = self.env._now
+        if self._segments_received < self._drain_total and now < self._drain_deadline:
+            last = (
+                self._last_segment_time
+                if self._last_segment_time is not None
+                else self._drain_anchor
+            )
+            if now - last <= self._drain_quiet:
+                self.env.call_later(self.interval, self._drain_poll)
+                return
+        self._finish()
+
+    def _finish(self) -> None:
         self.frames_lost = self.n_frames - self.frames_received
         if self.probe is not None:
             self.probe.on_done(self)
         if not self.done.triggered:
             self.done.succeed()
-        return None
 
     def _on_segment(self, packet: Packet, now: float) -> None:
         self._segments_received += 1
@@ -550,7 +639,13 @@ class PingFlow:
         self._src_host.register_sink(self.name + ".reply", self._pong)
         self.driven = net.drives(src)
         if self.driven:
-            self.env.process(self._sender())
+            if self.env.fast_path and count > 0:
+                # Burst form (see CbrFlow): precomputed departures, one
+                # callback per ping, arena packets.
+                self._dep = _burst_departures(self.env.now, interval, count)
+                self.env.call_later(0.0, self._send_ping, 0)
+            else:
+                self.env.process(self._sender())
 
     def _sender(self):
         host = self._src_host
@@ -570,23 +665,53 @@ class PingFlow:
         # Deadline after the last send: echoes lost to drops or failures
         # must not block run() forever.
         yield self.env.timeout(self.deadline)
+        self._deadline_finish()
+        return None
+
+    # -- fast path: callback burst chain ------------------------------------
+    def _send_ping(self, i: int) -> None:
+        self._sent_at[i] = self.env._now
+        self._src_host.send(
+            packet_pool.acquire(
+                self.name,
+                self.src,
+                self.dst,
+                self.payload + IP_HEADER + TCP_HEADER,
+                self.payload,
+                "data",
+                i,
+            )
+        )
+        nxt = i + 1
+        if nxt < self.count:
+            self.env.call_at(self._dep[nxt], self._send_ping, nxt)
+        else:
+            # Mirror the generator's two-step tail: timeout(interval)
+            # after the last send, then timeout(deadline).
+            self.env.call_at(self._dep[nxt], self._arm_deadline)
+
+    def _arm_deadline(self) -> None:
+        self.env.call_later(self.deadline, self._deadline_finish)
+
+    def _deadline_finish(self) -> None:
         if not self.done.triggered:
             self.lost = self.count - self.rtt.n
             if self.probe is not None:
                 self.probe.on_done(self)
             self.done.succeed(self.rtt.mean)
-        return None
 
     def _echo(self, packet: Packet, now: float) -> None:
+        # The request packet is released by the delivering host after
+        # this sink returns, so only scalars are copied into the reply.
         self._dst_host.send(
-            Packet(
-                flow=self.name + ".reply",
-                src=self.dst,
-                dst=self.src,
-                ip_bytes=packet.ip_bytes,
-                payload_bytes=packet.payload_bytes,
-                kind="reply",
-                seq=packet.seq,
+            packet_pool.acquire(
+                self.name + ".reply",
+                self.dst,
+                self.src,
+                packet.ip_bytes,
+                packet.payload_bytes,
+                "reply",
+                packet.seq,
             )
         )
 

@@ -107,8 +107,7 @@ class QosManager:
 
     def utilization(self, link_name: str, from_node: str) -> float:
         """Reserved fraction of one direction of a link."""
-        for node in self.net.nodes.values():
-            for link in node.links:
-                if link.name == link_name:
-                    return self.reserved_on(link_name, from_node) / link.rate
-        raise KeyError(f"unknown link {link_name}")
+        link = self.net.links.get(link_name)
+        if link is None:
+            raise KeyError(f"unknown link {link_name}")
+        return self.reserved_on(link_name, from_node) / link.rate

@@ -64,6 +64,11 @@ class ShardCutLink(Link):
     # No extra __slots__: Link instances carry a __dict__, which is what
     # lets the class swap attach _shard_remote/_shard_outbox in place.
 
+    #: Every packet must funnel through the ``_emit`` capture seam at
+    #: serialization end, so the lazy pre-scheduled-arrival transmitter
+    #: (which bypasses ``_emit``) is disabled on cut links.
+    _lazy_ok = False
+
     _shard_remote: frozenset[str]
     _shard_outbox: list[RemoteArrival]
 

@@ -164,10 +164,7 @@ def utilization_above(link, direction: str, threshold: float) -> Predicate:
     state = {"t": None, "busy": None}
 
     def pred(now: float) -> bool:
-        busy = link.busy_time[direction]
-        begin = link._tx_begin[direction]
-        if begin is not None:
-            busy += now - begin
+        busy = link.busy_seconds(direction)
         prev_t, prev_busy = state["t"], state["busy"]
         state["t"], state["busy"] = now, busy
         if prev_t is None or now <= prev_t:

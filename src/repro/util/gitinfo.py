@@ -1,0 +1,28 @@
+"""Best-effort build provenance for benchmark trend rows."""
+
+from __future__ import annotations
+
+import functools
+import subprocess
+
+
+@functools.lru_cache(maxsize=1)
+def git_short_sha() -> str:
+    """The repository's short commit SHA, or ``"unknown"``.
+
+    Benchmark trend rows (``results/kernel_trend.jsonl``) carry this so
+    throughput numbers accumulated across PRs stay attributable to the
+    code that produced them.  Cached per process; never raises — a
+    missing git binary or a non-repo checkout degrades to ``"unknown"``.
+    """
+    try:
+        out = subprocess.run(
+            ["git", "rev-parse", "--short", "HEAD"],
+            capture_output=True,
+            text=True,
+            timeout=5.0,
+        )
+    except (OSError, subprocess.TimeoutExpired):
+        return "unknown"
+    sha = out.stdout.strip()
+    return sha if out.returncode == 0 and sha else "unknown"

@@ -1,0 +1,162 @@
+"""Burst invalidation: faults and DRR contention mid-burst.
+
+The batched hot path pre-schedules whole bursts — CBR sources emit one
+kernel event per frame, and saturated links claim bounded same-flow
+batches with every member's arrival already in the heap.  A fault or a
+competing flow arriving mid-burst must unwind the unserved tail and
+replay it through the ordinary per-packet machinery.  These tests pin
+the contract: every delivery tuple (endpoint, kind, seq, timestamp) is
+bit-identical whether bursts were taken, forcibly refused, bounded to
+one packet, or the whole simulation ran on the classic generator/
+process slow path.
+"""
+
+import pytest
+
+from repro.netsim import BulkTransfer, CbrFlow, ClassicalIP, build_testbed
+from repro.netsim import core as netsim_core
+from repro.netsim.faults import FaultInjector
+from repro.netsim.ip import TESTBED_MTU
+from repro.netsim.sched import DrrScheduler
+from repro.sim import Environment
+
+VARIANTS = ("fast", "slow", "nobatch", "batch1")
+
+
+def _apply_variant(variant, monkeypatch):
+    """Return the Environment fast_path flag for ``variant`` after
+    installing its kernel restrictions."""
+    if variant == "slow":
+        return False
+    if variant == "nobatch":
+        # Refuse every batch claim: the lazy transmitter must fall back
+        # to per-packet service with identical timing.
+        monkeypatch.setattr(DrrScheduler, "single_backlog", lambda self: False)
+    elif variant == "batch1":
+        # A one-packet batch bound degenerates to per-packet service
+        # through the batching code path itself.
+        monkeypatch.setattr(netsim_core, "LINK_BATCH", 1)
+    return True
+
+
+def _record_deliveries(net, hosts):
+    deliveries: list[tuple] = []
+    for hname in hosts:
+        host = net.host(hname)
+        for flow, sink in list(host._sinks.items()):
+            def wrapped(packet, t, _sink=sink, _h=hname):
+                deliveries.append((_h, packet.kind, packet.seq, t))
+                _sink(packet, t)
+
+            host._sinks[flow] = wrapped
+    return deliveries
+
+
+def _run_fault_mid_burst(variant, monkeypatch):
+    """A CBR stream over the WAN with the link failing mid-stream."""
+    fast = _apply_variant(variant, monkeypatch)
+    tb = build_testbed(env=Environment(fast_path=fast))
+    cbr = CbrFlow(
+        tb.net,
+        "sp2",
+        "t3e-600",
+        frame_bytes=128 * 1024,
+        interval=2e-3,
+        n_frames=30,
+        ip=ClassicalIP(TESTBED_MTU),
+        name="video",
+        drain_timeout=0.5,
+    )
+    # Down for 8 ms starting a third of the way in: several pre-scheduled
+    # frame bursts and any claimed link batch get chopped mid-flight.
+    FaultInjector(tb.net).link_down(tb.wan_link, at=0.02, duration=8e-3)
+    deliveries = _record_deliveries(tb.net, ("sp2", "t3e-600"))
+    tb.net.env.run(until=cbr.done)
+    return {
+        "deliveries": deliveries,
+        "elapsed": tb.net.env.now,
+        "frames_received": cbr.frames_received,
+        "frames_lost": cbr.frames_lost,
+    }
+
+
+def _run_contention_mid_burst(variant, monkeypatch):
+    """A CBR stream sharing the WAN with a bulk transfer: cross-flow
+    arrivals invalidate claimed same-flow batches continuously."""
+    fast = _apply_variant(variant, monkeypatch)
+    tb = build_testbed(env=Environment(fast_path=fast))
+    ip = ClassicalIP(TESTBED_MTU)
+    cbr = CbrFlow(
+        tb.net,
+        "sp2",
+        "t3e-600",
+        frame_bytes=128 * 1024,
+        interval=2e-3,
+        n_frames=25,
+        ip=ip,
+        name="video",
+        drain_timeout=0.5,
+    )
+    bulk = BulkTransfer(
+        tb.net, "sp2", "t3e-600", 2 * 1024 * 1024, ip=ip, name="bulk"
+    )
+    deliveries = _record_deliveries(tb.net, ("sp2", "t3e-600"))
+    env = tb.net.env
+    env.run(until=env.all_of([cbr.done, bulk.done]))
+    return {
+        "deliveries": deliveries,
+        "elapsed": env.now,
+        "frames_received": cbr.frames_received,
+        "goodput": bulk.throughput,
+        "retransmits": bulk.retransmits,
+    }
+
+
+@pytest.fixture(scope="module")
+def fault_runs(request):
+    mp = pytest.MonkeyPatch()
+    runs = {}
+    for variant in VARIANTS:
+        with mp.context() as m:
+            runs[variant] = _run_fault_mid_burst(variant, m)
+    return runs
+
+
+@pytest.fixture(scope="module")
+def contention_runs(request):
+    mp = pytest.MonkeyPatch()
+    runs = {}
+    for variant in VARIANTS:
+        with mp.context() as m:
+            runs[variant] = _run_contention_mid_burst(variant, m)
+    return runs
+
+
+@pytest.mark.parametrize("variant", [v for v in VARIANTS if v != "fast"])
+def test_fault_mid_burst_is_bit_identical(fault_runs, variant):
+    ref = fault_runs["fast"]
+    assert fault_runs[variant] == ref, (
+        f"{variant} diverged from the batched fast path under a mid-burst fault"
+    )
+
+
+@pytest.mark.parametrize("variant", [v for v in VARIANTS if v != "fast"])
+def test_contention_mid_burst_is_bit_identical(contention_runs, variant):
+    ref = contention_runs["fast"]
+    assert contention_runs[variant] == ref, (
+        f"{variant} diverged from the batched fast path under DRR contention"
+    )
+
+
+def test_fault_scenario_actually_loses_frames(fault_runs):
+    """The fault window must actually bite (otherwise the identity
+    assertions above prove nothing about invalidation)."""
+    ref = fault_runs["fast"]
+    assert ref["frames_lost"] > 0
+    assert ref["frames_received"] > 0
+
+
+def test_contention_scenario_actually_contends(contention_runs):
+    ref = contention_runs["fast"]
+    assert ref["frames_received"] > 0
+    assert ref["goodput"] > 0

@@ -127,3 +127,77 @@ def test_reassembly_lossless_sequence_property(payloads):
             rx.push(cell)
     assert rx.completed == list(range(len(payloads)))
     assert rx.errors == 0
+
+
+def test_framing_cost_is_o1_in_packet_size():
+    """The per-packet cell tax is a closed-form computation plus a
+    per-size memo: the framing hook runs once per *distinct* datagram
+    size — never per cell, never per byte — so a 9 MByte datagram costs
+    the same bookkeeping as a 64-byte one."""
+    from repro.netsim.core import AtmFraming
+    from repro.netsim.atm import aal5_wire_bytes
+    from repro.netsim.ip import LLC_SNAP_HEADER
+
+    calls: list[int] = []
+
+    class SpyFraming(AtmFraming):
+        __slots__ = ()
+
+        def wire_bytes(self, ip_bytes: int) -> int:
+            calls.append(ip_bytes)
+            return super().wire_bytes(ip_bytes)
+
+    framing = SpyFraming()
+    small, huge = 64, 9 * 1024 * 1024
+    assert framing.wire(small) == aal5_wire_bytes(small + LLC_SNAP_HEADER)
+    assert framing.wire(huge) == aal5_wire_bytes(huge + LLC_SNAP_HEADER)
+    # One computation per distinct size, independent of the size itself
+    # (the huge datagram spans ~190k cells; none of them were iterated).
+    assert calls == [small, huge]
+    # Repeats of a seen size hit the memo: zero further hook calls.
+    for _ in range(1000):
+        framing.wire(small)
+        framing.wire(huge)
+    assert calls == [small, huge]
+
+
+def test_framing_hook_count_through_link_transmit():
+    """End to end: transmitting many packets over an ATM-framed link
+    invokes the framing computation once per distinct size class, not
+    once per packet or per cell."""
+    from repro.netsim.core import AtmFraming, Host, Network, Packet
+    from repro.sim import Environment
+
+    calls: list[int] = []
+
+    class SpyFraming(AtmFraming):
+        __slots__ = ()
+
+        def wire_bytes(self, ip_bytes: int) -> int:
+            calls.append(ip_bytes)
+            return super().wire_bytes(ip_bytes)
+
+    env = Environment()
+    net = Network(env)
+    net.add(Host(env, "a"))
+    net.add(Host(env, "b"))
+    net.link("a", "b", rate=622e6, propagation=1e-3, framing=SpyFraming())
+    got: list[int] = []
+    net.host("b").register_sink("f", lambda p, now: got.append(p.seq))
+    for seq in range(50):
+        net.host("a").send(
+            Packet(
+                flow="f",
+                src="a",
+                dst="b",
+                ip_bytes=64 * 1024 if seq % 2 else 1500,
+                payload_bytes=1000,
+                seq=seq,
+            )
+        )
+    net.env.run()
+    assert len(got) == 50
+    assert sorted(set(calls)) == [1500, 64 * 1024]
+    assert len(calls) == 2, (
+        f"framing hook ran {len(calls)} times for 50 packets of 2 sizes"
+    )
