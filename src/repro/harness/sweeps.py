@@ -28,7 +28,14 @@ the tolerances its baseline file is written with:
   agreement within 5% on the overlap grid (pinned exactly via
   ``within_5pct``), the workload generator's schedule digest pinned
   bit-identical, and the heavy-tailed scale scenarios on both
-  backbones with FCT statistics gated.
+  backbones with FCT statistics gated;
+* ``availability`` — SPring-8-style redundancy: single vs. dual ring
+  under identical seeded outage schedules, with the dual ring's
+  delivered availability pinned strictly higher
+  (``dual_strictly_better``) and the CBR playout misses pinned exactly;
+* ``grid`` — KEK-style multi-site staging on 2×2 and 2×3 grids, with
+  and without a mid-run trunk cut: transfers must fail over instead of
+  stalling (``stalled`` pinned at 0) and goodputs are pinned exactly.
 
 ``quick=True`` shrinks transfer sizes for CI smoke runs; the grids
 themselves do not change shape, so quick and full baselines share the
@@ -200,6 +207,48 @@ def _sharded(quick: bool) -> list[ScenarioSpec]:
     ]
 
 
+def _availability(quick: bool) -> list[ScenarioSpec]:
+    frames = 40 if quick else 120
+    horizon = 1.2 if quick else 4.0
+    outages = 5 if quick else 8
+    grid = ParameterGrid(
+        # ``index`` only perturbs the content hash, i.e. the outage
+        # schedule's seed — each point replays a different cut history.
+        {"index": [0, 1] if quick else [0, 1, 2]},
+        fixed={"frames": frames, "horizon": horizon, "outages": outages},
+    )
+    specs = grid.specs("ring_availability")
+    if not quick:
+        specs.append(
+            make_spec(
+                "ring_availability",
+                sites=6,
+                frames=frames,
+                horizon=horizon,
+                outages=outages,
+            )
+        )
+    return specs
+
+
+def _grid(quick: bool) -> list[ScenarioSpec]:
+    mbytes = 4 if quick else 16
+    specs: list[ScenarioSpec] = []
+    for rows, cols in ((2, 2), (2, 3)):
+        specs.append(make_spec("grid_staging", rows=rows, cols=cols, mbytes=mbytes))
+        specs.append(
+            make_spec(
+                "grid_staging",
+                rows=rows,
+                cols=cols,
+                mbytes=mbytes,
+                outage_at=0.05,
+                outage_len=0.3,
+            )
+        )
+    return specs
+
+
 SWEEPS: dict[str, Sweep] = {
     s.name: s
     for s in (
@@ -324,6 +373,27 @@ SWEEPS: dict[str, Sweep] = {
                     "*/wall_s": {"rel": 1e9, "abs": 1e9},
                     "*/flows_per_sec": {"rel": 1e9, "abs": 1e9},
                 },
+            },
+        ),
+        Sweep(
+            name="availability",
+            description="Single vs dual ring delivered availability under outages",
+            build=_availability,
+            tolerances={
+                # Pure discrete-event results: pinned exactly.  The load-
+                # bearing gates are ``dual_strictly_better`` (must stay 1)
+                # and the per-topology availability/playout-miss figures.
+                "default": {},
+            },
+        ),
+        Sweep(
+            name="grid",
+            description="Multi-site grid staging with mid-run trunk-cut failover",
+            build=_grid,
+            tolerances={
+                # Deterministic staging results: pinned exactly, with
+                # ``stalled`` required to stay 0 by the committed baseline.
+                "default": {},
             },
         ),
         Sweep(

@@ -57,14 +57,13 @@ def one_way_latency(net: Network, src: str, dst: str) -> float:
     """Zero-load one-way latency of a small (64-byte) packet."""
     small = 64
     total = 0.0
-    path = net.shortest_path(src, dst)
+    path, links = net.path_links(src, dst)
     for name in (src, dst):
         host = net.host(name)
         total += host.cpu_per_packet
         if host.io_bus_rate != float("inf"):
             total += small * 8 / host.io_bus_rate
-    for u, v in zip(path, path[1:]):
-        link = net.nodes[u].link_to(v)
+    for v, link in zip(path[1:], links):
         total += link.propagation + link.framing.wire_bytes(small) * 8 / link.rate
         node = net.nodes[v]
         if isinstance(node, Gateway):

@@ -18,6 +18,9 @@ Layers, bottom-up:
 * :mod:`repro.netsim.faults` — deterministic fault injection (link
   down/up windows, random wire loss, gateway crash/restart).
 * :mod:`repro.netsim.testbed` — the Figure-1 topology builder.
+* :mod:`repro.netsim.topology` — declarative multi-site topologies
+  (sites × switches × redundant trunks; ring / dual-ring / grid
+  generators) with failover-capable min-cost routing.
 """
 
 from repro.netsim.atm import (
@@ -40,6 +43,7 @@ from repro.netsim.core import (
     AtmFraming,
     HippiFraming,
     PlainFraming,
+    route_cost,
 )
 from repro.netsim.sched import DrrScheduler
 from repro.netsim.tcp import (
@@ -51,7 +55,15 @@ from repro.netsim.tcp import (
 )
 from repro.netsim.flows import BulkTransfer, CbrFlow, PingFlow, TransferStalled
 from repro.netsim.faults import FaultInjector
-from repro.netsim.testbed import GigabitTestbedWest, build_testbed
+from repro.netsim.testbed import GigabitTestbedWest, build_multisite, build_testbed
+from repro.netsim.topology import (
+    MultiSiteTestbed,
+    Site,
+    TopologyBuilder,
+    build_dual_ring,
+    build_grid,
+    build_ring,
+)
 
 __all__ = [
     "ATM_CELL_BYTES",
@@ -75,6 +87,7 @@ __all__ = [
     "AtmFraming",
     "HippiFraming",
     "PlainFraming",
+    "route_cost",
     "DrrScheduler",
     "FlowDemand",
     "TcpModel",
@@ -87,5 +100,12 @@ __all__ = [
     "TransferStalled",
     "FaultInjector",
     "GigabitTestbedWest",
+    "build_multisite",
     "build_testbed",
+    "MultiSiteTestbed",
+    "Site",
+    "TopologyBuilder",
+    "build_dual_ring",
+    "build_grid",
+    "build_ring",
 ]

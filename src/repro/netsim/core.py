@@ -16,6 +16,7 @@ Performance-relevant host effects of 1999 hardware are first-class:
 
 from __future__ import annotations
 
+import heapq
 import itertools
 import random
 from bisect import bisect_right
@@ -36,6 +37,31 @@ _packet_ids = itertools.count()
 #: :meth:`Link._lazy_batch`).  Bounded so a mid-burst fault or a
 #: competing flow only ever has to unwind a handful of decisions.
 LINK_BATCH = 8
+
+#: Reference datagram size (bytes) for the serialization term of the
+#: routing cost metric (:func:`route_cost`) — a typical full Ethernet
+#: frame.  The absolute value barely matters (propagation dominates on
+#: WAN spans); what matters is that every process computes the identical
+#: cost for the identical link.
+ROUTE_COST_BYTES = 1500
+
+
+def route_cost(link: "Link") -> float:
+    """Routing cost of one link traversal: propagation delay plus the
+    serialization time of a :data:`ROUTE_COST_BYTES` reference datagram
+    under the link's framing.
+
+    A pure function of the link's static parameters (memoized on the
+    link), so every shard of a partitioned run — and every permutation
+    of construction order — prices an edge identically.
+    """
+    cost = link._route_cost
+    if cost is None:
+        cost = link._route_cost = (
+            link.propagation
+            + link.framing.wire(ROUTE_COST_BYTES) * 8.0 / link.rate
+        )
+    return cost
 
 
 def _count_by_flow(packets) -> dict[str, int]:
@@ -375,6 +401,9 @@ class Link:
         self.up = True
         self.network: Optional["Network"] = None
         self.probe: Optional[Any] = None
+        #: memoized :func:`route_cost` (rate/framing/propagation are fixed
+        #: for the link's lifetime)
+        self._route_cost: Optional[float] = None
         wire_cost = self._wire_cost
         self._queues = {
             a.name: DrrScheduler(env, cost=wire_cost),
@@ -677,7 +706,7 @@ class Link:
         if self.probe is not None:
             self.probe.on_state(self, up)
         if self.network is not None:
-            self.network.invalidate_routes()
+            self.network.on_link_state_change()
 
     def set_loss(
         self,
@@ -1118,15 +1147,33 @@ class Node:
         self._fwd: dict[str, Link] = {}
 
     def attach(self, link: Link) -> None:
+        if self.network is not None:
+            # A link wired directly against a registered node (rather
+            # than through Network.link) still changes reachability for
+            # the whole network: routes cached anywhere may now be
+            # stale, so flush network-wide, not just this node.
+            self.network.invalidate_routes()
         self.links.append(link)
         self._fwd.clear()
 
+    def links_to(self, neighbor: str) -> list[Link]:
+        """Every link to ``neighbor`` — parallel links included — with up
+        links first, each group cheapest-first (ties broken by link
+        name).  A pure function of the topology and link states, never
+        of construction order."""
+        out = [ln for ln in self.links if ln.other(self).name == neighbor]
+        out.sort(key=lambda ln: (not ln.up, route_cost(ln), ln.name))
+        return out
+
     def link_to(self, neighbor: str) -> Link:
-        """The link connecting this node to ``neighbor``."""
-        for link in self.links:
-            if link.other(self).name == neighbor:
-                return link
-        raise KeyError(f"{self.name} has no link to {neighbor}")
+        """The preferred link to ``neighbor``: the cheapest up link of the
+        bundle, or — when every parallel member is down — the cheapest
+        link outright (fault windows must still resolve a down link in
+        order to restore it)."""
+        links = self.links_to(neighbor)
+        if not links:
+            raise KeyError(f"{self.name} has no link to {neighbor}")
+        return links[0]
 
     def forward(self, packet: Packet) -> None:
         """Send ``packet`` towards its destination via static routing.
@@ -1140,13 +1187,12 @@ class Node:
         if link is None:
             assert self.network is not None, "node not registered with a Network"
             try:
-                nxt = self.network.next_hop(self.name, dst)
+                link = self.network.route_link(self.name, dst)
             except ValueError:
                 self.network.no_route_drops += 1
                 if self.network.probe is not None:
                     self.network.probe.on_no_route(self.name, dst)
                 return
-            link = self._fwd[dst] = self.link_to(nxt)
         link.send(self, packet)
 
     def receive(self, packet: Packet, link: Link) -> None:  # pragma: no cover
@@ -1514,14 +1560,32 @@ class Gateway(Node):
 
 
 class Network:
-    """The set of nodes plus static shortest-path routing.
+    """The set of nodes plus static min-cost routing.
 
-    Routes are hop-count shortest paths computed on demand and cached;
-    the Figure-1 topology is a tree, so paths are unique anyway.  Links
-    that are administratively or fault-injected down are skipped, and any
-    topology or link-state change invalidates the route cache plus every
-    registered invalidation listener (e.g. the metampi transport model's
-    WAN-cost cache).
+    Routes are deterministic min-cost paths (Dijkstra over
+    :func:`route_cost` — propagation plus reference-datagram
+    serialization) computed on demand and cached.  Ties are broken first
+    by hop count, then by the lexicographically smallest node-name
+    sequence, so the chosen route is a pure function of the topology and
+    link states — never of construction order.  On topologies where every
+    link prices equally (the property-test graphs) min-cost degenerates
+    to min-hop, and on trees (the Figure-1 testbed) paths are unique
+    anyway, so the metric only starts mattering on redundant multi-path
+    topologies (:mod:`repro.netsim.topology`).
+
+    Parallel links between a node pair (distinct explicit names) are
+    first-class: routing picks the cheapest up member of the bundle, ties
+    by link name.  Links that are administratively or fault-injected down
+    are skipped, and any topology or link-state change invalidates the
+    route cache plus every registered invalidation listener (e.g. the
+    metampi transport model's WAN-cost cache).  A link-state change may
+    instead be detected late: with ``reroute_delay`` > 0 the flush is
+    scheduled that many seconds after the state change, modelling
+    failure-detection latency — cached routes keep steering packets at a
+    dead link (dropped as ``link_down``) until detection, after which
+    affected flows fail over onto the surviving paths.  ``reroutes``
+    counts resolutions where a (node, destination) pair's chosen link
+    differs from the one it used before the flush.
     """
 
     def __init__(self, env: Environment):
@@ -1534,7 +1598,20 @@ class Network:
         #: (:mod:`repro.shard`), the set of node names this process owns;
         #: ``None`` means the whole network is local (the normal case).
         self.local_nodes: Optional[frozenset[str]] = None
+        #: Failure-detection latency (seconds) between a link state
+        #: change and the route-cache flush that lets traffic re-resolve.
+        #: Zero (the default) flushes synchronously — bit-identical to
+        #: the historical immediate invalidation.
+        self.reroute_delay = 0.0
+        #: Count of (node, destination) route resolutions that picked a
+        #: different link than before the last invalidation (failovers
+        #: onto an alternate path, and reversions after repair).
+        self.reroutes = 0
         self._routes: dict[tuple[str, str], str] = {}
+        #: Last link each (node, dst) pair resolved to — survives
+        #: invalidation on purpose: it is the memory that makes a
+        #: re-resolution recognizable as a reroute.
+        self._last_link: dict[tuple[str, str], Link] = {}
         self._invalidation_listeners: list[Callable[[], None]] = []
 
     def drives(self, name: str) -> bool:
@@ -1569,19 +1646,28 @@ class Network:
     ) -> Link:
         """Create a link between two registered nodes.
 
-        A second parallel link between the same node pair is rejected:
-        ``Node.link_to`` resolves by neighbour name, so a duplicate would
-        shadow the first and attribute its traffic to the wrong link.
+        Parallel links between the same node pair are allowed when each
+        carries an explicit, distinct ``name`` — routing treats every
+        member of the bundle as its own edge and deterministically picks
+        the cheapest up one (redundant dual-ring / bonded-trunk
+        topologies).  An *unnamed* second link is still rejected in both
+        orientations: the auto-generated name would collide or silently
+        shadow the first in per-neighbour lookups and attribute traffic
+        to the wrong link.
         """
-        if any(
+        name = kw.get("name") or ""
+        if not name and any(
             ln.other(self.nodes[a]).name == b for ln in self.nodes[a].links
         ):
             raise ValueError(f"duplicate link between {a!r} and {b!r}")
+        # Validate the (explicit or auto-generated) name before the Link
+        # is constructed: construction attaches to both nodes, so a
+        # rejected link must never come into existence at all.
+        if (name or f"{a}--{b}") in self.links:
+            raise ValueError(f"duplicate link name {name or f'{a}--{b}'!r}")
         link = Link(
             self.env, self.nodes[a], self.nodes[b], rate, propagation, framing, **kw
         )
-        if link.name in self.links:
-            raise ValueError(f"duplicate link name {link.name!r}")
         link.network = self
         self.links[link.name] = link
         self.invalidate_routes()
@@ -1602,43 +1688,200 @@ class Network:
         for listener in self._invalidation_listeners:
             listener()
 
+    def on_link_state_change(self) -> None:
+        """Link up/down notification (from :meth:`Link.set_up`).
+
+        With ``reroute_delay`` zero — the default — routes re-resolve
+        immediately, bit-identical to the historical synchronous
+        invalidation.  A positive delay models failure-detection latency:
+        the flush is scheduled ``reroute_delay`` seconds out, and until
+        it fires cached routes keep steering packets at the dead link
+        (dropped there as ``link_down``).  Cache *misses* resolved during
+        the window already avoid down links — only established routes
+        are blind to the failure, which is exactly the detection-lag
+        behaviour being modelled.
+        """
+        if self.reroute_delay <= 0.0:
+            self.invalidate_routes()
+        else:
+            self.env.call_later(self.reroute_delay, self.invalidate_routes)
+
     def add_invalidation_listener(self, listener: Callable[[], None]) -> None:
         """Call ``listener()`` whenever topology or link state changes."""
         self._invalidation_listeners.append(listener)
 
     def next_hop(self, src: str, dst: str) -> str:
-        """First hop on the shortest path from ``src`` to ``dst``."""
+        """First hop node on the routed path from ``src`` to ``dst``."""
         key = (src, dst)
         hop = self._routes.get(key)
         if hop is None:
-            path = self.shortest_path(src, dst)
-            if len(path) < 2:
-                raise ValueError(f"no route from {src} to {dst}")
-            for i in range(len(path) - 1):
-                self._routes[(path[i], dst)] = path[i + 1]
-            hop = path[1]
+            self._resolve(src, dst)
+            hop = self._routes[key]
         return hop
 
-    def shortest_path(self, src: str, dst: str) -> list[str]:
-        """BFS shortest path by hop count."""
+    def route_link(self, src: str, dst: str) -> Link:
+        """The link ``src`` forwards on towards ``dst`` (parallel-link
+        aware — the specific bundle member routing chose), resolved on
+        demand and cached until the next invalidation."""
+        node = self.nodes[src]
+        link = node._fwd.get(dst)
+        if link is None:
+            self._resolve(src, dst)
+            link = node._fwd[dst]
+        return link
+
+    def _resolve(self, src: str, dst: str) -> None:
+        """Resolve the route ``src`` → ``dst`` and cache every hop.
+
+        Suffix optimality of the search order (see :meth:`_search`) makes
+        the per-hop entries exactly what each intermediate node would
+        resolve for itself, so one resolution warms the whole path.  A
+        hop whose chosen link differs from the one it used before the
+        last invalidation is counted as a reroute (failover onto an
+        alternate path, or reversion after repair).
+        """
+        path, links = self._search(src, dst)
+        if not links:
+            raise ValueError(f"no route from {src} to {dst}")
+        for i, ln in enumerate(links):
+            u = path[i]
+            self._routes[(u, dst)] = path[i + 1]
+            self.nodes[u]._fwd[dst] = ln
+            pin = (u, dst)
+            prev = self._last_link.get(pin)
+            if prev is not ln:
+                self._last_link[pin] = ln
+                if prev is not None:
+                    self.reroutes += 1
+                    probe = self.probe
+                    if probe is not None:
+                        on_reroute = getattr(probe, "on_reroute", None)
+                        if on_reroute is not None:
+                            on_reroute(u, dst, prev, ln)
+
+    def _best_links(self, node: Node) -> list[tuple[str, float, Link]]:
+        """Per up-neighbour best edge as ``(neighbor, cost, link)`` rows,
+        sorted by neighbour name.  Among parallel up links the cheapest
+        wins, ties broken by link name — a pure function of the topology
+        and link states, never of construction order."""
+        best: dict[str, tuple[float, str, Link]] = {}
+        for ln in node.links:
+            if not ln.up:
+                continue
+            v = ln.other(node).name
+            key = (route_cost(ln), ln.name, ln)
+            cur = best.get(v)
+            if cur is None or key[:2] < cur[:2]:
+                best[v] = key
+        return [(v, c, ln) for v, (c, _, ln) in sorted(best.items())]
+
+    def _search(self, src: str, dst: str) -> tuple[list[str], list[Link]]:
+        """Deterministic min-cost path search (Dijkstra).
+
+        Heap entries order by ``(cost, hops, node-name path)``: among
+        equal-cost alternatives the fewest-hop path wins, and among those
+        the lexicographically smallest node sequence — a total order
+        independent of insertion.  Suffixes of an optimal path are
+        themselves optimal under this order (two optimal paths through
+        the same prefix must share their suffix), which is what lets
+        :meth:`_resolve` cache every hop of one search.
+
+        Returns the node-name path and the specific links it uses;
+        ``src == dst`` yields ``([src], [])``.  Raises ``ValueError``
+        when no up path exists.
+        """
+        if src not in self.nodes or dst not in self.nodes:
+            raise ValueError(f"no route from {src} to {dst}")
         if src == dst:
-            return [src]
-        prev: dict[str, str] = {src: src}
-        frontier = [src]
-        while frontier:
-            nxt: list[str] = []
-            for u in frontier:
-                for v in self.neighbors(u):
-                    if v not in prev:
-                        prev[v] = u
-                        if v == dst:
-                            path = [dst]
-                            while path[-1] != src:
-                                path.append(prev[path[-1]])
-                            return path[::-1]
-                        nxt.append(v)
-            frontier = nxt
+            return [src], []
+        heap: list[tuple[float, int, tuple[str, ...]]] = [(0.0, 0, (src,))]
+        hop_links: dict[tuple[str, ...], list[Link]] = {(src,): []}
+        done: set[str] = set()
+        while heap:
+            cost, hops, path = heapq.heappop(heap)
+            u = path[-1]
+            used = hop_links.pop(path)
+            if u in done:
+                continue
+            done.add(u)
+            if u == dst:
+                return list(path), used
+            for v, c, ln in self._best_links(self.nodes[u]):
+                if v in done:
+                    continue
+                child = path + (v,)
+                if child not in hop_links:
+                    heapq.heappush(heap, (cost + c, hops + 1, child))
+                    hop_links[child] = used + [ln]
         raise ValueError(f"no route from {src} to {dst}")
+
+    def shortest_path(self, src: str, dst: str) -> list[str]:
+        """The deterministic min-cost path from ``src`` to ``dst``."""
+        return self._search(src, dst)[0]
+
+    def path_links(self, src: str, dst: str) -> tuple[list[str], list[Link]]:
+        """The routed path and the links it traverses, as parallel
+        ``(nodes, links)`` lists (``len(links) == len(nodes) - 1``).
+        Path-characterization code wants the exact links routing chose,
+        not a by-neighbour-name guess that a parallel bundle would
+        ambiguate."""
+        return self._search(src, dst)
+
+    def equal_cost_paths(
+        self, src: str, dst: str, rel_tol: float = 1e-9
+    ) -> list[list[str]]:
+        """All loop-free paths whose cost is within ``rel_tol`` of the
+        minimum — the alternate routes failover can land on.  Sorted by
+        (hops, node sequence); the first entry is the path
+        :meth:`shortest_path` chooses."""
+        if src not in self.nodes or dst not in self.nodes:
+            raise ValueError(f"no route from {src} to {dst}")
+        if src == dst:
+            return [[src]]
+        d_src = self._dists(src)
+        if dst not in d_src:
+            raise ValueError(f"no route from {src} to {dst}")
+        d_dst = self._dists(dst)
+        best = d_src[dst]
+        budget = best + best * rel_tol + 1e-15
+        paths: list[list[str]] = []
+        on_path = {src}
+        acc = [src]
+
+        def walk(u: str, spent: float) -> None:
+            if u == dst:
+                paths.append(list(acc))
+                return
+            for v, c, _ in self._best_links(self.nodes[u]):
+                if v in on_path:
+                    continue
+                if spent + c + d_dst.get(v, float("inf")) <= budget:
+                    on_path.add(v)
+                    acc.append(v)
+                    walk(v, spent + c)
+                    acc.pop()
+                    on_path.discard(v)
+
+        walk(src, 0.0)
+        paths.sort(key=lambda p: (len(p), p))
+        return paths
+
+    def _dists(self, root: str) -> dict[str, float]:
+        """Single-source min costs over up links (plain Dijkstra)."""
+        dist = {root: 0.0}
+        heap = [(0.0, root)]
+        done: set[str] = set()
+        while heap:
+            d, u = heapq.heappop(heap)
+            if u in done:
+                continue
+            done.add(u)
+            for v, c, _ in self._best_links(self.nodes[u]):
+                nd = d + c
+                if v not in dist or nd < dist[v]:
+                    dist[v] = nd
+                    heapq.heappush(heap, (nd, v))
+        return dist
 
     def host(self, name: str) -> Host:
         """Fetch a registered node, asserting it is a Host."""

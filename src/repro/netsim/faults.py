@@ -35,7 +35,7 @@ from __future__ import annotations
 
 import hashlib
 import random
-from typing import Optional, Union
+from typing import Optional, Sequence, Union
 
 from repro.netsim.core import Gateway, Link, Network
 
@@ -112,6 +112,54 @@ class FaultInjector:
 
         self.env.process(window())
         return target
+
+    def outage_schedule(
+        self,
+        links: Sequence[LinkRef],
+        horizon: float,
+        outages: int = 4,
+        min_duration: float = 0.0,
+        max_duration: Optional[float] = None,
+    ) -> list[tuple[str, float, float]]:
+        """Schedule ``outages`` seeded link-down windows spread over
+        ``links`` within the next ``horizon`` seconds.
+
+        Each window picks a victim link, a start time and a duration
+        from a child RNG derived from the injector seed and the schedule
+        identity (the sorted link names and parameters) — so the same
+        schedule hits the same links at the same times regardless of
+        what else is injected, and two topologies sharing those link
+        names (e.g. a single ring vs. the first ring of a dual ring)
+        suffer the *identical* outage history.  Windows may overlap:
+        that is the double-cut case redundant topologies exist for.
+
+        Returns the schedule as ``(link_name, at, duration)`` tuples,
+        sorted by start time, for benchmark reports.
+        """
+        targets = [self.resolve_link(ref) for ref in links]
+        if not targets:
+            raise ValueError("outage_schedule needs at least one link")
+        if horizon <= 0.0:
+            raise ValueError("horizon must be positive")
+        if max_duration is None:
+            max_duration = horizon / 4.0
+        rng = self._child_rng(
+            "outage-schedule",
+            ",".join(sorted(t.name for t in targets)),
+            outages,
+            horizon,
+            min_duration,
+            max_duration,
+        )
+        schedule = []
+        for _ in range(outages):
+            target = targets[rng.randrange(len(targets))]
+            at = rng.uniform(0.0, horizon)
+            duration = rng.uniform(min_duration, max_duration)
+            self.link_down(target, at=at, duration=duration)
+            schedule.append((target.name, at, duration))
+        schedule.sort(key=lambda entry: (entry[1], entry[0]))
+        return schedule
 
     def random_loss(
         self,

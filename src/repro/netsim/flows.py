@@ -107,6 +107,9 @@ class BulkTransfer:
         self.retransmits = 0
         self.timeouts = 0
         self.fast_retransmits = 0
+        #: Times the stall budget was waived because routing still
+        #: resolved a live path (failover onto an alternate route).
+        self.failovers = 0
         #: telemetry hook (repro.telemetry.probes.instrument_flow); None
         #: keeps the send/ack hot paths at a single branch
         self.probe: Optional[object] = None
@@ -197,6 +200,22 @@ class BulkTransfer:
         if not self._flight_event.triggered:
             self._flight_event.succeed()
 
+    def _route_alive(self) -> bool:
+        """Whether routing currently resolves a live path both ways.
+
+        Consulted only at the stall decision (never on the per-segment
+        hot path): a transfer whose retransmissions go unanswered while
+        an alternate route exists should fail over, not die.  Both
+        directions are checked — data getting through is worthless if
+        every ACK path is severed.
+        """
+        try:
+            self.net.route_link(self.src, self.dst)
+            self.net.route_link(self.dst, self.src)
+        except ValueError:
+            return False
+        return True
+
     def _first_unacked(self) -> int:
         """Index of the first segment not yet cumulatively acknowledged."""
         return bisect.bisect_right(self._ends, self._acked)
@@ -232,17 +251,27 @@ class BulkTransfer:
                 self.max_consecutive_timeouts is not None
                 and self._consecutive_timeouts > self.max_consecutive_timeouts
             ):
-                if not self.done.triggered:
-                    if self.probe is not None:
-                        self.probe.on_stall(self)
-                    self.done.fail(
-                        TransferStalled(
-                            f"{self.name}: no progress after "
-                            f"{self.timeouts} retransmission timeouts "
-                            f"({self.src} -> {self.dst})"
+                if self._route_alive():
+                    # Failover: routing still resolves a live path in
+                    # both directions (an alternate survived the outage,
+                    # or the fault healed just before the budget ran
+                    # out).  The stall verdict is reserved for a truly
+                    # severed path — reset the budget and keep driving
+                    # go-back-N recovery over the surviving route.
+                    self._consecutive_timeouts = 0
+                    self.failovers += 1
+                else:
+                    if not self.done.triggered:
+                        if self.probe is not None:
+                            self.probe.on_stall(self)
+                        self.done.fail(
+                            TransferStalled(
+                                f"{self.name}: no progress after "
+                                f"{self.timeouts} retransmission timeouts "
+                                f"({self.src} -> {self.dst})"
+                            )
                         )
-                    )
-                return None
+                    return None
             # Exponential backoff; collapse the window to one segment and
             # arm go-back-N: all in-flight data is presumed lost, so the
             # ack-driven recovery in ``_on_ack`` re-streams it.

@@ -27,6 +27,11 @@ class VcReservation:
     dst: str
     rate: float  #: reserved application bit/s
     path: tuple[str, ...]
+    #: names of the exact links reserved, one per hop — on a redundant
+    #: parallel bundle the path's node names alone do not identify the
+    #: member carrying the VC, and release must credit the same links
+    #: reserve debited.
+    links: tuple[str, ...] = ()
 
 
 class AdmissionError(RuntimeError):
@@ -52,10 +57,11 @@ class QosManager:
         self.reservations: dict[int, VcReservation] = {}
 
     # -- queries ------------------------------------------------------------
-    def _path_hops(self, path: list[str]) -> list[tuple[Link, str]]:
-        return [
-            (self.net.nodes[u].link_to(v), u) for u, v in zip(path, path[1:])
-        ]
+    def _path_hops(self, src: str, dst: str) -> list[tuple[Link, str]]:
+        # The exact links routing chose (parallel-link aware), paired
+        # with each hop's sending node for directional accounting.
+        path, links = self.net.path_links(src, dst)
+        return list(zip(links, path))
 
     def reserved_on(self, link_name: str, from_node: str) -> float:
         """Currently reserved bit/s on a directed link."""
@@ -69,9 +75,8 @@ class QosManager:
 
     def path_available(self, src: str, dst: str) -> float:
         """Largest CBR rate admissible from src to dst right now."""
-        path = self.net.shortest_path(src, dst)
         return min(
-            self.available_on(ln, u) for ln, u in self._path_hops(path)
+            self.available_on(ln, u) for ln, u in self._path_hops(src, dst)
         )
 
     # -- admission ------------------------------------------------------------
@@ -79,8 +84,8 @@ class QosManager:
         """Admit a CBR VC or raise :class:`AdmissionError`."""
         if rate <= 0:
             raise ValueError("rate must be positive")
-        path = self.net.shortest_path(src, dst)
-        hops = self._path_hops(path)
+        path, links = self.net.path_links(src, dst)
+        hops = list(zip(links, path))
         for link, u in hops:
             if self.available_on(link, u) < rate:
                 raise AdmissionError(
@@ -92,7 +97,12 @@ class QosManager:
             key = (link.name, u)
             self._reserved[key] = self._reserved.get(key, 0.0) + rate
         vc = VcReservation(
-            vc_id=next(_vc_ids), src=src, dst=dst, rate=rate, path=tuple(path)
+            vc_id=next(_vc_ids),
+            src=src,
+            dst=dst,
+            rate=rate,
+            path=tuple(path),
+            links=tuple(link.name for link, _ in hops),
         )
         self.reservations[vc.vc_id] = vc
         return vc
@@ -102,8 +112,10 @@ class QosManager:
         if vc.vc_id not in self.reservations:
             raise KeyError(f"unknown VC {vc.vc_id}")
         del self.reservations[vc.vc_id]
-        for link, u in self._path_hops(list(vc.path)):
-            self._reserved[(link.name, u)] -= vc.rate
+        # Credit the recorded links, not a fresh route resolution: the
+        # topology (or link states) may have changed since admission.
+        for link_name, u in zip(vc.links, vc.path):
+            self._reserved[(link_name, u)] -= vc.rate
 
     def utilization(self, link_name: str, from_node: str) -> float:
         """Reserved fraction of one direction of a link."""

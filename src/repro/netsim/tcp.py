@@ -74,7 +74,7 @@ def characterize_path(
         )
     mss = ip.max_segment
     ip_bytes = ip.datagram_bytes(mss)
-    path = net.shortest_path(src, dst)
+    path, links = net.path_links(src, dst)
     out = PathCharacterization(mss=mss)
     rtt = 0.0
 
@@ -90,8 +90,9 @@ def characterize_path(
             out.resources[f"host:{name}:iobus"] = t
             rtt += t
 
-    for u, v in zip(path, path[1:]):
-        link = net.nodes[u].link_to(v)
+    # Walk the exact links routing chose (parallel-link aware): a
+    # by-neighbour-name lookup would be ambiguous on a redundant bundle.
+    for (u, v), link in zip(zip(path, path[1:]), links):
         wire = link.framing.wire_bytes(ip_bytes)
         t = wire * 8 / link.rate
         if t > 0:  # an infinite-rate wire is not a pipeline stage

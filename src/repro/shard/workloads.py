@@ -239,6 +239,83 @@ def wan_multiflow(params: dict, view: PartitionView) -> WorkloadState:
     )
 
 
+@shard_workload("ring_failover")
+def ring_failover(params: dict, view: PartitionView) -> WorkloadState:
+    """Cross-site traffic on a dual-ring multi-site topology with a
+    mid-run trunk outage: routing fails over onto the standby ring while
+    the run is sharded at the WAN trunks.
+
+    Every shard builds the full ring, schedules the same seeded outage,
+    and re-resolves routes identically when the trunk drops (the
+    min-cost tie-breaks are construction-order independent), so the
+    sharded run stays bit-identical to the unsharded reference even
+    though the cut link carrying the traffic changes mid-run.
+    """
+    from repro.netsim.topology import build_dual_ring
+
+    env = Environment(fast_path=bool(params.get("fast_path", True)))
+    tb = build_dual_ring(int(params.get("sites", 4)), env=env)
+    outbox = view.adopt(tb.net)
+
+    seed = int(params.get("seed", 0))
+    nbytes = int(params.get("mbytes", 4)) * MBYTE
+    ip = ClassicalIP(mtu=int(params.get("mtu", 9180)))
+
+    outage_at = params.get("outage_at")
+    if outage_at is not None:
+        FaultInjector(tb.net, seed=seed).link_down(
+            str(params.get("outage_link", "ring0-site0--site1")),
+            at=float(outage_at),
+            duration=float(params.get("outage_len", 0.2)),
+        )
+
+    names = list(tb.sites)
+    half = len(names) // 2
+    flows: list = []
+    for i, site in enumerate(names):
+        peer = names[(i + half) % len(names)]
+        flows.append(
+            BulkTransfer(
+                tb.net,
+                tb.site_hosts(site)[0],
+                tb.site_hosts(peer)[-1],
+                nbytes,
+                ip=ip,
+                name=f"ring-bulk-{site}",
+            )
+        )
+    videos: list[CbrFlow] = []
+    if params.get("video", True):
+        videos.append(
+            CbrFlow(
+                tb.net,
+                tb.site_hosts(names[0])[-1],
+                tb.site_hosts(names[1])[0],
+                frame_bytes=int(params.get("frame_bytes", 100_000)),
+                interval=0.02,
+                n_frames=int(params.get("n_frames", 20)),
+                ip=ip,
+                name="ring-video",
+            )
+        )
+        flows.extend(videos)
+
+    def collect() -> dict[str, Any]:
+        out: dict[str, Any] = {}
+        for flow in flows:
+            if isinstance(flow, BulkTransfer):
+                out.update(_bulk_metrics(tb.net, flow, prefix=flow.name + "_"))
+        for video in videos:
+            if tb.net.drives(video.dst):
+                out[video.name + "_frames_received"] = video.frames_received
+                out[video.name + "_frames_lost"] = video.frames_lost
+        return out
+
+    return WorkloadState(
+        env=env, net=tb.net, outbox=outbox, collect=collect, flows=flows
+    )
+
+
 def build_workload(
     name: str, params: dict, view: PartitionView
 ) -> WorkloadState:

@@ -139,15 +139,30 @@ class GatewayProbe:
 
 
 class NetworkProbe:
-    """Network-wide hook target (routing drops)."""
+    """Network-wide hook target (routing drops and failovers)."""
 
-    __slots__ = ("no_route",)
+    __slots__ = ("_registry", "no_route", "reroutes", "_per_link")
 
     def __init__(self, registry: MetricsRegistry):
+        self._registry = registry
         self.no_route = registry.counter("netsim.route.drops", reason=DROP_NO_ROUTE)
+        self.reroutes = registry.counter("netsim.route.reroutes")
+        self._per_link: dict = {}
 
     def on_no_route(self, node_name: str, dst: str) -> None:
         self.no_route.inc()
+
+    def on_reroute(self, node_name: str, dst: str, old_link, new_link) -> None:
+        """A (node, destination) pair re-resolved onto a different link —
+        a failover onto an alternate path, or a reversion after repair.
+        Labeled per new link so a dashboard shows where traffic landed."""
+        self.reroutes.inc()
+        counter = self._per_link.get(new_link.name)
+        if counter is None:
+            counter = self._per_link[new_link.name] = self._registry.counter(
+                "netsim.route.failovers", link=new_link.name
+            )
+        counter.inc()
 
 
 def instrument_network(net, registry: MetricsRegistry, flows=()):

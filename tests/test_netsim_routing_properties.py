@@ -76,6 +76,45 @@ class TestRoutingAgainstNetworkx:
             assert hops <= n  # no loops
         assert hops == expected
 
+    @given(n=st.integers(4, 12), extra=st.integers(2, 10), seed=st.integers(0, 200))
+    @SLOW
+    def test_permuted_construction_identical_routes_property(self, n, extra, seed):
+        """Regression: routing is a pure function of the topology, never
+        of construction order.  Building the same graph with its edges
+        (and their endpoint orientations) permuted must produce the
+        identical route for every node pair."""
+        g = random_connected_graph(n, extra, seed)
+        edges = list(g.edges)
+
+        def build(edge_list, flips):
+            env = Environment()
+            net = Network(env)
+            for node in g.nodes:
+                net.add(Host(env, f"h{node}"))
+            for (a, b), flip in zip(edge_list, flips):
+                if flip:
+                    a, b = b, a
+                net.link(f"h{a}", f"h{b}", rate=1e9, framing=PlainFraming(0))
+            return net
+
+        rng = np.random.default_rng(seed + 42)
+        net1 = build(edges, [False] * len(edges))
+        order = rng.permutation(len(edges))
+        net2 = build(
+            [edges[i] for i in order],
+            rng.integers(0, 2, size=len(edges)).astype(bool),
+        )
+        for s in g.nodes:
+            for d in g.nodes:
+                if s == d:
+                    continue
+                assert net1.shortest_path(f"h{s}", f"h{d}") == (
+                    net2.shortest_path(f"h{s}", f"h{d}")
+                )
+                assert net1.next_hop(f"h{s}", f"h{d}") == (
+                    net2.next_hop(f"h{s}", f"h{d}")
+                )
+
     def test_route_cache_consistent_after_new_links(self):
         env = Environment()
         net = Network(env)
